@@ -1,0 +1,51 @@
+"""Shared benchmark scaffolding.
+
+Every benchmark regenerates one of the paper's figures/tables: it runs
+the corresponding experiment (timed via pytest-benchmark), prints the
+reproduced data series, and archives it under ``benchmarks/results/``.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_NETWORKS`` — random networks per data point (default 5;
+  the paper uses 20).
+* ``REPRO_BENCH_SEED`` — master seed (default 7).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_NETWORKS = int(os.environ.get("REPRO_BENCH_NETWORKS", "5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Paper-default experiment config at benchmark scale."""
+    return ExperimentConfig(n_networks=BENCH_NETWORKS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir, capsys):
+    """Print a rendered table and save it to results/<name>.txt."""
+
+    def _archive(name: str, text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

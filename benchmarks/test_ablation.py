@@ -1,0 +1,58 @@
+"""Bench: DESIGN.md §4 design-choice ablations.
+
+Not a paper figure — these quantify the design choices the paper makes
+implicitly: greedy retention in Algorithm 3, Prim seed sensitivity, and
+the N-FUSION fusion-penalty substitution.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    run_fusion_penalty_ablation,
+    run_prim_seed_ablation,
+    run_retention_ablation,
+)
+
+
+def test_ablation_retention(benchmark, bench_config, archive):
+    config = bench_config.replace(qubits_per_switch=2)  # make capacity bind
+    result = benchmark.pedantic(
+        run_retention_ablation, args=(config,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_retention",
+        result.to_table("Ablation — Alg-3 retention policy (Q=2)").render(),
+    )
+    stats = result.stats()
+    greedy = stats["greedy retention (paper)"]
+    random_retention = stats["random retention"]
+    # Greedy should fail no more often than random retention.
+    assert greedy.n_zero <= random_retention.n_zero + 1
+
+
+def test_ablation_prim_seed(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_prim_seed_ablation, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_prim_seed",
+        result.to_table("Ablation — Alg-4 seed-user sensitivity").render(),
+    )
+    stats = result.stats()
+    best = stats["best of all seeds"].mean
+    for name, summary in stats.items():
+        assert best >= summary.mean - 1e-12, name
+
+
+def test_ablation_fusion_penalty(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fusion_penalty_ablation, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_fusion_penalty",
+        result.to_table("Ablation — N-FUSION GHZ penalty factor").render(),
+    )
+    stats = result.stats()
+    means = [stats[f"mu={p}"].mean for p in (1.0, 0.9, 0.75, 0.5)]
+    for higher, lower in zip(means, means[1:]):
+        assert higher >= lower - 1e-12

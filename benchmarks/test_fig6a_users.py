@@ -1,0 +1,26 @@
+"""Bench: Fig. 6(a) — entanglement rate vs. number of users.
+
+Paper shape: rate decreases as the user count grows (more channels
+multiply into Eq. 2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_scale import USER_COUNTS, run_fig6a
+
+
+def test_fig6a_users(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig6a, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive("fig6a_users", result.to_table("Fig. 6(a) — rate vs #users").render())
+
+    series = result.series()
+    for method in ("optimal", "conflict_free", "prim"):
+        rates = series[method]
+        # Strict global trend: the smallest user set beats the largest.
+        assert rates[0] > rates[-1], method
+    # Baselines dominated at every point.
+    for index in range(len(USER_COUNTS)):
+        assert series["optimal"][index] >= series["nfusion"][index]
+        assert series["optimal"][index] >= series["eqcast"][index]

@@ -1,0 +1,28 @@
+"""Bench: Fig. 6(b) — entanglement rate vs. number of switches.
+
+Paper shape: rate mostly declines as switches grow 10 → 40 (channels
+cross more switches), with a possible small recovery at 50 when the
+denser plant offers better channel choices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_scale import SWITCH_COUNTS, run_fig6b
+
+
+def test_fig6b_switches(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig6b, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive(
+        "fig6b_switches",
+        result.to_table("Fig. 6(b) — rate vs #switches").render(),
+    )
+
+    series = result.series()
+    # Loose trend check (the paper itself observes non-monotonicity at
+    # the 40→50 step): smallest network beats the biggest-but-one.
+    assert series["optimal"][0] > min(series["optimal"][1:])
+    for index in range(len(SWITCH_COUNTS)):
+        assert series["optimal"][index] >= series["nfusion"][index] - 1e-12
+        assert series["optimal"][index] >= series["eqcast"][index] - 1e-12

@@ -1,0 +1,24 @@
+"""Bench: Fig. 7(a) — entanglement rate vs. average node degree.
+
+Paper shape: denser fiber plants give better channel choices → higher
+rates for every algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_edges import DEGREES, run_fig7a
+
+
+def test_fig7a_degree(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig7a, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive("fig7a_degree", result.to_table("Fig. 7(a) — rate vs degree").render())
+
+    series = result.series()
+    for method in ("optimal", "conflict_free", "prim"):
+        rates = series[method]
+        assert rates[-1] > rates[0], method  # D=10 beats D=4
+    for index in range(len(DEGREES)):
+        assert series["optimal"][index] >= series["nfusion"][index]
+        assert series["optimal"][index] >= series["eqcast"][index]

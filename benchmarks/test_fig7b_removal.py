@@ -1,0 +1,35 @@
+"""Bench: Fig. 7(b) — entanglement rate vs. removed-edge ratio.
+
+Paper setup: 600-fiber Waxman network (50 switches, 10 users, Q = 4);
+30 uniformly random fibers removed per step up to ratio 0.9.
+
+Paper observations reproduced as assertions:
+1. the rate mostly decreases as fibers disappear;
+2. plateaus occur while only non-critical fibers fall;
+3. everything eventually collapses to (near) zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.fig7_edges import run_fig7b
+
+
+def test_fig7b_removal(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig7b, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive(
+        "fig7b_removal",
+        result.to_table("Fig. 7(b) — rate vs removed-edge ratio").render(),
+    )
+
+    series = result.series["optimal"]
+    # (1) Global decline: the intact network beats the 90%-removed one.
+    assert series[0] > series[-1]
+    # (1b) Large-scale monotone trend: first third beats the last third.
+    third = len(series) // 3
+    assert min(series[:third]) >= max(series[-third:]) - 1e-12
+    # (3) Near-total removal kills (or almost kills) entanglement.
+    assert series[-1] < 0.05 * series[0] or series[-1] == 0.0

@@ -1,0 +1,33 @@
+"""Bench: Fig. 8(a) — entanglement rate vs. qubits per switch.
+
+Paper shape: Alg-2 models the sufficient-capacity case (2|U| qubits) so
+its rate is flat across the sweep; Alg-3/Alg-4 and the baselines climb
+as Q grows, and at Q = 2 only Alg-3 (among the capacity-bound methods)
+reliably entangles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.fig8_switch import QUBIT_COUNTS, run_fig8a
+
+
+def test_fig8a_qubits(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig8a, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive("fig8a_qubits", result.to_table("Fig. 8(a) — rate vs qubits Q").render())
+
+    series = result.series()
+    # Alg-2 flat (capacity-exempt).
+    flat = series["optimal"]
+    assert all(math.isclose(flat[0], value, rel_tol=1e-12) for value in flat)
+    # Heuristics monotone non-decreasing in Q.
+    for method in ("conflict_free", "prim"):
+        rates = series[method]
+        for low, high in zip(rates, rates[1:]):
+            assert high >= low - 1e-12, method
+    # Baselines improve from Q=2 to Q=8 (they keep rising per the paper).
+    assert series["nfusion"][-1] >= series["nfusion"][0]
+    assert series["eqcast"][-1] >= series["eqcast"][0]

@@ -1,0 +1,31 @@
+"""Bench: Fig. 8(b) — entanglement rate vs. BSM success probability q.
+
+Paper shape: every algorithm's rate rises with q.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_switch import SWAP_PROBS, run_fig8b
+
+
+def test_fig8b_swap_rate(benchmark, bench_config, archive):
+    result = benchmark.pedantic(
+        run_fig8b, args=(bench_config,), rounds=1, iterations=1
+    )
+    archive(
+        "fig8b_swap_rate",
+        result.to_table("Fig. 8(b) — rate vs swapping success q").render(),
+    )
+
+    series = result.series()
+    for method, rates in series.items():
+        positive = [r for r in rates if r > 0]
+        if len(positive) >= 2:
+            # Monotone over the positive segment.
+            for low, high in zip(rates, rates[1:]):
+                if low > 0 and high > 0:
+                    assert high >= low - 1e-12, method
+    # The proposed algorithms dominate at every q.
+    for index in range(len(SWAP_PROBS)):
+        assert series["optimal"][index] >= series["nfusion"][index]
+        assert series["optimal"][index] >= series["eqcast"][index]

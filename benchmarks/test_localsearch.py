@@ -1,0 +1,66 @@
+"""Bench: local-search post-optimization (library extension).
+
+Quantifies how much the hill climber adds on top of each constructive
+heuristic at the paper-default configuration, and its runtime cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.localsearch import improve_solution
+from repro.core.registry import solve
+from repro.topology.registry import generate
+from repro.utils.rng import spawn_rngs
+
+
+def _measure(bench_config):
+    methods = ("conflict_free", "prim", "random_tree")
+    rows = []
+    for method in methods:
+        base_rates = []
+        improved_rates = []
+        improved_count = 0
+        for rng in spawn_rngs(bench_config.seed, bench_config.n_networks):
+            network = generate(
+                bench_config.topology, bench_config.topology_config(), rng
+            )
+            base = solve(method, network, rng=rng)
+            if not base.feasible:
+                base_rates.append(0.0)
+                improved_rates.append(0.0)
+                continue
+            improved = improve_solution(network, base)
+            base_rates.append(base.rate)
+            improved_rates.append(improved.rate)
+            if improved.log_rate > base.log_rate + 1e-9:
+                improved_count += 1
+        n = len(base_rates)
+        rows.append(
+            (
+                method,
+                sum(base_rates) / n,
+                sum(improved_rates) / n,
+                f"{improved_count}/{n}",
+            )
+        )
+    return rows
+
+
+def test_localsearch_gains(benchmark, bench_config, archive):
+    rows = benchmark.pedantic(
+        _measure, args=(bench_config,), rounds=1, iterations=1
+    )
+    table = Table(
+        ["base method", "mean rate", "mean rate + local search", "improved"],
+        title="Extension — local-search post-optimization",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    archive("localsearch_gains", table.render())
+
+    for method, base, improved, _ in rows:
+        assert improved >= base - 1e-12, method
+    # The random tree leaves the most on the table: local search must
+    # visibly close its gap.
+    random_row = next(r for r in rows if r[0] == "random_tree")
+    assert random_row[2] >= random_row[1]

@@ -1,0 +1,100 @@
+"""Bench: how close do the heuristics get to the exact optimum?
+
+The paper proves Algorithms 3/4 are heuristics for an NP-hard problem
+but never measures their optimality gap.  The branch-and-bound exact
+solver lets us: on capacity-tight small instances, compare each
+heuristic's rate to the provable optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import Table
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.exact import solve_exact
+from repro.core.localsearch import improve_solution
+from repro.core.prim_based import solve_prim
+from repro.topology.base import TopologyConfig
+from repro.topology.waxman import waxman_network
+from repro.utils.rng import spawn_rngs
+
+CONFIG = TopologyConfig(
+    n_switches=8, n_users=4, avg_degree=3.5, qubits_per_switch=2
+)
+N_INSTANCES = 12
+
+
+def _measure():
+    stats = {
+        "Alg-3": {"optimal_hits": 0, "ratio_sum": 0.0, "feasible": 0},
+        "Alg-4": {"optimal_hits": 0, "ratio_sum": 0.0, "feasible": 0},
+        "Alg-3 + local search": {
+            "optimal_hits": 0,
+            "ratio_sum": 0.0,
+            "feasible": 0,
+        },
+    }
+    solvable = 0
+    for rng in spawn_rngs(3, N_INSTANCES):
+        network = waxman_network(CONFIG, rng=rng)
+        truth = solve_exact(network)
+        if not truth.feasible:
+            continue
+        solvable += 1
+        candidates = {
+            "Alg-3": solve_conflict_free(network),
+            "Alg-4": solve_prim(network, rng=rng),
+        }
+        candidates["Alg-3 + local search"] = improve_solution(
+            network, candidates["Alg-3"]
+        )
+        for name, solution in candidates.items():
+            if not solution.feasible:
+                continue
+            stats[name]["feasible"] += 1
+            ratio = math.exp(solution.log_rate - truth.log_rate)
+            stats[name]["ratio_sum"] += ratio
+            if math.isclose(
+                solution.log_rate, truth.log_rate, rel_tol=1e-9
+            ):
+                stats[name]["optimal_hits"] += 1
+    return solvable, stats
+
+
+def test_optimality_gap(benchmark, archive):
+    solvable, stats = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        ["heuristic", "feasible", "hits exact optimum", "mean rate ratio"],
+        title=(
+            f"Heuristic optimality gap on {solvable} capacity-tight "
+            "instances (exact = branch & bound)"
+        ),
+    )
+    for name, record in stats.items():
+        feasible = record["feasible"]
+        mean_ratio = record["ratio_sum"] / feasible if feasible else 0.0
+        table.add_row(
+            [
+                name,
+                f"{feasible}/{solvable}",
+                f"{record['optimal_hits']}/{feasible}",
+                f"{mean_ratio:.3f}",
+            ]
+        )
+    archive("optimality_gap", table.render())
+
+    assert solvable > 0
+    for name, record in stats.items():
+        if record["feasible"]:
+            mean_ratio = record["ratio_sum"] / record["feasible"]
+            # Heuristics can't exceed the exact optimum…
+            assert mean_ratio <= 1.0 + 1e-9, name
+            # …and should be good: within 2x on average at this scale.
+            assert mean_ratio >= 0.5, name
+    # Local search can only help Alg-3.
+    assert (
+        stats["Alg-3 + local search"]["ratio_sum"]
+        >= stats["Alg-3"]["ratio_sum"] - 1e-9
+    )

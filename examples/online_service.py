@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""An entanglement-as-a-service operator's day.
+
+The paper plans one entanglement group offline; an operator serves a
+*stream*: requests arrive, hold switch qubits while their application
+runs, then release them.  This example drives the online scheduler with
+a synthetic workday of requests over the paper-default backbone and
+reports the operator's metrics: acceptance ratio, waiting times, and
+peak memory pressure per switch — the numbers that size a switch's
+qubit budget.
+
+Run:  python examples/online_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TopologyConfig, generate
+from repro.analysis.tables import Table
+from repro.sim.online import OnlineScheduler
+from repro.sim.workload import (
+    WorkloadSpec,
+    generate_workload,
+    offered_load_summary,
+)
+
+
+def main() -> None:
+    config = TopologyConfig(
+        n_switches=50, n_users=10, avg_degree=6.0, qubits_per_switch=4
+    )
+    network = generate("waxman", config, rng=7)
+    print(f"backbone: {network}\n")
+
+    spec = WorkloadSpec(
+        arrival_rate=0.5,
+        horizon=60,
+        mean_group_size=2.8,
+        max_group_size=4,
+        mean_hold=5.0,
+        max_wait=4,
+        hotspot_skew=1.0,  # some users are far more popular than others
+    )
+    requests = generate_workload(network.user_ids, spec, rng=13)
+    summary = offered_load_summary(requests)
+    print(
+        f"workday: {summary['n_requests']} requests over "
+        f"{summary['horizon']} slots, mean group "
+        f"{summary['mean_group_size']:.1f} users, mean hold "
+        f"{summary['mean_hold']:.1f} slots\n"
+    )
+    scheduler = OnlineScheduler(network, method="prim", rng=21)
+    result = scheduler.run(requests)
+
+    accepted = [o for o in result.outcomes if o.accepted]
+    rejected = [o for o in result.outcomes if not o.accepted]
+    waits = [o.waited for o in accepted]
+    print(f"requests: {len(requests)}  accepted: {len(accepted)}  "
+          f"rejected: {len(rejected)}  "
+          f"(acceptance {result.acceptance_ratio:.0%})")
+    if waits:
+        print(f"waiting:  mean {np.mean(waits):.2f} slots, "
+              f"max {max(waits)} slots")
+    print(f"mean accepted tree rate: {result.mean_accepted_rate:.4e}\n")
+
+    table = Table(["job", "users", "arrived", "started", "rate"],
+                  title="first ten requests")
+    for outcome in result.outcomes[:10]:
+        table.add_row([
+            outcome.request.name,
+            len(outcome.request.users),
+            outcome.request.arrival,
+            outcome.start_slot if outcome.accepted else "rejected",
+            outcome.solution.rate if outcome.accepted else None,
+        ])
+    print(table.render())
+
+    pressured = sorted(
+        result.peak_qubit_usage.items(), key=lambda kv: -kv[1]
+    )[:8]
+    print("\npeak qubit pressure (switch: used/budget):")
+    for switch, peak in pressured:
+        budget = network.qubits_of(switch)
+        bar = "#" * peak + "." * (budget - peak)
+        print(f"  {str(switch):>4} [{bar}] {peak}/{budget}")
+
+    # Capacity planning: how much would doubling the qubits help?
+    doubled = network.with_switch_qubits(8)
+    result2 = OnlineScheduler(doubled, method="prim", rng=21).run(requests)
+    print(f"\nwith 8-qubit switches the same workload gets "
+          f"{result2.acceptance_ratio:.0%} acceptance "
+          f"(was {result.acceptance_ratio:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""End to end: route, entangle, teleport.
+
+The full quantum-Internet story in one script, every layer from this
+library, no shortcuts:
+
+1. **Route** — Algorithm 1 finds the max-rate channel between two users
+   on a random Waxman network.
+2. **Entangle** — the discrete-event simulator plays synchronized
+   attempt windows until every link and BSM of the channel succeeds.
+3. **Verify physics** — the same channel is then realised on actual
+   state vectors: one Bell pair per link, BSMs at each switch, Pauli
+   corrections from the classically-communicated outcomes, ending with
+   a verified Φ⁺ pair between the users.
+4. **Apply** — Alice teleports an arbitrary qubit state to Bob over the
+   delivered pair, exactly (fidelity 1).
+
+Run:  python examples/teleport_end_to_end.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import TopologyConfig, find_best_channel, generate
+from repro.core.problem import MUERPSolution
+from repro.quantum import QubitRegister, state_fidelity
+from repro.quantum.teleportation import CORRECTIONS, teleport
+from repro.sim.engine import SlottedEntanglementSimulator
+
+
+def main() -> None:
+    # --- 1. Route -----------------------------------------------------
+    network = generate(
+        "waxman",
+        TopologyConfig(n_switches=30, n_users=4, avg_degree=5.0),
+        rng=17,
+    )
+    alice, bob = network.user_ids[:2]
+    channel = find_best_channel(network, alice, bob)
+    print(f"network: {network}")
+    print(f"routed channel {alice} → {bob}: "
+          + " - ".join(map(str, channel.path)))
+    print(f"  links {channel.n_links}, swaps {channel.n_swaps}, "
+          f"rate {channel.rate:.4e}")
+
+    # --- 2. Entangle (stochastic protocol) ----------------------------
+    solution = MUERPSolution(
+        channels=(channel,), users=frozenset((alice, bob))
+    )
+    simulator = SlottedEntanglementSimulator(network, solution, rng=5)
+    run = simulator.run()
+    print(f"\nprotocol: entangled after {run.slots_used} attempt windows "
+          f"(expected {run.expected_slots:.1f}); "
+          f"{run.link_attempts} link attempts, "
+          f"{run.swap_attempts} BSM attempts")
+
+    # --- 3. Realise the channel on state vectors ----------------------
+    path = channel.path
+    register = QubitRegister.bell(f"{path[0]}", f"{path[1]}@in")
+    for left, right in zip(path[1:], path[2:]):
+        register.merge(
+            QubitRegister.bell(f"{left}@out", f"{right}@in" if right != path[-1] else f"{right}")
+        )
+    for switch in path[1:-1]:
+        outcome, _ = register.measure_bell(
+            f"{switch}@in", f"{switch}@out", rng=9
+        )
+        register.apply_pauli(str(path[-1]), CORRECTIONS[outcome])
+        print(f"  BSM at {switch}: outcome {outcome} "
+              f"(correction {CORRECTIONS[outcome]} sent to {path[-1]})")
+    fidelity = register.bell_fidelity(str(alice), str(bob), kind=0)
+    print(f"end-to-end pair fidelity with Φ+: {fidelity:.9f}")
+
+    # --- 4. Teleport a payload ----------------------------------------
+    rng = np.random.default_rng(23)
+    theta, phi = rng.uniform(0, math.pi), rng.uniform(0, 2 * math.pi)
+    payload = np.array(
+        [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)],
+        dtype=complex,
+    )
+    register.merge(QubitRegister(payload, ["psi"]))
+    outcome, _ = teleport(register, "psi", str(alice), str(bob), rng=3)
+    received = register.reduced_density([str(bob)])
+    received_fidelity = float((payload.conj() @ received @ payload).real)
+    print(f"\nteleportation: BSM outcome {outcome}, "
+          f"Bob's state fidelity with |ψ⟩ = {received_fidelity:.9f}")
+    assert math.isclose(received_fidelity, 1.0, abs_tol=1e-9)
+    print("payload delivered exactly — routing → entanglement → "
+          "application, end to end.")
+
+
+if __name__ == "__main__":
+    main()

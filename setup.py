@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so offline environments without the ``wheel`` package can still do
+an editable install via ``python setup.py develop``; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""repro — Multi-user Entanglement Routing over Quantum Internets.
+
+A full reproduction of *"Multi-user Entanglement Routing Design over
+Quantum Internets"* (Zeng et al., ICDCS 2024): the MUERP problem model,
+Algorithms 1-4, the E-Q-CAST and N-FUSION baselines, the paper's entire
+simulation study (Figs. 5-8), a verifying quantum-state substrate, a
+Monte-Carlo/discrete-event protocol simulator, and the paper's stated
+extensions (fidelity-aware routing, concurrent multi-group routing).
+
+Quickstart::
+
+    from repro import TopologyConfig, generate, solve
+
+    network = generate("waxman", TopologyConfig(), rng=42)
+    solution = solve("conflict_free", network)
+    print(solution.rate, [c.path for c in solution.channels])
+"""
+
+from repro.network import (
+    NetworkBuilder,
+    NetworkParams,
+    OpticalFiber,
+    QuantumNetwork,
+    QuantumSwitch,
+    QuantumUser,
+    network_from_networkx,
+)
+from repro.topology import (
+    TopologyConfig,
+    generate,
+    grid_network,
+    ring_network,
+    volchenkov_network,
+    watts_strogatz_network,
+    waxman_network,
+)
+from repro.core import (
+    Channel,
+    MUERPSolution,
+    best_channels_from,
+    brute_force_optimal,
+    channel_rate,
+    find_best_channel,
+    improve_solution,
+    k_best_channels,
+    solve_conflict_free,
+    solve_optimal,
+    solve_prim,
+    validate_solution,
+)
+import repro.baselines  # noqa: F401 - populate the solver registry
+from repro.baselines import solve_eqcast, solve_nfusion, solve_random_tree
+from repro.core.registry import SOLVERS, solve
+from repro.sim import (
+    MonteCarloResult,
+    SlottedEntanglementSimulator,
+    simulate_solution,
+)
+from repro.extensions import (
+    FidelityModel,
+    GroupRequest,
+    apply_failures,
+    repair_solution,
+    route_groups,
+    solve_fidelity_prim,
+)
+from repro.topology import real_world_network
+from repro.network import topology_stats
+from repro.experiments import ExperimentConfig, run_experiment, run_named
+from repro.controller import EntanglementController, PlanningError, ServiceReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NetworkBuilder",
+    "NetworkParams",
+    "OpticalFiber",
+    "QuantumNetwork",
+    "QuantumSwitch",
+    "QuantumUser",
+    "network_from_networkx",
+    "TopologyConfig",
+    "generate",
+    "grid_network",
+    "ring_network",
+    "volchenkov_network",
+    "watts_strogatz_network",
+    "waxman_network",
+    "Channel",
+    "MUERPSolution",
+    "best_channels_from",
+    "brute_force_optimal",
+    "channel_rate",
+    "find_best_channel",
+    "solve_conflict_free",
+    "solve_optimal",
+    "solve_prim",
+    "validate_solution",
+    "solve_eqcast",
+    "solve_nfusion",
+    "solve_random_tree",
+    "SOLVERS",
+    "solve",
+    "MonteCarloResult",
+    "SlottedEntanglementSimulator",
+    "simulate_solution",
+    "FidelityModel",
+    "GroupRequest",
+    "apply_failures",
+    "repair_solution",
+    "route_groups",
+    "solve_fidelity_prim",
+    "improve_solution",
+    "k_best_channels",
+    "real_world_network",
+    "topology_stats",
+    "ExperimentConfig",
+    "run_experiment",
+    "run_named",
+    "EntanglementController",
+    "PlanningError",
+    "ServiceReport",
+    "__version__",
+]

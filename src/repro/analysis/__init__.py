@@ -1,0 +1,38 @@
+"""Result analysis: statistics, table rendering, terminal plots."""
+
+from repro.analysis.stats import (
+    SummaryStats,
+    summarize,
+    geometric_mean,
+    improvement_percent,
+)
+from repro.analysis.tables import Table
+from repro.analysis.ascii_plot import bar_chart, log_bar_chart
+from repro.analysis.geo_plot import render_network
+from repro.analysis.crossover import Crossover, find_crossovers, dominance_summary
+from repro.analysis.report import (
+    markdown_table,
+    sweep_markdown,
+    experiment_markdown,
+    edge_removal_markdown,
+    comparison_markdown,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "geometric_mean",
+    "improvement_percent",
+    "Table",
+    "bar_chart",
+    "log_bar_chart",
+    "render_network",
+    "Crossover",
+    "find_crossovers",
+    "dominance_summary",
+    "markdown_table",
+    "sweep_markdown",
+    "experiment_markdown",
+    "edge_removal_markdown",
+    "comparison_markdown",
+]

@@ -1,0 +1,75 @@
+"""Terminal bar charts (linear and log scale).
+
+The paper's figures are log-scale bar charts of entanglement rates; these
+helpers give a quick visual check in the terminal without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal linear-scale bar chart keyed by label."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    floor: float = 1e-12,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal log-scale bar chart; zero values render an empty bar.
+
+    Bars span from ``log10(floor)`` to the maximum value's log, mirroring
+    the paper's log-scale axes that bottom out around 1e-7.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if floor <= 0:
+        raise ValueError("floor must be positive")
+    if not values:
+        return title or ""
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be non-negative")
+    positive = [v for v in values.values() if v > 0]
+    label_width = max(len(str(k)) for k in values)
+    lines: List[str] = [title] if title else []
+    if not positive:
+        for label, value in values.items():
+            lines.append(f"{str(label).ljust(label_width)} | 0")
+        return "\n".join(lines)
+    log_top = math.log10(max(positive))
+    log_floor = math.log10(floor)
+    span = max(log_top - log_floor, 1e-12)
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        if value <= 0:
+            bar = ""
+            text = "0"
+        else:
+            fraction = (math.log10(max(value, floor)) - log_floor) / span
+            bar = "#" * max(0, int(round(width * fraction)))
+            text = f"{value:.3e}"
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {text}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Crossover detection in parameter sweeps.
+
+"Where crossovers fall" is part of reproducing a figure's shape: e.g.
+in Fig. 8(b) the baselines close the gap as q → 1, and in Fig. 6(b) the
+two baselines swap places along the switch-count axis.  These helpers
+locate such crossings in :class:`~repro.experiments.sweeps.SweepResult`
+series with linear interpolation between swept points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One detected crossing between two series.
+
+    Attributes:
+        method_a, method_b: The two series.
+        x: Interpolated parameter value where they cross.
+        segment: The (left, right) swept values bracketing the crossing.
+        leader_after: Which method leads to the right of the crossing.
+    """
+
+    method_a: str
+    method_b: str
+    x: float
+    segment: Tuple[float, float]
+    leader_after: str
+
+
+def find_crossovers(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    pair: Optional[Tuple[str, str]] = None,
+) -> List[Crossover]:
+    """Locate sign changes of ``series[a] − series[b]`` along *xs*.
+
+    Args:
+        xs: The swept parameter values (numeric, increasing).
+        series: Method name → rate list (same length as *xs*).
+        pair: Restrict to one method pair; default checks all pairs.
+
+    Touching without crossing (difference hits exactly 0 then returns)
+    is reported as a crossover at the touch point, with the subsequent
+    leader resolved from the next differing segment.
+    """
+    values = [float(x) for x in xs]
+    if sorted(values) != values:
+        raise ValueError("xs must be increasing")
+    for name, ys in series.items():
+        if len(ys) != len(values):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    if pair is not None:
+        pairs = [pair]
+    else:
+        names = sorted(series)
+        pairs = [
+            (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
+        ]
+
+    crossings: List[Crossover] = []
+    for a, b in pairs:
+        ya = series[a]
+        yb = series[b]
+        diffs = [ya[i] - yb[i] for i in range(len(values))]
+        for i in range(len(values) - 1):
+            left, right = diffs[i], diffs[i + 1]
+            if left == 0.0 and right == 0.0:
+                continue
+            if left * right < 0.0:
+                # Proper sign change: interpolate.
+                fraction = abs(left) / (abs(left) + abs(right))
+                x = values[i] + fraction * (values[i + 1] - values[i])
+                crossings.append(
+                    Crossover(
+                        method_a=a,
+                        method_b=b,
+                        x=x,
+                        segment=(values[i], values[i + 1]),
+                        leader_after=a if right > 0 else b,
+                    )
+                )
+            elif left == 0.0 and right != 0.0 and i == 0:
+                crossings.append(
+                    Crossover(
+                        method_a=a,
+                        method_b=b,
+                        x=values[i],
+                        segment=(values[i], values[i + 1]),
+                        leader_after=a if right > 0 else b,
+                    )
+                )
+    return crossings
+
+
+def dominance_summary(
+    xs: Sequence[float], series: Dict[str, Sequence[float]]
+) -> Dict[str, float]:
+    """Fraction of the swept range each method leads (ties split).
+
+    Leadership is evaluated per segment midpoint with linear
+    interpolation; the result values sum to ~1 for non-empty input.
+    """
+    values = [float(x) for x in xs]
+    if len(values) < 2:
+        # Degenerate sweep: leader at the single point takes all.
+        if not values or not series:
+            return {}
+        best = max(series, key=lambda m: series[m][0])
+        return {m: (1.0 if m == best else 0.0) for m in series}
+    total = values[-1] - values[0]
+    leads: Dict[str, float] = {m: 0.0 for m in series}
+    for i in range(len(values) - 1):
+        width = values[i + 1] - values[i]
+        midpoint_values = {
+            m: (series[m][i] + series[m][i + 1]) / 2.0 for m in series
+        }
+        peak = max(midpoint_values.values())
+        leaders = [m for m, v in midpoint_values.items() if v == peak]
+        for m in leaders:
+            leads[m] += width / len(leaders)
+    if total <= 0:
+        return {m: 0.0 for m in series}
+    return {m: lead / total for m, lead in leads.items()}

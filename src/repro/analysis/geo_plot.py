@@ -1,0 +1,112 @@
+"""ASCII geographic rendering of quantum networks and routed trees.
+
+Projects node positions onto a character grid: switches are ``·``,
+quantum users are ``U`` (labelled in the legend), fibers are faint
+``-``/``|``/``\\``/``/`` segments, and the channels of a routed solution
+overdraw their fibers with ``#``.  Meant for quick terminal inspection
+and for the examples; not a plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.problem import MUERPSolution
+from repro.network.graph import QuantumNetwork
+
+
+def render_network(
+    network: QuantumNetwork,
+    solution: Optional[MUERPSolution] = None,
+    width: int = 72,
+    height: int = 24,
+    legend: bool = True,
+) -> str:
+    """Render *network* (and optionally a routed tree) as ASCII art."""
+    if width < 8 or height < 4:
+        raise ValueError("canvas must be at least 8x4")
+    nodes = network.nodes
+    if not nodes:
+        return "(empty network)"
+
+    xs = [n.position[0] for n in nodes]
+    ys = [n.position[1] for n in nodes]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def project(position: Tuple[float, float]) -> Tuple[int, int]:
+        col = int(round((position[0] - min_x) / span_x * (width - 1)))
+        # Flip y so north is up.
+        row = int(round((max_y - position[1]) / span_y * (height - 1)))
+        return row, col
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    # 1. Fibers (faint).
+    for fiber in network.fibers:
+        a = project(network.node(fiber.u).position)
+        b = project(network.node(fiber.v).position)
+        _draw_segment(grid, a, b, bold=False)
+
+    # 2. Channels (bold) on top.
+    if solution is not None and solution.feasible:
+        for channel in solution.channels:
+            for u, v in zip(channel.path, channel.path[1:]):
+                a = project(network.node(u).position)
+                b = project(network.node(v).position)
+                _draw_segment(grid, a, b, bold=True)
+
+    # 3. Nodes on top of everything.
+    user_marks: Dict[Hashable, str] = {}
+    for index, user in enumerate(network.users):
+        mark = chr(ord("A") + index) if index < 26 else "U"
+        user_marks[user.id] = mark
+        row, col = project(user.position)
+        grid[row][col] = mark
+    for switch in network.switches:
+        row, col = project(switch.position)
+        if grid[row][col] == " " or grid[row][col] in "-|/\\#.":
+            grid[row][col] = "o"
+
+    lines = ["".join(row).rstrip() for row in grid]
+    if legend:
+        lines.append("")
+        lines.append(
+            "legend: o switch, # routed channel, "
+            + ", ".join(f"{mark}={user}" for user, mark in user_marks.items())
+        )
+    return "\n".join(lines)
+
+
+def _draw_segment(
+    grid: List[List[str]],
+    start: Tuple[int, int],
+    end: Tuple[int, int],
+    bold: bool,
+) -> None:
+    """Bresenham-style line with orientation-aware glyphs."""
+    (r0, c0), (r1, c1) = start, end
+    dr = r1 - r0
+    dc = c1 - c0
+    steps = max(abs(dr), abs(dc))
+    if steps == 0:
+        return
+    if bold:
+        glyph = "#"
+    elif dr == 0:
+        glyph = "-"
+    elif dc == 0:
+        glyph = "|"
+    elif (dr > 0) == (dc > 0):
+        glyph = "\\"
+    else:
+        glyph = "/"
+    for step in range(1, steps):
+        row = r0 + round(dr * step / steps)
+        col = c0 + round(dc * step / steps)
+        current = grid[row][col]
+        if current == " " or (bold and current in "-|/\\"):
+            grid[row][col] = glyph

@@ -1,0 +1,110 @@
+"""Markdown report generation for experiment results.
+
+Turns :class:`~repro.experiments.sweeps.SweepResult`,
+:class:`~repro.experiments.runner.ExperimentResult` and the other result
+objects into Markdown sections, so EXPERIMENTS.md-style documents can be
+regenerated mechanically (``repro experiment <name> --markdown``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.registry import DISPLAY_NAMES
+
+
+def _format_rate(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value == 0.0:
+        return "0"
+    if math.isinf(value):
+        return "∞"
+    return f"{value:.4e}"
+
+
+def markdown_table(
+    columns: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    columns = list(columns)
+    if not columns:
+        raise ValueError("a table needs at least one column")
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        cells = [
+            _format_rate(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        if len(cells) != len(columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(columns)}"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def sweep_markdown(result, title: str, commentary: str = "") -> str:
+    """Markdown section for a :class:`SweepResult`."""
+    methods = list(result.results[0].config.methods)
+    columns = [result.parameter] + [DISPLAY_NAMES.get(m, m) for m in methods]
+    rows: List[List[object]] = []
+    for value, point in zip(result.values, result.results):
+        rates = point.mean_rates()
+        rows.append([value] + [rates[m] for m in methods])
+    parts = [f"### {title}", ""]
+    if commentary:
+        parts += [commentary, ""]
+    parts.append(markdown_table(columns, rows))
+    return "\n".join(parts)
+
+
+def experiment_markdown(result, title: str) -> str:
+    """Markdown section for a single :class:`ExperimentResult`."""
+    rows = []
+    for outcome in result.outcomes:
+        stats = outcome.stats
+        rows.append(
+            [
+                outcome.display,
+                stats.mean,
+                stats.minimum,
+                stats.maximum,
+                f"{stats.n_zero}/{stats.n}",
+            ]
+        )
+    return "\n".join(
+        [
+            f"### {title}",
+            "",
+            markdown_table(
+                ["method", "mean rate", "min", "max", "failures"], rows
+            ),
+        ]
+    )
+
+
+def edge_removal_markdown(result, title: str) -> str:
+    """Markdown section for the Fig. 7(b) edge-removal result."""
+    methods = list(result.series)
+    columns = ["removed ratio"] + [DISPLAY_NAMES.get(m, m) for m in methods]
+    rows = []
+    for index, ratio in enumerate(result.ratios):
+        rows.append(
+            [f"{ratio:.2f}"] + [result.series[m][index] for m in methods]
+        )
+    return "\n".join([f"### {title}", "", markdown_table(columns, rows)])
+
+
+def comparison_markdown(
+    series: Dict[str, float], title: str, value_name: str = "value"
+) -> str:
+    """Markdown section for a flat name → value mapping."""
+    rows = [[name, value] for name, value in series.items()]
+    return "\n".join(
+        [f"### {title}", "", markdown_table(["variant", value_name], rows)]
+    )

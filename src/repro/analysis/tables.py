@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints the data series behind one of the paper's figures
+through this renderer, so EXPERIMENTS.md entries and terminal output
+share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["method", "rate"], title="demo")
+    >>> t.add_row(["Alg-2", 1.23e-3])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        title: Optional[str] = None,
+        float_format: str = "{:.4e}",
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append a row; must match the column count."""
+        rendered = [self._format(cell) for cell in cells]
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(rendered)}"
+            )
+        self._rows.append(rendered)
+
+    def _format(self, cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0.0:
+                return "0"
+            return self.float_format.format(cell)
+        return str(cell)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        parts: List[str] = []
+        if self.title:
+            parts.append(self.title)
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        parts.append(header)
+        parts.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            parts.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

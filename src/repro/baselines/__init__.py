@@ -1,0 +1,56 @@
+"""Comparative baselines from the paper's evaluation (Sec. V-A).
+
+* :mod:`repro.baselines.eqcast` — **E-Q-CAST**: the two-user Q-CAST
+  routing of Shi & Qian (SIGCOMM'20) extended to multi-user settings by
+  chaining consecutive user pairs, as the paper describes.
+* :mod:`repro.baselines.nfusion` — **N-FUSION**: the MP-P-style central
+  star that fuses Bell pairs into a GHZ state at a central user, with
+  capacity-limited switches.
+* :mod:`repro.baselines.random_tree` — ablation baseline: random pairing
+  order with greedy capacity-aware routing (isolates the value of
+  rate-greedy channel selection).
+
+Importing this package registers all baselines in the global solver
+registry (:mod:`repro.core.registry`).
+"""
+
+from repro.baselines.eqcast import solve_eqcast
+from repro.baselines.nfusion import solve_nfusion, fusion_log_success
+from repro.baselines.random_tree import solve_random_tree
+from repro.baselines.steiner import (
+    solve_steiner_naive,
+    steiner_violation_rate,
+)
+
+from repro.core.registry import register_solver
+
+
+def _eqcast_adapter(network, users=None, rng=None):
+    return solve_eqcast(network, users, rng=rng)
+
+
+def _nfusion_adapter(network, users=None, rng=None):
+    return solve_nfusion(network, users, rng=rng)
+
+
+def _random_tree_adapter(network, users=None, rng=None):
+    return solve_random_tree(network, users, rng=rng)
+
+
+def _steiner_adapter(network, users=None, rng=None):
+    return solve_steiner_naive(network, users, rng=rng)
+
+
+register_solver("eqcast", _eqcast_adapter, display="E-Q-CAST")
+register_solver("nfusion", _nfusion_adapter, display="N-Fusion")
+register_solver("random_tree", _random_tree_adapter, display="Random-Tree")
+register_solver("steiner_naive", _steiner_adapter, display="Steiner-Naive")
+
+__all__ = [
+    "solve_eqcast",
+    "solve_nfusion",
+    "fusion_log_success",
+    "solve_random_tree",
+    "solve_steiner_naive",
+    "steiner_violation_rate",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Examples::
+
+    repro list
+    repro solve --topology waxman --method conflict_free --seed 42
+    repro experiment fig5 --networks 5 --seed 7
+    repro experiment headline --networks 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.ascii_plot import log_bar_chart
+from repro.core.registry import SOLVERS, solve
+from repro.core.tree import validate_solution
+from repro.experiments.catalog import EXPERIMENTS, run_named
+from repro.experiments.config import ExperimentConfig
+from repro.topology.base import TopologyConfig
+from repro.topology.registry import GENERATORS, generate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-user entanglement routing over quantum internets "
+            "(ICDCS 2024 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list solvers, topologies and experiments")
+
+    solve_parser = sub.add_parser(
+        "solve", help="generate one network and route it"
+    )
+    solve_parser.add_argument("--topology", default="waxman")
+    solve_parser.add_argument("--method", default="conflict_free")
+    solve_parser.add_argument("--switches", type=int, default=50)
+    solve_parser.add_argument("--users", type=int, default=10)
+    solve_parser.add_argument("--degree", type=float, default=6.0)
+    solve_parser.add_argument("--qubits", type=int, default=4)
+    solve_parser.add_argument("--swap-prob", type=float, default=0.9)
+    solve_parser.add_argument("--seed", type=int, default=7)
+    solve_parser.add_argument(
+        "--show-channels", action="store_true", help="print channel paths"
+    )
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="run a named experiment (fig5, fig6a, …)"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument(
+        "--networks", type=int, default=20, help="random networks per point"
+    )
+    experiment_parser.add_argument("--seed", type=int, default=7)
+    experiment_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a Markdown section instead of a text table",
+    )
+
+    stats_parser = sub.add_parser(
+        "stats", help="generate one network and print its topology stats"
+    )
+    stats_parser.add_argument("--topology", default="waxman")
+    stats_parser.add_argument("--switches", type=int, default=50)
+    stats_parser.add_argument("--users", type=int, default=10)
+    stats_parser.add_argument("--degree", type=float, default=6.0)
+    stats_parser.add_argument("--seed", type=int, default=7)
+
+    montecarlo_parser = sub.add_parser(
+        "montecarlo", help="validate a routed tree's rate by simulation"
+    )
+    montecarlo_parser.add_argument("--topology", default="waxman")
+    montecarlo_parser.add_argument("--method", default="conflict_free")
+    montecarlo_parser.add_argument("--switches", type=int, default=50)
+    montecarlo_parser.add_argument("--users", type=int, default=10)
+    montecarlo_parser.add_argument("--trials", type=int, default=100_000)
+    montecarlo_parser.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _command_list() -> int:
+    print("solvers:     ", ", ".join(sorted(SOLVERS)))
+    print("topologies:  ", ", ".join(sorted(GENERATORS)))
+    print("experiments: ", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        avg_degree=args.degree,
+        qubits_per_switch=args.qubits,
+        swap_prob=args.swap_prob,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    solution = solve(args.method, network, rng=args.seed)
+    report = validate_solution(
+        network, solution, enforce_capacity=args.method not in ("optimal", "alg2")
+    )
+    print(network)
+    print(solution)
+    if not report.ok:
+        print(report)
+        return 1
+    if solution.feasible and args.show_channels:
+        for channel in solution.channels:
+            print(f"  {channel}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.network.statistics import degree_histogram, topology_stats
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        avg_degree=args.degree,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    stats = topology_stats(network)
+    print(network)
+    print(stats.describe())
+    print("degree histogram:")
+    for degree, count in sorted(degree_histogram(network).items()):
+        print(f"  {degree:3d}: {'#' * count} ({count})")
+    return 0
+
+
+def _command_montecarlo(args: argparse.Namespace) -> int:
+    from repro.sim.protocol import simulate_solution
+
+    config = TopologyConfig(
+        n_switches=args.switches, n_users=args.users
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    solution = solve(args.method, network, rng=args.seed)
+    print(network)
+    print(solution)
+    if not solution.feasible:
+        print("infeasible; nothing to simulate")
+        return 1
+    result = simulate_solution(
+        network, solution, trials=args.trials, rng=args.seed
+    )
+    low, high = result.confidence_interval()
+    print(
+        f"analytic rate (Eq.2): {result.analytic_rate:.6e}\n"
+        f"empirical rate:       {result.empirical_rate:.6e} "
+        f"(95% CI [{low:.3e}, {high:.3e}], {args.trials} trials)\n"
+        f"consistent:           {'yes' if result.consistent else 'NO'}"
+    )
+    return 0 if result.consistent else 1
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
+    result = run_named(args.name, base)
+    if args.markdown:
+        from repro.analysis import report
+        from repro.experiments.sweeps import SweepResult
+        from repro.experiments.fig7_edges import EdgeRemovalResult
+
+        if isinstance(result, SweepResult):
+            print(report.sweep_markdown(result, f"experiment {args.name}"))
+        elif isinstance(result, EdgeRemovalResult):
+            print(report.edge_removal_markdown(result, f"experiment {args.name}"))
+        elif hasattr(result, "to_table"):
+            print(result.to_table(title=f"experiment {args.name}").render())
+        return 0
+    if hasattr(result, "to_table"):
+        print(result.to_table(title=f"experiment {args.name}").render())
+    else:  # pragma: no cover - all catalogue entries render tables
+        print(result)
+    # Bonus: a terminal log-scale chart for single-point summaries.
+    if hasattr(result, "results") and result.results:
+        last = result.results[-1]
+        chart = log_bar_chart(
+            {o.display: o.mean_rate for o in last.outcomes},
+            title=f"(last swept point: {result.parameter}={result.values[-1]})",
+        )
+        print()
+        print(chart)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "solve":
+        return _command_solve(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "montecarlo":
+        return _command_montecarlo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

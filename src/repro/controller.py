@@ -1,0 +1,161 @@
+"""The central controller of Sec. II-B, as a facade.
+
+The paper describes the operational loop: "a central node collects
+entanglement requests from users and, using all available network
+information like topology and switches' capacity, formulates
+entanglement routes in an offline process … the network executes the
+entanglement process."  :class:`EntanglementController` packages that
+loop over the library's layers:
+
+* **plan** — route with the configured algorithm, post-optimize with
+  local search, and validate (an invalid plan raises — planner bugs
+  must never reach the network);
+* **execute** — drive the discrete-event simulator until the tree
+  succeeds, returning protocol telemetry;
+* **handle_failure** — incremental repair after fiber/switch loss, with
+  a from-scratch replan fallback when repair fails;
+* **serve** — the whole request lifecycle in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.localsearch import improve_solution
+from repro.core.problem import MUERPSolution
+from repro.core.registry import solve
+from repro.core.tree import ValidationReport, validate_solution
+from repro.extensions.recovery import RepairReport, apply_failures, repair_solution
+from repro.network.graph import QuantumNetwork
+from repro.sim.engine import SlottedEntanglementSimulator, SlottedRunResult
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class PlanningError(RuntimeError):
+    """The planner produced an invalid solution (library bug guard)."""
+
+    def __init__(self, report: ValidationReport) -> None:
+        super().__init__(f"invalid plan: {report}")
+        self.report = report
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Outcome of one full request lifecycle (:meth:`serve`)."""
+
+    solution: MUERPSolution
+    run: Optional[SlottedRunResult]
+
+    @property
+    def entangled(self) -> bool:
+        return self.run is not None and self.run.succeeded
+
+    @property
+    def windows_used(self) -> int:
+        return self.run.slots_used if self.run is not None else 0
+
+
+class EntanglementController:
+    """Offline planner + protocol driver over one quantum network.
+
+    Args:
+        network: The controlled network (the controller tracks failures
+            applied through :meth:`handle_failure` on an internal copy).
+        method: Routing algorithm name from the solver registry
+            (default Algorithm 3).
+        use_local_search: Post-optimize plans with the hill climber.
+        rng: Random source shared by planning and protocol execution.
+    """
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        method: str = "conflict_free",
+        use_local_search: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        self._network = network.copy()
+        self.method = method
+        self.use_local_search = use_local_search
+        self.rng = ensure_rng(rng)
+
+    @property
+    def network(self) -> QuantumNetwork:
+        """The controller's current view of the network (post-failures)."""
+        return self._network
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self, users: Optional[Iterable[Hashable]] = None
+    ) -> MUERPSolution:
+        """Formulate a validated entanglement route for *users*.
+
+        Returns an infeasible solution (rate 0) when the request cannot
+        be served; raises :class:`PlanningError` if the solver ever
+        emits a structurally invalid plan.
+        """
+        solution = solve(self.method, self._network, users=users, rng=self.rng)
+        if solution.feasible and self.use_local_search:
+            solution = improve_solution(self._network, solution)
+        report = validate_solution(
+            self._network,
+            solution,
+            enforce_capacity=self.method not in ("optimal", "alg2"),
+        )
+        if not report.ok:
+            raise PlanningError(report)
+        return solution
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, solution: MUERPSolution, max_slots: int = 1_000_000
+    ) -> SlottedRunResult:
+        """Run the synchronized protocol until the tree succeeds."""
+        simulator = SlottedEntanglementSimulator(
+            self._network, solution, rng=self.rng
+        )
+        return simulator.run(max_slots=max_slots)
+
+    def serve(
+        self,
+        users: Optional[Iterable[Hashable]] = None,
+        max_slots: int = 1_000_000,
+    ) -> ServiceReport:
+        """Plan and execute one request end to end."""
+        solution = self.plan(users)
+        if not solution.feasible:
+            return ServiceReport(solution=solution, run=None)
+        run = self.execute(solution, max_slots=max_slots)
+        return ServiceReport(solution=solution, run=run)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def handle_failure(
+        self,
+        solution: MUERPSolution,
+        failed_fibers: Sequence[Tuple[Hashable, Hashable]] = (),
+        failed_switches: Sequence[Hashable] = (),
+    ) -> MUERPSolution:
+        """Absorb failures into the network view and fix *solution*.
+
+        Tries incremental repair first (keeps surviving channels and
+        their reservations); falls back to a full replan on the damaged
+        network.  Returns the best feasible fix, or an infeasible
+        solution when the users are no longer connectable.
+        """
+        report: RepairReport = repair_solution(
+            self._network, solution, failed_fibers, failed_switches
+        )
+        self._network = apply_failures(
+            self._network, failed_fibers, failed_switches
+        )
+        if report.repaired:
+            return report.solution
+        fresh = self.plan(sorted(solution.users, key=repr))
+        return fresh

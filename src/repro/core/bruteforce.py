@@ -1,0 +1,145 @@
+"""Exhaustive reference solver for small MUERP instances.
+
+The MUERP is NP-hard (Theorem 2), so exact solving is only viable on toy
+networks — which is exactly what tests need: Algorithms 2/3/4 are checked
+against this oracle on instances small enough to enumerate.
+
+Strategy: enumerate all simple channel paths per user pair (bounded), then
+search over channel combinations that form a spanning user tree within
+switch capacity, maximizing total log rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.problem import (
+    Channel,
+    MUERPSolution,
+    infeasible_solution,
+    resolve_users,
+)
+from repro.network.graph import QuantumNetwork
+from repro.utils.unionfind import UnionFind
+
+#: Guard rails: brute force refuses instances beyond these sizes.
+MAX_USERS = 6
+MAX_PATHS_PER_PAIR = 200
+
+
+def enumerate_channels(
+    network: QuantumNetwork,
+    source: Hashable,
+    target: Hashable,
+    max_paths: int = MAX_PATHS_PER_PAIR,
+) -> List[Channel]:
+    """All simple channels between two users (switch-only interiors).
+
+    Depth-first enumeration; raises ``RuntimeError`` if the count exceeds
+    *max_paths* (the instance is too large for brute force).
+    """
+    channels: List[Channel] = []
+    path: List[Hashable] = [source]
+    on_path = {source}
+
+    def extend(node: Hashable) -> None:
+        for neighbor in network.neighbors(node):
+            if neighbor in on_path:
+                continue
+            if neighbor == target:
+                channels.append(Channel.from_path(network, path + [target]))
+                if len(channels) > max_paths:
+                    raise RuntimeError(
+                        f"more than {max_paths} paths between "
+                        f"{source!r} and {target!r}"
+                    )
+                continue
+            if not network.is_switch(neighbor):
+                continue  # other users cannot relay
+            if network.qubits_of(neighbor) < 2:
+                continue  # can never host a transit channel
+            path.append(neighbor)
+            on_path.add(neighbor)
+            extend(neighbor)
+            path.pop()
+            on_path.remove(neighbor)
+
+    extend(source)
+    return channels
+
+
+def brute_force_optimal(
+    network: QuantumNetwork,
+    users: Optional[Iterable[Hashable]] = None,
+    enforce_capacity: bool = True,
+) -> MUERPSolution:
+    """Exact MUERP optimum by exhaustive search (small instances only).
+
+    Args:
+        network: The quantum network (≤ :data:`MAX_USERS` users).
+        users: Users to entangle (default: all network users).
+        enforce_capacity: Respect switch budgets (the real MUERP).  Pass
+            ``False`` to solve Algorithm 2's relaxation instead.
+
+    Returns:
+        The optimal :class:`MUERPSolution` (method ``"brute_force"``) or
+        an infeasible one when no spanning tree fits.
+    """
+    user_list = resolve_users(network, users)
+    if len(user_list) > MAX_USERS:
+        raise ValueError(
+            f"brute force supports at most {MAX_USERS} users, "
+            f"got {len(user_list)}"
+        )
+
+    pair_channels: Dict[Tuple[Hashable, Hashable], List[Channel]] = {}
+    for a, b in itertools.combinations(user_list, 2):
+        pair_channels[(a, b)] = enumerate_channels(network, a, b)
+
+    budgets = network.residual_qubits()
+    pairs = list(pair_channels)
+    n_edges_needed = len(user_list) - 1
+
+    best_log_rate = -math.inf
+    best_channels: Optional[Tuple[Channel, ...]] = None
+
+    # Choose which user pairs form the tree topology, then which concrete
+    # channel realizes each chosen pair.
+    for pair_subset in itertools.combinations(pairs, n_edges_needed):
+        unions = UnionFind(user_list)
+        if not all(unions.union(a, b) for a, b in pair_subset):
+            continue  # cycle: not a tree over users
+        if any(not pair_channels[p] for p in pair_subset):
+            continue  # some pair has no channel at all
+        for combo in itertools.product(
+            *(pair_channels[p] for p in pair_subset)
+        ):
+            log_rate = sum(c.log_rate for c in combo)
+            if log_rate <= best_log_rate:
+                continue
+            if enforce_capacity and not _fits(combo, budgets):
+                continue
+            best_log_rate = log_rate
+            best_channels = tuple(combo)
+
+    if best_channels is None:
+        return infeasible_solution(user_list, "brute_force")
+    return MUERPSolution(
+        channels=best_channels,
+        users=frozenset(user_list),
+        method="brute_force",
+        feasible=True,
+    )
+
+
+def _fits(channels: Iterable[Channel], budgets: Dict[Hashable, int]) -> bool:
+    usage: Dict[Hashable, int] = {}
+    for channel in channels:
+        for switch in channel.switches:
+            used = usage.get(switch, 0) + 2
+            if used > budgets.get(switch, 0):
+                return False
+            usage[switch] = used
+    return True

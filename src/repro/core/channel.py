@@ -1,0 +1,194 @@
+"""Algorithm 1 — maximum-entanglement-rate channel between two users.
+
+Eq. (1) is a product, not a sum, so Dijkstra does not apply directly.
+Following Sec. IV-A, each fiber edge gets weight ``α·L − ln q`` so that a
+shortest path in weight space is a maximum-rate channel, with the final
+rate recovered as ``exp(−ln q − Dist)``.
+
+Implementation notes (equivalent reformulation):
+
+* We charge the ``−ln q`` term when *leaving* an intermediate switch
+  rather than uniformly per edge, which is the same total for any
+  user-switch-…-user path but also handles the degenerate ``q = 0`` case
+  (direct user-user fibers still work; multi-hop rates collapse to 0).
+* Only switches with at least 2 residual qubits may relay (Algorithm 1,
+  line 11: ``Q_{u_h} ≥ 2``), and quantum users other than the endpoints
+  can never relay (a channel is "a path through vertices in R", Def. 2).
+* ``best_channels_from`` runs the search once per *source* and recovers
+  all destinations through the ``Prev`` array — the complexity
+  optimization described after Theorem 3, giving
+  ``O(|U|(|E| + |V| log |V|))`` for the all-pairs step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.problem import Channel
+from repro.core.rates import swap_log_rate
+from repro.network.graph import QuantumNetwork
+from repro.utils.heap import IndexedMinHeap
+
+
+def _residual_qubits(
+    network: QuantumNetwork,
+    residual: Optional[Dict[Hashable, int]],
+) -> Dict[Hashable, int]:
+    """Effective residual qubit budget per switch."""
+    if residual is None:
+        return network.residual_qubits()
+    return residual
+
+
+def _dijkstra(
+    network: QuantumNetwork,
+    source: Hashable,
+    residual: Optional[Dict[Hashable, int]] = None,
+    forbidden_fibers: Optional[Set[Tuple[Hashable, Hashable]]] = None,
+    allow_switch_source: bool = False,
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]:
+    """Single-source max-rate search (Algorithm 1's main loop).
+
+    Returns ``(dist, prev)`` where ``dist[x]`` is the accumulated weight
+    ``α·ΣL − (#swaps)·ln q`` of the best partial channel from *source* to
+    ``x`` and ``prev`` traces the path.  Quantum users are reachable as
+    terminals but never expanded; switches are expanded only while they
+    hold at least 2 residual qubits.
+
+    ``allow_switch_source`` lets internal callers (Yen's spur searches in
+    :mod:`repro.core.kbest`) start from a switch; the source's own swap
+    cost is then the caller's responsibility (it is a constant offset
+    across all returned paths, so argmax comparisons stay valid).
+    """
+    if not allow_switch_source and not network.is_user(source):
+        raise ValueError(f"source {source!r} must be a quantum user")
+    qubits = _residual_qubits(network, residual)
+    alpha = network.params.alpha
+    minus_ln_q = -swap_log_rate(network.params.swap_prob)  # in [0, +inf]
+
+    dist: Dict[Hashable, float] = {source: 0.0}
+    prev: Dict[Hashable, Hashable] = {}
+    visited: Set[Hashable] = set()
+    heap = IndexedMinHeap()
+    heap.push(source, 0.0)
+
+    while len(heap):
+        node, node_dist = heap.pop_min()
+        if node in visited:
+            continue
+        visited.add(node)
+        # Only the source user and capable switches may relay onward.
+        if node != source:
+            if not network.is_switch(node):
+                continue
+            if qubits.get(node, 0) < 2:
+                continue
+        swap_cost = 0.0 if node == source else minus_ln_q
+        if math.isinf(swap_cost):
+            continue  # q = 0: cannot extend beyond the source's own links
+        for fiber in network.incident_fibers(node):
+            neighbor = fiber.other_end(node)
+            if neighbor in visited:
+                continue
+            if forbidden_fibers and fiber.key in forbidden_fibers:
+                continue
+            # A neighbor is enterable if it terminates (any user) or can
+            # potentially relay (switch with >= 2 residual qubits).
+            if network.is_switch(neighbor) and qubits.get(neighbor, 0) < 2:
+                continue
+            candidate = node_dist + swap_cost + alpha * fiber.length
+            if candidate < dist.get(neighbor, math.inf):
+                dist[neighbor] = candidate
+                prev[neighbor] = node
+                heap.push(neighbor, candidate)
+    return dist, prev
+
+
+def _trace_path(
+    prev: Dict[Hashable, Hashable], source: Hashable, target: Hashable
+) -> Tuple[Hashable, ...]:
+    """Recover the source→target path from the ``Prev`` array."""
+    path: List[Hashable] = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+def find_best_channel(
+    network: QuantumNetwork,
+    source: Hashable,
+    target: Hashable,
+    residual: Optional[Dict[Hashable, int]] = None,
+    forbidden_fibers: Optional[Set[Tuple[Hashable, Hashable]]] = None,
+) -> Optional[Channel]:
+    """Algorithm 1: best channel between users *source* and *target*.
+
+    Args:
+        network: The quantum network.
+        source, target: Distinct quantum-user ids.
+        residual: Optional remaining-qubit map per switch (defaults to
+            each switch's full budget); switches below 2 qubits are
+            skipped, as in line 11 of Algorithm 1.
+        forbidden_fibers: Optional set of fiber keys the channel must not
+            use (supports the edge-removal study and ablations).
+
+    Returns:
+        The maximum-rate :class:`Channel`, or ``None`` when no feasible
+        channel exists ("No valid channel", line 19).
+    """
+    if source == target:
+        raise ValueError("source and target must differ")
+    if not network.is_user(target):
+        raise ValueError(f"target {target!r} must be a quantum user")
+    dist, prev = _dijkstra(network, source, residual, forbidden_fibers)
+    if target not in dist:
+        return None
+    return Channel.from_path(network, _trace_path(prev, source, target))
+
+
+def best_channels_from(
+    network: QuantumNetwork,
+    source: Hashable,
+    targets: Iterable[Hashable],
+    residual: Optional[Dict[Hashable, int]] = None,
+) -> Dict[Hashable, Channel]:
+    """Best channels from *source* to every reachable user in *targets*.
+
+    One Dijkstra run serves all destinations (the paper's complexity
+    optimization).  Unreachable targets are absent from the result.
+    """
+    target_list = list(targets)
+    for target in target_list:
+        if not network.is_user(target):
+            raise ValueError(f"target {target!r} must be a quantum user")
+    dist, prev = _dijkstra(network, source, residual)
+    channels: Dict[Hashable, Channel] = {}
+    for target in target_list:
+        if target == source or target not in dist:
+            continue
+        channels[target] = Channel.from_path(
+            network, _trace_path(prev, source, target)
+        )
+    return channels
+
+
+def all_pairs_best_channels(
+    network: QuantumNetwork,
+    users: List[Hashable],
+    residual: Optional[Dict[Hashable, int]] = None,
+) -> Dict[frozenset, Channel]:
+    """Best channel for every unordered user pair (step 1 of Algorithm 2).
+
+    Pairs with no feasible channel are absent.  Runs ``|U| - 1``
+    single-source searches instead of ``O(|U|²)`` pairwise ones.
+    """
+    channels: Dict[frozenset, Channel] = {}
+    for index, source in enumerate(users[:-1]):
+        found = best_channels_from(
+            network, source, users[index + 1 :], residual
+        )
+        for target, channel in found.items():
+            channels[frozenset((source, target))] = channel
+    return channels

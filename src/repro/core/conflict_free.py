@@ -1,0 +1,130 @@
+"""Algorithm 3 — the "Conflict-free" capacity-resolving heuristic.
+
+Algorithm 2 ignores switch capacity; when budgets are tight its channel
+set can overload switches.  Algorithm 3 repairs this in two phases:
+
+* **Phase 1 (greedy retention).**  Walk Algorithm 2's channels in
+  descending rate order; admit a channel only if every switch on it
+  still has ≥ 2 residual qubits, deducting 2 per transit switch.  The
+  greedy retention of max-rate channels is the paper's explicit design
+  choice ("we adopt a greedy strategy that always opts to retain the
+  channel with the maximum entanglement rate").
+* **Phase 2 (reconnection).**  Rejected channels leave the users split
+  into several unions.  Repeatedly find, over all user pairs in distinct
+  unions, the maximum-rate channel that respects residual capacity
+  (Algorithm 1 with the residual map), add the best one and merge, until
+  one union remains or no channel exists (→ infeasible, rate 0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.channel import best_channels_from
+from repro.core.optimal import channel_sort_key, solve_optimal
+from repro.core.problem import (
+    Channel,
+    MUERPSolution,
+    infeasible_solution,
+    resolve_users,
+)
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.unionfind import UnionFind
+
+
+def _admit(
+    channel: Channel,
+    residual: Dict[Hashable, int],
+) -> bool:
+    """Whether *channel* fits in *residual*; deducts qubits when it does."""
+    switches = channel.switches
+    if any(residual.get(s, 0) < 2 for s in switches):
+        return False
+    for switch in switches:
+        residual[switch] -= 2
+    return True
+
+
+def solve_conflict_free(
+    network: QuantumNetwork,
+    users: Optional[Iterable[Hashable]] = None,
+    base_channels: Optional[Sequence[Channel]] = None,
+    retention: str = "greedy",
+    rng: RngLike = None,
+    residual: Optional[Dict[Hashable, int]] = None,
+) -> MUERPSolution:
+    """Algorithm 3.
+
+    Args:
+        network: The quantum network.
+        users: Users to entangle (default: all network users).
+        base_channels: The candidate channel set ``A`` (defaults to
+            Algorithm 2's output, as in the paper).
+        retention: ``"greedy"`` (paper) admits Phase-1 channels in
+            descending rate order; ``"random"`` shuffles them — the
+            ablation documented in DESIGN.md §4.
+        rng: Random source for ``retention="random"``.
+        residual: Optional shared residual-qubit map (switch → qubits);
+            mutated in place so several routing requests can share one
+            budget (the multi-group extension).
+
+    Returns:
+        A capacity-feasible :class:`MUERPSolution`, infeasible (rate 0)
+        when no spanning tree fits the switch budgets.
+    """
+    user_list = resolve_users(network, users)
+    if base_channels is None:
+        base = solve_optimal(network, user_list)
+        base_channels = base.channels if base.feasible else ()
+
+    if retention == "greedy":
+        ordered = sorted(base_channels, key=channel_sort_key)
+    elif retention == "random":
+        ordered = list(base_channels)
+        ensure_rng(rng).shuffle(ordered)
+    else:
+        raise ValueError(f"unknown retention policy {retention!r}")
+
+    if residual is None:
+        residual = network.residual_qubits()
+    unions = UnionFind(user_list)
+    selected: List[Channel] = []
+
+    # Phase 1: keep what fits, in retention order.
+    for channel in ordered:
+        a, b = channel.endpoints
+        if unions.connected(a, b):
+            continue
+        if _admit(channel, residual):
+            unions.union(a, b)
+            selected.append(channel)
+
+    # Phase 2: reconnect the remaining unions with capacity-aware routing.
+    while unions.n_components > 1:
+        best: Optional[Channel] = None
+        for index, source in enumerate(user_list):
+            targets = [
+                t
+                for t in user_list[index + 1 :]
+                if not unions.connected(source, t)
+            ]
+            if not targets:
+                continue
+            found = best_channels_from(network, source, targets, residual)
+            for channel in found.values():
+                if best is None or channel_sort_key(channel) < channel_sort_key(best):
+                    best = channel
+        if best is None:
+            return infeasible_solution(user_list, "conflict_free")
+        admitted = _admit(best, residual)
+        assert admitted, "capacity-aware search returned an unroutable channel"
+        unions.union(*best.endpoints)
+        selected.append(best)
+
+    return MUERPSolution(
+        channels=tuple(selected),
+        users=frozenset(user_list),
+        method="conflict_free",
+        feasible=True,
+    )

@@ -1,0 +1,87 @@
+"""Algorithm 2 — optimal entanglement tree under sufficient capacity.
+
+When every switch has ``Q_r ≥ 2|U|`` qubits it can host the channels of
+*all* user pairs simultaneously, so capacity never binds (Theorem 3's
+sufficient condition).  The algorithm is then a Kruskal-style greedy:
+
+1. compute the maximum-rate channel for every user pair (Algorithm 1,
+   one single-source run per user);
+2. scan the channels in descending rate order, adding a channel whenever
+   it merges two distinct user unions (union-find), until the users form
+   one spanning entanglement tree.
+
+Theorem 3 proves this output optimal under the condition; the proof is
+the classic cut-property argument transplanted to log-rate weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.channel import all_pairs_best_channels
+from repro.core.problem import (
+    Channel,
+    MUERPSolution,
+    infeasible_solution,
+    resolve_users,
+)
+from repro.network.graph import QuantumNetwork
+from repro.utils.unionfind import UnionFind
+
+
+def sufficient_capacity(network: QuantumNetwork, n_users: int) -> bool:
+    """Check Theorem 3's sufficient condition ``Q_r ≥ 2|U|`` ∀r ∈ R."""
+    return all(s.qubits >= 2 * n_users for s in network.switches)
+
+
+def channel_sort_key(channel: Channel) -> Tuple[float, int, str]:
+    """Descending-rate ordering with a deterministic tie-break.
+
+    Higher rate first; ties broken by fewer links, then lexicographic
+    path representation, so runs are reproducible across Python hash
+    randomization.
+    """
+    return (-channel.log_rate, channel.n_links, repr(channel.path))
+
+
+def solve_optimal(
+    network: QuantumNetwork,
+    users: Optional[Iterable[Hashable]] = None,
+    ignore_capacity: bool = True,
+) -> MUERPSolution:
+    """Algorithm 2.  Optimal when ``Q_r ≥ 2|U|`` for every switch.
+
+    Args:
+        network: The quantum network.
+        users: Users to entangle (default: all users in the network).
+        ignore_capacity: Algorithm 2 assumes abundant capacity and does
+            not track qubit consumption (the paper runs it with
+            ``Q = 2|U|`` switches in Fig. 8a).  Pass ``False`` to make
+            the pairwise channel search honour full-budget switches only
+            — useful for ablations, but no longer Algorithm 2 proper.
+
+    Returns:
+        The spanning :class:`MUERPSolution`; infeasible (rate 0) when the
+        fiber graph cannot connect the users at all.
+    """
+    user_list = resolve_users(network, users)
+    residual = None if ignore_capacity else network.residual_qubits()
+    pairwise = all_pairs_best_channels(network, user_list, residual)
+    candidates = sorted(pairwise.values(), key=channel_sort_key)
+
+    unions = UnionFind(user_list)
+    selected: List[Channel] = []
+    for channel in candidates:
+        a, b = channel.endpoints
+        if unions.union(a, b):
+            selected.append(channel)
+            if unions.n_components == 1:
+                break
+    if unions.n_components != 1:
+        return infeasible_solution(user_list, "optimal")
+    return MUERPSolution(
+        channels=tuple(selected),
+        users=frozenset(user_list),
+        method="optimal",
+        feasible=True,
+    )

@@ -1,0 +1,88 @@
+"""Algorithm 4 — the Prim-based heuristic.
+
+Grows the entanglement tree from a single seed user.  Each round finds,
+over all (connected user, unconnected user) pairs, the maximum-rate
+channel that respects residual switch capacity, adds it, deducts the
+qubits, and moves the newly connected user into the tree.  After
+``|U| − 1`` successful rounds all users are entangled; if some round
+finds no channel the instance is declared infeasible (rate 0).
+
+Unlike Algorithm 3 this needs no Algorithm 2 output to start from.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Set
+
+from repro.core.channel import best_channels_from
+from repro.core.optimal import channel_sort_key
+from repro.core.problem import (
+    Channel,
+    MUERPSolution,
+    infeasible_solution,
+    resolve_users,
+)
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def solve_prim(
+    network: QuantumNetwork,
+    users: Optional[Iterable[Hashable]] = None,
+    start: Optional[Hashable] = None,
+    rng: RngLike = None,
+    residual: Optional[dict] = None,
+) -> MUERPSolution:
+    """Algorithm 4.
+
+    Args:
+        network: The quantum network.
+        users: Users to entangle (default: all network users).
+        start: Seed user ``u_0``; when omitted one is drawn with *rng*
+            (the paper picks it uniformly at random).
+        rng: Random source for the seed choice; an int seed, a numpy
+            Generator, or ``None``.
+        residual: Optional shared residual-qubit map (switch → qubits);
+            mutated in place so several routing requests can share one
+            budget (the multi-group extension).  Defaults to each
+            switch's full budget.
+
+    Returns:
+        A capacity-feasible :class:`MUERPSolution`, infeasible (rate 0)
+        when growth gets stuck before spanning all users.
+    """
+    user_list = resolve_users(network, users)
+    if start is None:
+        generator = ensure_rng(rng)
+        start = user_list[int(generator.integers(0, len(user_list)))]
+    elif start not in user_list:
+        raise ValueError(f"start {start!r} is not among the users")
+
+    connected: List[Hashable] = [start]
+    remaining: Set[Hashable] = set(user_list) - {start}
+    if residual is None:
+        residual = network.residual_qubits()
+    selected: List[Channel] = []
+
+    while remaining:
+        best: Optional[Channel] = None
+        for source in connected:
+            found = best_channels_from(network, source, remaining, residual)
+            for channel in found.values():
+                if best is None or channel_sort_key(channel) < channel_sort_key(best):
+                    best = channel
+        if best is None:
+            return infeasible_solution(user_list, "prim")
+        for switch in best.switches:
+            residual[switch] -= 2
+        newcomer = best.endpoints[1]
+        remaining.discard(newcomer)
+        connected.append(newcomer)
+        selected.append(best)
+
+    return MUERPSolution(
+        channels=tuple(selected),
+        users=frozenset(user_list),
+        method="prim",
+        feasible=True,
+    )

@@ -1,0 +1,90 @@
+"""Entanglement-rate arithmetic (Eq. 1 and Eq. 2 of the paper).
+
+A quantum channel ``Λ = (v_0, …, v_l)`` between users ``v_0`` and ``v_l``
+through ``l-1`` switches succeeds iff all ``l`` quantum links generate
+and all ``l-1`` BSM swaps succeed simultaneously:
+
+    P_Λ = q^{l-1} · Π p_{i,i+1} = q^{l-1} · exp(-α Σ L_{i,i+1})     (Eq. 1)
+
+An entanglement tree succeeds iff every channel does:
+
+    P = Π_{Λ ∈ A} P_Λ                                              (Eq. 2)
+
+Products of many sub-unit probabilities underflow quickly (the paper's
+plots reach 1e-7), so the whole library works in natural-log space and
+exponentiates only at the edge of the API.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import QuantumNetwork
+
+
+def link_log_rate(length: float, alpha: float) -> float:
+    """Log success probability of one quantum link: ``-α·L``."""
+    return -alpha * length
+
+
+def swap_log_rate(swap_prob: float) -> float:
+    """Log success probability of one BSM swap (``-inf`` for q = 0)."""
+    if swap_prob <= 0.0:
+        return -math.inf
+    return math.log(swap_prob)
+
+
+def channel_log_rate_from_lengths(
+    lengths: Sequence[float], alpha: float, swap_prob: float
+) -> float:
+    """Log of Eq. (1) given the fiber segment lengths along the channel.
+
+    ``len(lengths)`` is the number of quantum links ``l``; the channel
+    crosses ``l - 1`` switches.
+    """
+    n_links = len(lengths)
+    if n_links == 0:
+        raise ValueError("a channel needs at least one quantum link")
+    log_links = -alpha * math.fsum(lengths)
+    n_swaps = n_links - 1
+    if n_swaps == 0:
+        return log_links
+    return log_links + n_swaps * swap_log_rate(swap_prob)
+
+
+def channel_log_rate(
+    network: "QuantumNetwork", path: Sequence[Hashable]
+) -> float:
+    """Log of Eq. (1) for a node-id *path* in *network*.
+
+    Every consecutive pair must be joined by a fiber; raises ``KeyError``
+    style errors otherwise (via the network lookups).
+    """
+    if len(path) < 2:
+        raise ValueError(f"path must have >= 2 nodes, got {list(path)!r}")
+    lengths = []
+    for u, v in zip(path, path[1:]):
+        fiber = network.fiber_between(u, v)
+        if fiber is None:
+            raise ValueError(f"no fiber between {u!r} and {v!r} on path")
+        lengths.append(fiber.length)
+    return channel_log_rate_from_lengths(
+        lengths, network.params.alpha, network.params.swap_prob
+    )
+
+
+def channel_rate(network: "QuantumNetwork", path: Sequence[Hashable]) -> float:
+    """Eq. (1) in linear space."""
+    return math.exp(channel_log_rate(network, path))
+
+
+def tree_log_rate(channel_log_rates: Iterable[float]) -> float:
+    """Log of Eq. (2): sum of the member channels' log rates."""
+    return math.fsum(channel_log_rates)
+
+
+def tree_rate(channel_log_rates: Iterable[float]) -> float:
+    """Eq. (2) in linear space."""
+    return math.exp(tree_log_rate(channel_log_rates))

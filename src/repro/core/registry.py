@@ -1,0 +1,83 @@
+"""Name-based solver registry.
+
+The experiment harness and CLI refer to algorithms by name; baselines in
+:mod:`repro.baselines` register themselves here on import, so importing
+:mod:`repro` yields the full menu.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional
+
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.optimal import solve_optimal
+from repro.core.prim_based import solve_prim
+from repro.core.problem import MUERPSolution
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RngLike
+
+Solver = Callable[..., MUERPSolution]
+
+SOLVERS: Dict[str, Solver] = {}
+
+#: Display names matching the paper's figure legends.
+DISPLAY_NAMES: Dict[str, str] = {}
+
+
+def register_solver(
+    name: str, solver: Solver, display: Optional[str] = None
+) -> None:
+    """Register *solver* under *name* (overwrites silently for reloads)."""
+    SOLVERS[name] = solver
+    DISPLAY_NAMES[name] = display or name
+
+
+def solve(
+    method: str,
+    network: QuantumNetwork,
+    users: Optional[Iterable[Hashable]] = None,
+    rng: RngLike = None,
+) -> MUERPSolution:
+    """Run the named solver on *network*.
+
+    All registered solvers share the ``(network, users=..., rng=...)``
+    calling convention; solvers that are deterministic ignore *rng*.
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {method!r}; available: {sorted(SOLVERS)}"
+        ) from None
+    return solver(network, users=users, rng=rng)
+
+
+def _optimal_adapter(network, users=None, rng=None):
+    return solve_optimal(network, users)
+
+
+def _conflict_free_adapter(network, users=None, rng=None):
+    return solve_conflict_free(network, users, rng=rng)
+
+
+def _prim_adapter(network, users=None, rng=None):
+    return solve_prim(network, users, rng=rng)
+
+
+register_solver("optimal", _optimal_adapter, display="Alg-2")
+register_solver("conflict_free", _conflict_free_adapter, display="Alg-3")
+register_solver("prim", _prim_adapter, display="Alg-4")
+
+# Paper aliases.
+register_solver("alg2", _optimal_adapter, display="Alg-2")
+register_solver("alg3", _conflict_free_adapter, display="Alg-3")
+register_solver("alg4", _prim_adapter, display="Alg-4")
+
+
+def _exact_adapter(network, users=None, rng=None):
+    from repro.core.exact import solve_exact
+
+    return solve_exact(network, users)
+
+
+register_solver("exact", _exact_adapter, display="Exact-B&B")

@@ -1,0 +1,57 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. V).
+
+One module per figure:
+
+* :mod:`repro.experiments.fig5_topology` — Fig. 5, rate vs topology.
+* :mod:`repro.experiments.fig6_scale` — Fig. 6(a) users, 6(b) switches.
+* :mod:`repro.experiments.fig7_edges` — Fig. 7(a) degree, 7(b) removal.
+* :mod:`repro.experiments.fig8_switch` — Fig. 8(a) qubits, 8(b) swap q.
+* :mod:`repro.experiments.headline` — the Sec. V-B "up to X%" claims.
+* :mod:`repro.experiments.ablation` — DESIGN.md §4 design-choice studies.
+"""
+
+from repro.experiments.config import ExperimentConfig, DEFAULT_METHODS
+from repro.experiments.runner import (
+    ExperimentResult,
+    MethodOutcome,
+    run_experiment,
+    run_on_network,
+)
+from repro.experiments.sweeps import SweepResult, sweep
+from repro.experiments.fig5_topology import run_fig5
+from repro.experiments.fig6_scale import run_fig6a, run_fig6b
+from repro.experiments.fig7_edges import run_fig7a, run_fig7b, EdgeRemovalResult
+from repro.experiments.fig8_switch import run_fig8a, run_fig8b
+from repro.experiments.headline import run_headline, HeadlineResult
+from repro.experiments.ablation import (
+    run_retention_ablation,
+    run_prim_seed_ablation,
+    run_fusion_penalty_ablation,
+)
+from repro.experiments.catalog import EXPERIMENTS, run_named
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_METHODS",
+    "ExperimentResult",
+    "MethodOutcome",
+    "run_experiment",
+    "run_on_network",
+    "SweepResult",
+    "sweep",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7a",
+    "run_fig7b",
+    "EdgeRemovalResult",
+    "run_fig8a",
+    "run_fig8b",
+    "run_headline",
+    "HeadlineResult",
+    "run_retention_ablation",
+    "run_prim_seed_ablation",
+    "run_fusion_penalty_ablation",
+    "EXPERIMENTS",
+    "run_named",
+]

@@ -1,0 +1,108 @@
+"""Design-choice ablations (DESIGN.md §4).
+
+* **Retention policy** in Algorithm 3: the paper keeps max-rate channels
+  greedily when a switch overflows; how much does that matter versus
+  random retention?
+* **Prim seed sensitivity**: Algorithm 4 starts from a random user; how
+  stable is its rate across seeds?
+* **Fusion penalty** for the N-FUSION baseline: our substitution model
+  introduces μ; how sensitive is the comparison's *shape* to it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.tables import Table
+from repro.baselines.nfusion import solve_nfusion
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.prim_based import solve_prim
+from repro.experiments.config import ExperimentConfig
+from repro.topology.registry import generate
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Rates per variant across the generated networks."""
+
+    variants: Dict[str, Tuple[float, ...]]
+
+    def stats(self) -> Dict[str, SummaryStats]:
+        return {name: summarize(rates) for name, rates in self.variants.items()}
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        table = Table(["variant", "mean rate", "failures"], title=title)
+        for name, stats in self.stats().items():
+            table.add_row([name, stats.mean, f"{stats.n_zero}/{stats.n}"])
+        return table
+
+
+def _networks(config: ExperimentConfig):
+    for rng in spawn_rngs(config.seed, config.n_networks):
+        yield generate(config.topology, config.topology_config(), rng), rng
+
+
+def run_retention_ablation(
+    base: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """Algorithm 3: greedy (paper) vs. random Phase-1 retention."""
+    config = base or ExperimentConfig()
+    greedy: List[float] = []
+    random_order: List[float] = []
+    for network, rng in _networks(config):
+        greedy.append(solve_conflict_free(network, retention="greedy").rate)
+        random_order.append(
+            solve_conflict_free(network, retention="random", rng=rng).rate
+        )
+    return AblationResult(
+        variants={
+            "greedy retention (paper)": tuple(greedy),
+            "random retention": tuple(random_order),
+        }
+    )
+
+
+def run_prim_seed_ablation(
+    base: Optional[ExperimentConfig] = None,
+    n_seeds: int = 5,
+) -> AblationResult:
+    """Algorithm 4: sensitivity of the rate to the seed user choice."""
+    config = base or ExperimentConfig()
+    per_variant: Dict[str, List[float]] = {
+        f"seed user #{k}": [] for k in range(n_seeds)
+    }
+    per_variant["best of all seeds"] = []
+    for network, _ in _networks(config):
+        users = network.user_ids
+        rates = []
+        for k in range(min(n_seeds, len(users))):
+            rate = solve_prim(network, start=users[k]).rate
+            per_variant[f"seed user #{k}"].append(rate)
+            rates.append(rate)
+        per_variant["best of all seeds"].append(max(rates) if rates else 0.0)
+    return AblationResult(
+        variants={name: tuple(vals) for name, vals in per_variant.items()}
+    )
+
+
+def run_fusion_penalty_ablation(
+    base: Optional[ExperimentConfig] = None,
+    penalties: Sequence[float] = (1.0, 0.9, 0.75, 0.5),
+) -> AblationResult:
+    """N-FUSION: rate under different GHZ-measurement penalty factors μ."""
+    config = base or ExperimentConfig()
+    per_variant: Dict[str, List[float]] = {
+        f"mu={penalty}": [] for penalty in penalties
+    }
+    for network, _ in _networks(config):
+        for penalty in penalties:
+            rate = solve_nfusion(network, fusion_penalty=penalty).rate
+            per_variant[f"mu={penalty}"].append(rate)
+    return AblationResult(
+        variants={name: tuple(vals) for name, vals in per_variant.items()}
+    )

@@ -1,0 +1,68 @@
+"""Experiment configuration.
+
+Defaults mirror Sec. V-A exactly: Waxman topology, 50 switches, 10
+users, average degree 6, 4 qubits per switch, swap rate 0.9, α = 1e-4,
+10k × 10k km area, 20 random networks per data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.topology.base import TopologyConfig
+
+#: Methods plotted in every figure of the paper, in legend order.
+DEFAULT_METHODS: Tuple[str, ...] = (
+    "optimal",
+    "conflict_free",
+    "prim",
+    "nfusion",
+    "eqcast",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full specification of one experiment data point.
+
+    Attributes mirror :class:`~repro.topology.TopologyConfig` plus the
+    evaluation-protocol knobs (topology method, network count, seed,
+    algorithm list).
+    """
+
+    topology: str = "waxman"
+    n_switches: int = 50
+    n_users: int = 10
+    avg_degree: float = 6.0
+    qubits_per_switch: int = 4
+    swap_prob: float = 0.9
+    alpha: float = 1e-4
+    area: float = 10_000.0
+    n_edges: int = 0
+    n_networks: int = 20
+    seed: int = 7
+    methods: Tuple[str, ...] = DEFAULT_METHODS
+
+    def __post_init__(self) -> None:
+        if self.n_networks < 1:
+            raise ValueError("n_networks must be >= 1")
+        if not self.methods:
+            raise ValueError("methods must not be empty")
+
+    def topology_config(self) -> TopologyConfig:
+        """The matching topology-generation parameters."""
+        return TopologyConfig(
+            n_switches=self.n_switches,
+            n_users=self.n_users,
+            avg_degree=self.avg_degree,
+            qubits_per_switch=self.qubits_per_switch,
+            area=self.area,
+            alpha=self.alpha,
+            swap_prob=self.swap_prob,
+            n_edges=self.n_edges,
+        )
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """Copy with fields replaced (sweeps use this heavily)."""
+        return replace(self, **changes)

@@ -1,0 +1,117 @@
+"""Experiments for the library's extensions (beyond the paper's figures).
+
+* :func:`run_localsearch_experiment` — how much the hill climber adds on
+  top of each constructive heuristic.
+* :func:`run_online_load_experiment` — acceptance ratio of the online
+  scheduler as the offered load (overlapping requests) grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.localsearch import improve_solution
+from repro.core.registry import solve
+from repro.experiments.ablation import AblationResult
+from repro.experiments.config import ExperimentConfig
+from repro.sim.online import EntanglementRequest, OnlineScheduler
+from repro.topology.registry import generate
+from repro.utils.rng import spawn_rngs
+
+
+def run_localsearch_experiment(
+    base: Optional[ExperimentConfig] = None,
+    methods: Sequence[str] = ("conflict_free", "prim", "random_tree"),
+) -> AblationResult:
+    """Rates with and without local-search post-optimization."""
+    config = base or ExperimentConfig()
+    variants: Dict[str, List[float]] = {}
+    for method in methods:
+        variants[method] = []
+        variants[method + "+ls"] = []
+    for rng in spawn_rngs(config.seed, config.n_networks):
+        network = generate(config.topology, config.topology_config(), rng)
+        for method in methods:
+            solution = solve(method, network, rng=rng)
+            variants[method].append(solution.rate)
+            if solution.feasible:
+                improved = improve_solution(network, solution)
+                variants[method + "+ls"].append(improved.rate)
+            else:
+                variants[method + "+ls"].append(0.0)
+    return AblationResult(
+        variants={name: tuple(vals) for name, vals in variants.items()}
+    )
+
+
+@dataclass(frozen=True)
+class OnlineLoadResult:
+    """Acceptance ratio vs. number of concurrent requests."""
+
+    loads: Tuple[int, ...]
+    acceptance: Tuple[float, ...]
+    mean_rates: Tuple[float, ...]
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        table = Table(
+            ["concurrent requests", "acceptance ratio", "mean accepted rate"],
+            title=title,
+        )
+        for load, accepted, rate in zip(
+            self.loads, self.acceptance, self.mean_rates
+        ):
+            table.add_row([load, f"{accepted:.2f}", rate])
+        return table
+
+
+def run_online_load_experiment(
+    base: Optional[ExperimentConfig] = None,
+    loads: Sequence[int] = (1, 2, 4, 8),
+    group_size: int = 3,
+    hold: int = 4,
+) -> OnlineLoadResult:
+    """Offered-load sweep for the online scheduler.
+
+    For each load L, L simultaneous group requests (disjoint user groups
+    when possible, wrapping otherwise) arrive at slot 0 and hold their
+    qubits for *hold* slots; acceptance is averaged over the config's
+    networks.
+    """
+    config = base or ExperimentConfig()
+    acceptance: List[float] = []
+    mean_rates: List[float] = []
+    for load in loads:
+        ratios = []
+        rates = []
+        for rng in spawn_rngs(config.seed, config.n_networks):
+            network = generate(config.topology, config.topology_config(), rng)
+            users = network.user_ids
+            requests = []
+            for index in range(load):
+                group = tuple(
+                    users[(index * group_size + offset) % len(users)]
+                    for offset in range(group_size)
+                )
+                if len(set(group)) < group_size:
+                    continue  # wrapped into a duplicate; skip this slot
+                requests.append(
+                    EntanglementRequest(
+                        f"req{index}", group, arrival=0, hold=hold
+                    )
+                )
+            if not requests:
+                continue
+            result = OnlineScheduler(network, rng=rng).run(requests)
+            ratios.append(result.acceptance_ratio)
+            rates.append(result.mean_accepted_rate)
+        acceptance.append(float(np.mean(ratios)) if ratios else 1.0)
+        mean_rates.append(float(np.mean(rates)) if rates else 0.0)
+    return OnlineLoadResult(
+        loads=tuple(loads),
+        acceptance=tuple(acceptance),
+        mean_rates=tuple(mean_rates),
+    )

@@ -1,0 +1,25 @@
+"""Fig. 5 — entanglement rate vs. network topology.
+
+Paper setup: default parameters (50 switches, 10 users, D = 6, Q = 4,
+q = 0.9), three generation methods: Waxman, Watts–Strogatz, Volchenkov.
+Expected shape: the proposed algorithms beat both baselines on every
+topology, and N-FUSION fails entirely on Watts–Strogatz graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import SweepResult, sweep
+
+TOPOLOGIES: Sequence[str] = ("waxman", "watts_strogatz", "volchenkov")
+
+
+def run_fig5(
+    base: Optional[ExperimentConfig] = None,
+    topologies: Sequence[str] = TOPOLOGIES,
+) -> SweepResult:
+    """Reproduce Fig. 5's data series."""
+    base = base or ExperimentConfig()
+    return sweep(base, "topology", list(topologies))

@@ -1,0 +1,37 @@
+"""Fig. 6 — entanglement rate vs. network scale.
+
+* Fig. 6(a): sweep the number of users (default {4, 6, 8, 10, 12}) —
+  rate decreases with more users since more channels must multiply into
+  Eq. (2).
+* Fig. 6(b): sweep the number of switches ({10, 20, 30, 40, 50}) — rate
+  mostly decreases (longer channels) with a possible uptick at high
+  counts when extra switches provide better channel choices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import SweepResult, sweep
+
+USER_COUNTS: Sequence[int] = (4, 6, 8, 10, 12)
+SWITCH_COUNTS: Sequence[int] = (10, 20, 30, 40, 50)
+
+
+def run_fig6a(
+    base: Optional[ExperimentConfig] = None,
+    user_counts: Sequence[int] = USER_COUNTS,
+) -> SweepResult:
+    """Reproduce Fig. 6(a): rate vs. number of users."""
+    base = base or ExperimentConfig()
+    return sweep(base, "n_users", list(user_counts))
+
+
+def run_fig6b(
+    base: Optional[ExperimentConfig] = None,
+    switch_counts: Sequence[int] = SWITCH_COUNTS,
+) -> SweepResult:
+    """Reproduce Fig. 6(b): rate vs. number of switches."""
+    base = base or ExperimentConfig()
+    return sweep(base, "n_switches", list(switch_counts))

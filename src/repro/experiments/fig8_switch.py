@@ -1,0 +1,36 @@
+"""Fig. 8 — impact of the quantum switch.
+
+* Fig. 8(a): sweep per-switch qubits Q ∈ {2, 4, 6, 8}.  Algorithm 2 is
+  exempt from the budget (it models the ``Q = 2|U|`` sufficient-capacity
+  case), so its bar is flat; the heuristics and baselines climb with Q.
+* Fig. 8(b): sweep the BSM success probability q ∈ {0.6 … 1.0} — all
+  rates rise with q.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import SweepResult, sweep
+
+QUBIT_COUNTS: Sequence[int] = (2, 4, 6, 8)
+SWAP_PROBS: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_fig8a(
+    base: Optional[ExperimentConfig] = None,
+    qubit_counts: Sequence[int] = QUBIT_COUNTS,
+) -> SweepResult:
+    """Reproduce Fig. 8(a): rate vs. qubits per switch."""
+    base = base or ExperimentConfig()
+    return sweep(base, "qubits_per_switch", list(qubit_counts))
+
+
+def run_fig8b(
+    base: Optional[ExperimentConfig] = None,
+    swap_probs: Sequence[float] = SWAP_PROBS,
+) -> SweepResult:
+    """Reproduce Fig. 8(b): rate vs. BSM swapping success probability."""
+    base = base or ExperimentConfig()
+    return sweep(base, "swap_prob", list(swap_probs))

@@ -1,0 +1,133 @@
+"""Experiment execution: generate networks, run solvers, aggregate.
+
+Replicates the paper's protocol: each data point averages the
+entanglement rate over ``n_networks`` (default 20) independently
+generated random networks, with infeasible runs contributing rate 0.
+
+Every produced solution is validated against the MUERP invariants
+(defence in depth).  Algorithm 2 is validated without the capacity
+check: the paper runs it under the sufficient-capacity condition — in
+Fig. 8(a)'s words, "the switches in Algorithm 2 ha[ve] 2|U| = 20 qubits"
+regardless of the swept budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.baselines  # noqa: F401 - registers baseline solvers
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.tables import Table
+from repro.core.registry import DISPLAY_NAMES, solve
+from repro.core.tree import validate_solution
+from repro.experiments.config import ExperimentConfig
+from repro.network.graph import QuantumNetwork
+from repro.topology.registry import generate
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+#: Solvers whose output is allowed to exceed per-switch budgets because
+#: they model the sufficient-capacity special case.
+CAPACITY_EXEMPT_METHODS = frozenset({"optimal", "alg2"})
+
+
+@dataclass(frozen=True)
+class MethodOutcome:
+    """Aggregated results of one method over all generated networks."""
+
+    method: str
+    rates: Tuple[float, ...]
+
+    @property
+    def display(self) -> str:
+        return DISPLAY_NAMES.get(self.method, self.method)
+
+    @property
+    def stats(self) -> SummaryStats:
+        return summarize(self.rates)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.stats.mean
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All method outcomes for one experiment configuration."""
+
+    config: ExperimentConfig
+    outcomes: Tuple[MethodOutcome, ...]
+
+    def outcome(self, method: str) -> MethodOutcome:
+        for candidate in self.outcomes:
+            if candidate.method == method:
+                return candidate
+        raise KeyError(f"no outcome for method {method!r}")
+
+    def mean_rates(self) -> Dict[str, float]:
+        return {o.method: o.mean_rate for o in self.outcomes}
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        table = Table(
+            ["method", "mean rate", "min", "max", "failures"],
+            title=title,
+        )
+        for outcome in self.outcomes:
+            stats = outcome.stats
+            table.add_row(
+                [
+                    outcome.display,
+                    stats.mean,
+                    stats.minimum,
+                    stats.maximum,
+                    f"{stats.n_zero}/{stats.n}",
+                ]
+            )
+        return table
+
+
+def run_on_network(
+    network: QuantumNetwork,
+    methods: Sequence[str],
+    rng: RngLike = None,
+    validate: bool = True,
+) -> Dict[str, float]:
+    """Run each method once on *network*, returning method → rate.
+
+    Raises ``AssertionError`` if any solver emits an invalid tree (this
+    is a library bug, never a legitimate experiment outcome).
+    """
+    generator = ensure_rng(rng)
+    rates: Dict[str, float] = {}
+    for method in methods:
+        solution = solve(method, network, rng=generator)
+        if validate:
+            report = validate_solution(
+                network,
+                solution,
+                enforce_capacity=method not in CAPACITY_EXEMPT_METHODS,
+            )
+            assert report.ok, (
+                f"solver {method!r} produced an invalid solution: {report}"
+            )
+        rates[method] = solution.rate
+    return rates
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run the full averaged experiment described by *config*."""
+    topology_config = config.topology_config()
+    network_rngs = spawn_rngs(config.seed, config.n_networks)
+    per_method: Dict[str, List[float]] = {m: [] for m in config.methods}
+    for network_rng in network_rngs:
+        network = generate(config.topology, topology_config, network_rng)
+        rates = run_on_network(network, config.methods, network_rng)
+        for method, rate in rates.items():
+            per_method[method].append(rate)
+    outcomes = tuple(
+        MethodOutcome(method, tuple(per_method[method]))
+        for method in config.methods
+    )
+    return ExperimentResult(config=config, outcomes=outcomes)

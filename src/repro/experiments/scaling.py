@@ -1,0 +1,80 @@
+"""Runtime-scaling study: solver wall time vs. network size.
+
+The paper quotes asymptotic complexities (Sec. IV); this experiment
+measures the constants.  Useful both as documentation and as a
+regression tripwire for accidental quadratic blowups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.registry import DISPLAY_NAMES, solve
+from repro.experiments.config import ExperimentConfig
+from repro.topology.registry import generate
+from repro.utils.rng import spawn_rngs
+
+DEFAULT_SIZES: Sequence[int] = (25, 50, 100, 200)
+DEFAULT_METHODS: Sequence[str] = ("optimal", "conflict_free", "prim")
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Mean solver runtimes (seconds) per network size."""
+
+    sizes: Tuple[int, ...]
+    timings: Dict[str, Tuple[float, ...]]  # method -> seconds per size
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        columns = ["switches"] + [
+            f"{DISPLAY_NAMES.get(m, m)} (ms)" for m in self.timings
+        ]
+        table = Table(columns, title=title)
+        for index, size in enumerate(self.sizes):
+            table.add_row(
+                [size]
+                + [
+                    f"{1000 * self.timings[m][index]:.1f}"
+                    for m in self.timings
+                ]
+            )
+        return table
+
+    def growth_factor(self, method: str) -> float:
+        """Runtime ratio between the largest and smallest size."""
+        series = self.timings[method]
+        if series[0] <= 0:
+            return float("inf")
+        return series[-1] / series[0]
+
+
+def run_scaling(
+    base: Optional[ExperimentConfig] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    repeats: int = 3,
+) -> ScalingResult:
+    """Time each method on progressively larger Waxman networks."""
+    config = base or ExperimentConfig()
+    timings: Dict[str, List[float]] = {m: [] for m in methods}
+    for size in sizes:
+        sized = config.replace(n_switches=size)
+        networks = [
+            generate(sized.topology, sized.topology_config(), rng)
+            for rng in spawn_rngs(sized.seed, repeats)
+        ]
+        for method in methods:
+            start = time.perf_counter()
+            for network in networks:
+                solve(method, network, rng=0)
+            elapsed = (time.perf_counter() - start) / len(networks)
+            timings[method].append(elapsed)
+    return ScalingResult(
+        sizes=tuple(sizes),
+        timings={m: tuple(v) for m, v in timings.items()},
+    )

@@ -1,0 +1,59 @@
+"""Generic one-parameter sweeps over :class:`ExperimentConfig`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import Table
+from repro.core.registry import DISPLAY_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of sweeping one config field across several values."""
+
+    parameter: str
+    values: Tuple[object, ...]
+    results: Tuple[ExperimentResult, ...]
+
+    def series(self) -> Dict[str, List[float]]:
+        """Method → list of mean rates (one per swept value)."""
+        methods = self.results[0].config.methods
+        return {
+            method: [r.outcome(method).mean_rate for r in self.results]
+            for method in methods
+        }
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        """One row per swept value, one column per method."""
+        methods = list(self.results[0].config.methods)
+        columns = [self.parameter] + [
+            DISPLAY_NAMES.get(m, m) for m in methods
+        ]
+        table = Table(columns, title=title)
+        for value, result in zip(self.values, self.results):
+            rates = result.mean_rates()
+            table.add_row([value] + [rates[m] for m in methods])
+        return table
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence[object],
+) -> SweepResult:
+    """Run *base* once per value of *parameter* (a config field name)."""
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    results = []
+    for value in values:
+        config = base.replace(**{parameter: value})
+        results.append(run_experiment(config))
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(values),
+        results=tuple(results),
+    )

@@ -1,0 +1,180 @@
+"""Failure recovery: repair a routed tree after fiber or switch loss.
+
+The paper's edge-removal study (Fig. 7b) re-solves from scratch after
+every removal.  An operational network wants *incremental repair*: when
+a fiber is cut or a switch goes dark, keep every unaffected channel
+(their qubits stay reserved) and re-route only the broken ones with the
+remaining capacity.
+
+:func:`repair_solution` implements that: it classifies channels into
+survivors and casualties, returns the casualties' qubits to the residual
+pool, and reconnects the split user components greedily by best
+capacity-aware channel (the same reconnection discipline as Algorithm
+3's Phase 2).  The result is either a valid repaired tree or an
+infeasible marker when the damage is fatal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.channel import best_channels_from
+from repro.core.optimal import channel_sort_key
+from repro.core.problem import Channel, MUERPSolution, infeasible_solution
+from repro.network.graph import QuantumNetwork
+from repro.network.link import fiber_key
+from repro.utils.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of a repair attempt."""
+
+    solution: MUERPSolution
+    kept_channels: Tuple[Channel, ...]
+    broken_channels: Tuple[Channel, ...]
+    new_channels: Tuple[Channel, ...]
+
+    @property
+    def repaired(self) -> bool:
+        return self.solution.feasible
+
+    @property
+    def rate_retention(self) -> float:
+        """New rate / old rate (old rate inferred from kept + broken)."""
+        old_log = sum(
+            c.log_rate for c in self.kept_channels + self.broken_channels
+        )
+        if not self.solution.feasible:
+            return 0.0
+        return math.exp(self.solution.log_rate - old_log)
+
+
+def apply_failures(
+    network: QuantumNetwork,
+    failed_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
+    failed_switches: Iterable[Hashable] = (),
+) -> QuantumNetwork:
+    """A copy of *network* with the given fibers/switches unusable.
+
+    Failed switches stay in the graph but lose all incident fibers and
+    their qubits (a dark node); failed fibers are simply removed.
+    """
+    damaged = network.copy()
+    for u, v in failed_fibers:
+        if damaged.has_fiber(u, v):
+            damaged.remove_fiber(u, v)
+    dead = set(failed_switches)
+    for switch in dead:
+        if switch not in damaged or not damaged.is_switch(switch):
+            raise ValueError(f"{switch!r} is not a switch")
+        for fiber in list(damaged.incident_fibers(switch)):
+            damaged.remove_fiber(fiber.u, fiber.v)
+    return damaged
+
+
+def repair_solution(
+    network: QuantumNetwork,
+    solution: MUERPSolution,
+    failed_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
+    failed_switches: Iterable[Hashable] = (),
+) -> RepairReport:
+    """Incrementally repair *solution* after the given failures.
+
+    Args:
+        network: The *original* network the solution was routed on.
+        solution: A feasible routed tree.
+        failed_fibers: Endpoint pairs of cut fibers.
+        failed_switches: Ids of dark switches.
+
+    Returns:
+        A :class:`RepairReport`; its solution is infeasible when the
+        surviving capacity cannot reconnect the users.
+    """
+    if not solution.feasible:
+        raise ValueError("cannot repair an infeasible solution")
+    dead_fibers: Set[Tuple[Hashable, Hashable]] = {
+        fiber_key(u, v) for u, v in failed_fibers
+    }
+    dead_switches = set(failed_switches)
+    damaged = apply_failures(network, dead_fibers, dead_switches)
+
+    kept: List[Channel] = []
+    broken: List[Channel] = []
+    for channel in solution.channels:
+        if _channel_broken(channel, dead_fibers, dead_switches):
+            broken.append(channel)
+        else:
+            kept.append(channel)
+
+    if not broken:
+        return RepairReport(
+            solution=solution,
+            kept_channels=tuple(kept),
+            broken_channels=(),
+            new_channels=(),
+        )
+
+    users = sorted(solution.users, key=repr)
+    residual = damaged.residual_qubits()
+    for channel in kept:
+        for switch in channel.switches:
+            residual[switch] -= 2
+
+    unions = UnionFind(users)
+    for channel in kept:
+        unions.union(*channel.endpoints)
+
+    new_channels: List[Channel] = []
+    while unions.n_components > 1:
+        best: Optional[Channel] = None
+        for index, source in enumerate(users):
+            targets = [
+                t for t in users[index + 1 :] if not unions.connected(source, t)
+            ]
+            if not targets:
+                continue
+            found = best_channels_from(damaged, source, targets, residual)
+            for candidate in found.values():
+                if best is None or channel_sort_key(candidate) < channel_sort_key(best):
+                    best = candidate
+        if best is None:
+            return RepairReport(
+                solution=infeasible_solution(users, solution.method + "+repair"),
+                kept_channels=tuple(kept),
+                broken_channels=tuple(broken),
+                new_channels=tuple(new_channels),
+            )
+        for switch in best.switches:
+            residual[switch] -= 2
+        unions.union(*best.endpoints)
+        new_channels.append(best)
+
+    repaired = MUERPSolution(
+        channels=tuple(kept + new_channels),
+        users=solution.users,
+        method=solution.method + "+repair",
+        feasible=True,
+        extra_log_rate=solution.extra_log_rate,
+    )
+    return RepairReport(
+        solution=repaired,
+        kept_channels=tuple(kept),
+        broken_channels=tuple(broken),
+        new_channels=tuple(new_channels),
+    )
+
+
+def _channel_broken(
+    channel: Channel,
+    dead_fibers: Set[Tuple[Hashable, Hashable]],
+    dead_switches: Set[Hashable],
+) -> bool:
+    if any(s in dead_switches for s in channel.switches):
+        return True
+    return any(
+        fiber_key(u, v) in dead_fibers
+        for u, v in zip(channel.path, channel.path[1:])
+    )

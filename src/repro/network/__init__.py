@@ -1,0 +1,57 @@
+"""Quantum network substrate: users, switches, optical fibers, topology.
+
+Implements the model of Sec. II of the paper: an undirected graph
+``G = (V, E)`` where ``V = U ∪ R`` (quantum users and capacity-limited
+quantum switches) and every edge is an optical fiber whose quantum-link
+success probability is ``p = exp(-α·L)``.
+"""
+
+from repro.network.node import Node, NodeKind, QuantumUser, QuantumSwitch
+from repro.network.link import OpticalFiber, fiber_key
+from repro.network.graph import NetworkParams, QuantumNetwork
+from repro.network.builder import NetworkBuilder, network_from_networkx
+from repro.network.errors import (
+    NetworkError,
+    UnknownNodeError,
+    DuplicateNodeError,
+    DuplicateFiberError,
+)
+from repro.network.io import (
+    network_to_json,
+    network_from_json,
+    solution_to_json,
+    solution_from_json,
+)
+from repro.network.statistics import (
+    TopologyStats,
+    topology_stats,
+    degree_histogram,
+    bridge_fibers,
+    user_eccentricity_km,
+)
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "QuantumUser",
+    "QuantumSwitch",
+    "OpticalFiber",
+    "fiber_key",
+    "NetworkParams",
+    "QuantumNetwork",
+    "NetworkBuilder",
+    "network_from_networkx",
+    "NetworkError",
+    "UnknownNodeError",
+    "DuplicateNodeError",
+    "DuplicateFiberError",
+    "network_to_json",
+    "network_from_json",
+    "solution_to_json",
+    "solution_from_json",
+    "TopologyStats",
+    "topology_stats",
+    "degree_histogram",
+    "bridge_fibers",
+    "user_eccentricity_km",
+]

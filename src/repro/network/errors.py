@@ -1,0 +1,40 @@
+"""Exception hierarchy for the network substrate."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for all network-model errors."""
+
+
+class UnknownNodeError(NetworkError, KeyError):
+    """A referenced node identifier does not exist in the network."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"unknown node: {node_id!r}")
+        self.node_id = node_id
+
+
+class DuplicateNodeError(NetworkError, ValueError):
+    """A node identifier was added twice."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"duplicate node: {node_id!r}")
+        self.node_id = node_id
+
+
+class DuplicateFiberError(NetworkError, ValueError):
+    """An optical fiber between the same endpoints was added twice."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"duplicate fiber between {u!r} and {v!r}")
+        self.endpoints = (u, v)
+
+
+class InfeasibleRoutingError(NetworkError, RuntimeError):
+    """No feasible entanglement tree exists under the given constraints.
+
+    Raised (or mapped to a zero-rate solution, depending on API) when an
+    algorithm cannot span all quantum users — the paper's simulations
+    record the entanglement rate as 0 in that case.
+    """

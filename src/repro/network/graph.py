@@ -1,0 +1,350 @@
+"""The quantum network graph ``G = (V = U ∪ R, E)``.
+
+:class:`QuantumNetwork` is the central substrate object every routing
+algorithm operates on.  It stores users, switches, fibers, and the two
+physical parameters of the paper's model:
+
+* ``alpha`` — fiber attenuation constant (default ``1e-4`` per km, the
+  paper's simulation setting), giving link success ``p = exp(-α·L)``;
+* ``swap_prob`` — BSM entanglement-swapping success probability ``q``
+  (default 0.9), uniform across switches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+
+from repro.network.errors import (
+    DuplicateFiberError,
+    DuplicateNodeError,
+    UnknownNodeError,
+)
+from repro.network.link import OpticalFiber, fiber_key
+from repro.network.node import Node, QuantumSwitch, QuantumUser
+from repro.utils.validation import require_positive, require_probability
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Physical parameters shared by the whole network.
+
+    Attributes:
+        alpha: Fiber attenuation constant (1/km); the paper sets 1e-4.
+        swap_prob: BSM swapping success rate ``q`` in [0, 1]; paper: 0.9.
+    """
+
+    alpha: float = 1e-4
+    swap_prob: float = 0.9
+
+    def __post_init__(self) -> None:
+        require_positive(self.alpha, "alpha")
+        require_probability(self.swap_prob, "swap_prob")
+
+
+class QuantumNetwork:
+    """Mutable quantum-network topology with users, switches and fibers.
+
+    Node identifiers are arbitrary hashables.  Fibers are undirected and
+    unique per node pair (the paper's graph has no parallel edges; a
+    fiber's multiple cores model link multiplicity instead).
+    """
+
+    def __init__(self, params: Optional[NetworkParams] = None) -> None:
+        self.params = params or NetworkParams()
+        self._nodes: Dict[Hashable, Node] = {}
+        self._fibers: Dict[Tuple[Hashable, Hashable], OpticalFiber] = {}
+        self._adjacency: Dict[Hashable, Dict[Hashable, OpticalFiber]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_user(
+        self,
+        node_id: Hashable,
+        position: Tuple[float, float] = (0.0, 0.0),
+    ) -> QuantumUser:
+        """Add a quantum user and return it."""
+        user = QuantumUser(node_id, position)
+        self._register(user)
+        return user
+
+    def add_switch(
+        self,
+        node_id: Hashable,
+        position: Tuple[float, float] = (0.0, 0.0),
+        qubits: int = 4,
+    ) -> QuantumSwitch:
+        """Add a quantum switch with ``qubits`` memories and return it."""
+        switch = QuantumSwitch(node_id, position, qubits=qubits)
+        self._register(switch)
+        return switch
+
+    def _register(self, node: Node) -> None:
+        if node.id in self._nodes:
+            raise DuplicateNodeError(node.id)
+        self._nodes[node.id] = node
+        self._adjacency[node.id] = {}
+
+    def add_fiber(
+        self,
+        u: Hashable,
+        v: Hashable,
+        length: Optional[float] = None,
+        cores: Optional[int] = None,
+    ) -> OpticalFiber:
+        """Add an optical fiber between existing nodes *u* and *v*.
+
+        When *length* is omitted it defaults to the Euclidean distance
+        between the endpoints' positions.
+        """
+        node_u = self.node(u)
+        node_v = self.node(v)
+        key = fiber_key(u, v)
+        if key in self._fibers:
+            raise DuplicateFiberError(u, v)
+        if length is None:
+            length = node_u.distance_to(node_v)
+            if length <= 0.0:
+                length = 1e-9  # coincident points: degenerate but legal
+        kwargs = {} if cores is None else {"cores": cores}
+        fiber = OpticalFiber(u, v, length, **kwargs)
+        self._fibers[key] = fiber
+        self._adjacency[u][v] = fiber
+        self._adjacency[v][u] = fiber
+        return fiber
+
+    def remove_fiber(self, u: Hashable, v: Hashable) -> OpticalFiber:
+        """Remove and return the fiber between *u* and *v*."""
+        key = fiber_key(u, v)
+        try:
+            fiber = self._fibers.pop(key)
+        except KeyError:
+            raise UnknownNodeError((u, v)) from None
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        return fiber
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: Hashable) -> Node:
+        """Return the node object for *node_id*."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> List[Hashable]:
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def users(self) -> List[QuantumUser]:
+        """All quantum users, in insertion order."""
+        return [n for n in self._nodes.values() if isinstance(n, QuantumUser)]
+
+    @property
+    def user_ids(self) -> List[Hashable]:
+        return [n.id for n in self.users]
+
+    @property
+    def switches(self) -> List[QuantumSwitch]:
+        """All quantum switches, in insertion order."""
+        return [n for n in self._nodes.values() if isinstance(n, QuantumSwitch)]
+
+    @property
+    def switch_ids(self) -> List[Hashable]:
+        return [n.id for n in self.switches]
+
+    @property
+    def fibers(self) -> List[OpticalFiber]:
+        return list(self._fibers.values())
+
+    @property
+    def n_fibers(self) -> int:
+        return len(self._fibers)
+
+    def is_user(self, node_id: Hashable) -> bool:
+        return isinstance(self.node(node_id), QuantumUser)
+
+    def is_switch(self, node_id: Hashable) -> bool:
+        return isinstance(self.node(node_id), QuantumSwitch)
+
+    def qubits_of(self, node_id: Hashable) -> Optional[int]:
+        """Qubit budget of a switch, or ``None`` for users (unlimited)."""
+        node = self.node(node_id)
+        return node.qubits if isinstance(node, QuantumSwitch) else None
+
+    def neighbors(self, node_id: Hashable) -> Iterator[Hashable]:
+        """Neighboring node identifiers of *node_id*."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return iter(self._adjacency[node_id])
+
+    def incident_fibers(self, node_id: Hashable) -> List[OpticalFiber]:
+        """All fibers with *node_id* as an endpoint."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return list(self._adjacency[node_id].values())
+
+    def degree(self, node_id: Hashable) -> int:
+        """Number of fibers incident to *node_id*."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return len(self._adjacency[node_id])
+
+    def average_degree(self) -> float:
+        """Mean fiber degree over all nodes (0 for an empty network)."""
+        if not self._nodes:
+            return 0.0
+        return 2.0 * len(self._fibers) / len(self._nodes)
+
+    def fiber_between(
+        self, u: Hashable, v: Hashable
+    ) -> Optional[OpticalFiber]:
+        """The fiber between *u* and *v*, or ``None``."""
+        return self._fibers.get(fiber_key(u, v))
+
+    def has_fiber(self, u: Hashable, v: Hashable) -> bool:
+        return fiber_key(u, v) in self._fibers
+
+    def link_success(self, u: Hashable, v: Hashable) -> float:
+        """Per-attempt success probability of the link on fiber (u, v)."""
+        fiber = self.fiber_between(u, v)
+        if fiber is None:
+            raise UnknownNodeError((u, v))
+        return fiber.success_probability(self.params.alpha)
+
+    # ------------------------------------------------------------------
+    # Graph-level operations
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the fiber graph is connected (empty graph counts)."""
+        if not self._nodes:
+            return True
+        seen: Set[Hashable] = set()
+        stack = [next(iter(self._nodes))]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(
+                nb for nb in self._adjacency[current] if nb not in seen
+            )
+        return len(seen) == len(self._nodes)
+
+    def connected_components(self) -> List[Set[Hashable]]:
+        """Connected components of the fiber graph."""
+        remaining = set(self._nodes)
+        components: List[Set[Hashable]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component: Set[Hashable] = set()
+            stack = [seed]
+            while stack:
+                current = stack.pop()
+                if current in component:
+                    continue
+                component.add(current)
+                stack.extend(
+                    nb
+                    for nb in self._adjacency[current]
+                    if nb not in component
+                )
+            components.append(component)
+            remaining -= component
+        return components
+
+    def copy(self) -> "QuantumNetwork":
+        """Deep-enough copy: node/fiber objects are immutable and shared."""
+        clone = QuantumNetwork(self.params)
+        clone._nodes = dict(self._nodes)
+        clone._fibers = dict(self._fibers)
+        clone._adjacency = {
+            node_id: dict(neighbors)
+            for node_id, neighbors in self._adjacency.items()
+        }
+        return clone
+
+    def with_switch_qubits(self, qubits: int) -> "QuantumNetwork":
+        """Copy of this network with every switch's budget set to *qubits*."""
+        clone = QuantumNetwork(self.params)
+        for node in self._nodes.values():
+            if isinstance(node, QuantumSwitch):
+                clone.add_switch(node.id, node.position, qubits=qubits)
+            else:
+                clone.add_user(node.id, node.position)
+        for fiber in self._fibers.values():
+            clone.add_fiber(fiber.u, fiber.v, fiber.length, fiber.cores)
+        return clone
+
+    def with_params(self, params: NetworkParams) -> "QuantumNetwork":
+        """Copy of this network under different physical parameters."""
+        clone = self.copy()
+        clone.params = params
+        return clone
+
+    def residual_capacities(self) -> Dict[Hashable, int]:
+        """Fresh per-switch channel-capacity map ``{switch_id: ⌊Q/2⌋}``."""
+        return {s.id: s.channel_capacity for s in self.switches}
+
+    def residual_qubits(self) -> Dict[Hashable, int]:
+        """Fresh per-switch qubit map ``{switch_id: Q}``."""
+        return {s.id: s.qubits for s in self.switches}
+
+    def to_networkx(self) -> nx.Graph:
+        """Export to a ``networkx.Graph`` with node/edge attributes.
+
+        Node attributes: ``kind`` ("user"/"switch"), ``position`` and, for
+        switches, ``qubits``.  Edge attributes: ``length`` and ``p`` (the
+        link success probability under this network's ``alpha``).
+        """
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            attrs = {"kind": node.kind.value, "position": node.position}
+            if isinstance(node, QuantumSwitch):
+                attrs["qubits"] = node.qubits
+            graph.add_node(node.id, **attrs)
+        for fiber in self._fibers.values():
+            graph.add_edge(
+                fiber.u,
+                fiber.v,
+                length=fiber.length,
+                p=fiber.success_probability(self.params.alpha),
+            )
+        return graph
+
+    def total_fiber_length(self) -> float:
+        """Sum of all fiber lengths (km)."""
+        return sum(f.length for f in self._fibers.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumNetwork(users={len(self.users)}, "
+            f"switches={len(self.switches)}, fibers={len(self._fibers)}, "
+            f"alpha={self.params.alpha}, q={self.params.swap_prob})"
+        )

@@ -1,0 +1,148 @@
+"""JSON (de)serialization of networks and solutions.
+
+Lets experiment pipelines archive the exact networks behind a data point
+and reload them later — reproducibility beyond seeds.  The format is a
+versioned plain-JSON document; node ids are preserved as-is when they
+are JSON-native (str/int) and stringified otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, Union
+
+from repro.core.problem import Channel, MUERPSolution
+from repro.network.graph import NetworkParams, QuantumNetwork
+
+FORMAT_VERSION = 1
+
+#: Node-id types that survive a JSON round-trip unchanged.
+_JSON_NATIVE = (str, int)
+
+
+def _check_id(node_id: Hashable) -> Hashable:
+    """Reject ids JSON would silently mangle (tuples → lists, etc.)."""
+    if isinstance(node_id, bool) or not isinstance(node_id, _JSON_NATIVE):
+        raise TypeError(
+            f"node id {node_id!r} of type {type(node_id).__name__} does "
+            "not survive JSON round-trips; use str or int ids"
+        )
+    return node_id
+
+
+def network_to_dict(network: QuantumNetwork) -> Dict[str, Any]:
+    """Serialize *network* into a JSON-ready dict.
+
+    Node ids must be JSON-native (str or int); other hashables would
+    come back as different objects and are rejected with ``TypeError``.
+    """
+    for node in network.nodes:
+        _check_id(node.id)
+    return {
+        "format": "repro.quantum-network",
+        "version": FORMAT_VERSION,
+        "params": {
+            "alpha": network.params.alpha,
+            "swap_prob": network.params.swap_prob,
+        },
+        "users": [
+            {"id": user.id, "position": list(user.position)}
+            for user in network.users
+        ],
+        "switches": [
+            {
+                "id": switch.id,
+                "position": list(switch.position),
+                "qubits": switch.qubits,
+            }
+            for switch in network.switches
+        ],
+        "fibers": [
+            {
+                "u": fiber.u,
+                "v": fiber.v,
+                "length": fiber.length,
+                "cores": fiber.cores,
+            }
+            for fiber in network.fibers
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> QuantumNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if data.get("format") != "repro.quantum-network":
+        raise ValueError(f"not a quantum-network document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    params = NetworkParams(
+        alpha=data["params"]["alpha"],
+        swap_prob=data["params"]["swap_prob"],
+    )
+    network = QuantumNetwork(params)
+    for user in data["users"]:
+        network.add_user(user["id"], tuple(user["position"]))
+    for switch in data["switches"]:
+        network.add_switch(
+            switch["id"], tuple(switch["position"]), qubits=switch["qubits"]
+        )
+    for fiber in data["fibers"]:
+        network.add_fiber(
+            fiber["u"], fiber["v"], fiber["length"], fiber["cores"]
+        )
+    return network
+
+
+def network_to_json(network: QuantumNetwork, indent: int = 2) -> str:
+    """Serialize *network* to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent)
+
+
+def network_from_json(text: str) -> QuantumNetwork:
+    """Parse a network from :func:`network_to_json` output."""
+    return network_from_dict(json.loads(text))
+
+
+def solution_to_dict(solution: MUERPSolution) -> Dict[str, Any]:
+    """Serialize a routed solution into a JSON-ready dict."""
+    return {
+        "format": "repro.muerp-solution",
+        "version": FORMAT_VERSION,
+        "method": solution.method,
+        "feasible": solution.feasible,
+        "users": sorted(solution.users, key=repr),
+        "extra_log_rate": solution.extra_log_rate,
+        "channels": [
+            {"path": list(channel.path), "log_rate": channel.log_rate}
+            for channel in solution.channels
+        ],
+    }
+
+
+def solution_from_dict(data: Dict[str, Any]) -> MUERPSolution:
+    """Rebuild a solution from :func:`solution_to_dict` output."""
+    if data.get("format") != "repro.muerp-solution":
+        raise ValueError(f"not a solution document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    channels = tuple(
+        Channel(tuple(entry["path"]), entry["log_rate"])
+        for entry in data["channels"]
+    )
+    return MUERPSolution(
+        channels=channels,
+        users=frozenset(data["users"]),
+        method=data["method"],
+        feasible=data["feasible"],
+        extra_log_rate=data.get("extra_log_rate", 0.0),
+    )
+
+
+def solution_to_json(solution: MUERPSolution, indent: int = 2) -> str:
+    """Serialize a solution to a JSON string."""
+    return json.dumps(solution_to_dict(solution), indent=indent)
+
+
+def solution_from_json(text: str) -> MUERPSolution:
+    """Parse a solution from :func:`solution_to_json` output."""
+    return solution_from_dict(json.loads(text))

@@ -1,0 +1,79 @@
+"""Optical fibers and the quantum links they carry.
+
+An optical fiber between neighboring nodes hosts quantum links, each a
+Bell pair ``(|00⟩ + |11⟩)/√2`` shared across the fiber.  The per-attempt
+success probability of generating such a link is ``p = exp(-α·L)`` where
+``L`` is the fiber length and ``α`` a material constant (Sec. II-A).
+
+Fibers are multi-core: the paper assumes "adequate capacity to support
+entanglement", which we model as a configurable (by default effectively
+unbounded) core count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.utils.validation import require_positive
+
+#: Default number of independent cores per fiber.  Large enough to act as
+#: "sufficient capacity" per the paper's assumption while remaining a real
+#: number that the concurrency extension can budget against.
+DEFAULT_CORES = 10**6
+
+
+def fiber_key(u: Hashable, v: Hashable) -> Tuple[Hashable, Hashable]:
+    """Canonical undirected key for the fiber between *u* and *v*.
+
+    Sorting is by ``repr`` so heterogeneous id types still produce a
+    stable canonical order.
+    """
+    if u == v:
+        raise ValueError(f"self-loop fiber at {u!r} is not allowed")
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class OpticalFiber:
+    """An undirected optical fiber edge.
+
+    Attributes:
+        u, v: Endpoint node identifiers (order-insensitive).
+        length: Physical length ``L`` in kilometres.
+        cores: Number of independent cores (parallel quantum links the
+            fiber can carry simultaneously).
+    """
+
+    u: Hashable
+    v: Hashable
+    length: float
+    cores: int = DEFAULT_CORES
+
+    def __post_init__(self) -> None:
+        require_positive(self.length, "length")
+        require_positive(self.cores, "cores")
+        if self.u == self.v:
+            raise ValueError(f"self-loop fiber at {self.u!r} is not allowed")
+
+    @property
+    def key(self) -> Tuple[Hashable, Hashable]:
+        """Canonical undirected identifier of this fiber."""
+        return fiber_key(self.u, self.v)
+
+    def other_end(self, node_id: Hashable) -> Hashable:
+        """The endpoint opposite *node_id*."""
+        if node_id == self.u:
+            return self.v
+        if node_id == self.v:
+            return self.u
+        raise ValueError(f"{node_id!r} is not an endpoint of {self.key}")
+
+    def success_probability(self, alpha: float) -> float:
+        """Per-attempt quantum-link success probability ``exp(-α·L)``."""
+        return math.exp(-alpha * self.length)
+
+    def log_success(self, alpha: float) -> float:
+        """Natural log of :meth:`success_probability`: ``-α·L``."""
+        return -alpha * self.length

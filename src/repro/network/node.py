@@ -1,0 +1,99 @@
+"""Node types of the quantum Internet model.
+
+The paper distinguishes two kinds of vertices (Sec. II-A):
+
+* **Quantum users** ``U`` — processors with *sufficient* quantum memory to
+  terminate any number of channels (Def. 3 assumes user capacity is never
+  the bottleneck).
+* **Quantum switches** ``R`` — relays with ``Q_r`` qubits performing
+  entanglement swapping via Bell State Measurements; each transit channel
+  consumes 2 qubits, so a switch supports ``⌊Q_r / 2⌋`` channels.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple
+
+from repro.utils.validation import require_non_negative
+
+
+class NodeKind(enum.Enum):
+    """Role of a vertex in the quantum network."""
+
+    USER = "user"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class Node:
+    """Common base for network vertices.
+
+    Attributes:
+        id: Hashable identifier, unique within a network.
+        position: (x, y) coordinates in kilometres inside the deployment
+            area (the paper uses a 10k x 10k km square).
+    """
+
+    id: Hashable
+    position: Tuple[float, float] = field(default=(0.0, 0.0))
+
+    @property
+    def kind(self) -> NodeKind:
+        raise NotImplementedError
+
+    @property
+    def is_user(self) -> bool:
+        return self.kind is NodeKind.USER
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind is NodeKind.SWITCH
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance to *other* in kilometres."""
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return math.hypot(dx, dy)
+
+
+@dataclass(frozen=True)
+class QuantumUser(Node):
+    """A quantum user (endpoint of entanglement).
+
+    Users have effectively unlimited quantum memory in the model, so they
+    carry no qubit budget.
+    """
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.USER
+
+
+@dataclass(frozen=True)
+class QuantumSwitch(Node):
+    """A quantum switch performing BSM entanglement swapping.
+
+    Attributes:
+        qubits: Number of quantum memories ``Q_r``.  A transit channel
+            needs two of them (one per adjoining quantum link), hence
+            :attr:`channel_capacity` is ``Q_r // 2``.
+    """
+
+    qubits: int = 4
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.qubits, "qubits")
+        if int(self.qubits) != self.qubits:
+            raise ValueError(f"qubits must be integral, got {self.qubits!r}")
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.SWITCH
+
+    @property
+    def channel_capacity(self) -> int:
+        """Maximum number of transit channels: ``⌊Q_r / 2⌋`` (Def. 3)."""
+        return self.qubits // 2

@@ -1,0 +1,77 @@
+"""Minimal quantum-information substrate.
+
+The paper treats Bell-pair links and BSM swapping as physical primitives.
+This package implements those primitives on actual state vectors so the
+abstractions used by the routing layer are *verified*, not assumed:
+
+* entanglement-swapping two Bell pairs at a switch yields a Bell pair
+  between the outer nodes (Fig. 1);
+* ``n``-fusion of ``n`` Bell pairs at a switch yields an ``n``-GHZ state
+  among the outer nodes (Fig. 2);
+* Werner-state fidelity algebra for the fidelity-aware extension.
+"""
+
+from repro.quantum.states import (
+    ket,
+    tensor,
+    bell_state,
+    bell_pair,
+    ghz_state,
+    is_normalized,
+    amplitudes,
+)
+from repro.quantum.register import QubitRegister
+from repro.quantum.teleportation import teleport, teleport_state
+from repro.quantum.gates import (
+    apply_single,
+    apply_cnot,
+    hadamard,
+    create_bell_pair_via_circuit,
+    create_ghz_via_circuit,
+)
+from repro.quantum.noise import (
+    werner_state,
+    swap_werner_pairs,
+    purify_werner_pairs,
+    fidelity_to_bell,
+    is_density_matrix,
+)
+from repro.quantum.fidelity import (
+    state_fidelity,
+    bell_fidelity,
+    max_bell_fidelity,
+    is_ghz_like,
+    werner_fidelity_after_swap,
+    chain_werner_fidelity,
+    link_fidelity_from_length,
+)
+
+__all__ = [
+    "ket",
+    "tensor",
+    "bell_state",
+    "bell_pair",
+    "ghz_state",
+    "is_normalized",
+    "amplitudes",
+    "QubitRegister",
+    "teleport",
+    "teleport_state",
+    "apply_single",
+    "apply_cnot",
+    "hadamard",
+    "create_bell_pair_via_circuit",
+    "create_ghz_via_circuit",
+    "werner_state",
+    "swap_werner_pairs",
+    "purify_werner_pairs",
+    "fidelity_to_bell",
+    "is_density_matrix",
+    "state_fidelity",
+    "bell_fidelity",
+    "max_bell_fidelity",
+    "is_ghz_like",
+    "werner_fidelity_after_swap",
+    "chain_werner_fidelity",
+    "link_fidelity_from_length",
+]

@@ -1,0 +1,99 @@
+"""Fidelity algebra: pure-state probes and Werner-state channel models.
+
+The routing paper defers fidelity to future work ("readily extendable to
+… fidelity decay"); :mod:`repro.extensions.fidelity_aware` builds that
+extension on the formulas here.  The Werner-state swap rule is the
+standard one for depolarized Bell pairs:
+
+    F' = F₁·F₂ + (1 − F₁)(1 − F₂) / 3
+
+which maps two fidelity-``Fᵢ`` Werner pairs through a perfect BSM into a
+fidelity-``F'`` Werner pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_probability
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """Fidelity ``|⟨a|b⟩|²`` between two pure states."""
+    a = np.asarray(state_a, dtype=complex).reshape(-1)
+    b = np.asarray(state_b, dtype=complex).reshape(-1)
+    if a.size != b.size:
+        raise ValueError(f"dimension mismatch: {a.size} vs {b.size}")
+    return float(abs(np.vdot(a, b)) ** 2)
+
+
+def bell_fidelity(state: np.ndarray, kind: int = 0) -> float:
+    """Fidelity of a two-qubit pure state with a Bell state."""
+    from repro.quantum.states import bell_state
+
+    return state_fidelity(state, bell_state(kind))
+
+
+def max_bell_fidelity(state: np.ndarray) -> float:
+    """Best fidelity over all four Bell states."""
+    return max(bell_fidelity(state, kind) for kind in range(4))
+
+
+def is_ghz_like(state: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Whether a pure state is a GHZ-class basis state.
+
+    True iff exactly two computational amplitudes are non-zero, they sit
+    at complementary bitstrings and each has magnitude ``1/√2`` — the
+    form every successful ``n``-fusion outcome must take.
+    """
+    flat = np.asarray(state, dtype=complex).reshape(-1)
+    n = int(round(math.log2(flat.size)))
+    if 2**n != flat.size:
+        raise ValueError(f"state length {flat.size} is not a power of 2")
+    support = [i for i, amp in enumerate(flat) if abs(amp) > tolerance]
+    if len(support) != 2:
+        return False
+    lo, hi = support
+    if lo ^ hi != 2**n - 1:
+        return False
+    target = 1.0 / math.sqrt(2.0)
+    return all(abs(abs(flat[i]) - target) <= 1e-6 for i in support)
+
+
+# ----------------------------------------------------------------------
+# Werner-state algebra (fidelity-aware extension)
+# ----------------------------------------------------------------------
+def werner_fidelity_after_swap(f1: float, f2: float) -> float:
+    """Fidelity of the pair produced by swapping two Werner pairs."""
+    require_probability(f1, "f1")
+    require_probability(f2, "f2")
+    return f1 * f2 + (1.0 - f1) * (1.0 - f2) / 3.0
+
+
+def chain_werner_fidelity(fidelities: Sequence[float]) -> float:
+    """End-to-end fidelity of swapping a chain of Werner pairs, in order."""
+    if not fidelities:
+        raise ValueError("need at least one link fidelity")
+    result = fidelities[0]
+    require_probability(result, "fidelity")
+    for fidelity in fidelities[1:]:
+        result = werner_fidelity_after_swap(result, fidelity)
+    return result
+
+
+def link_fidelity_from_length(
+    length: float, decay_per_km: float = 2e-5, base_fidelity: float = 0.99
+) -> float:
+    """Werner fidelity of a freshly generated link of a given length.
+
+    Simple exponential decoherence model: ``F = 0.25 + (F₀ − 0.25)·
+    exp(−λ·L)`` — decays from the base fidelity toward the fully mixed
+    value 1/4, never below it.
+    """
+    require_probability(base_fidelity, "base_fidelity")
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    return 0.25 + (base_fidelity - 0.25) * math.exp(-decay_per_km * length)

@@ -1,0 +1,94 @@
+"""Single- and two-qubit gates on :class:`QubitRegister`.
+
+Completes the physical story at the *generation* end: quantum links are
+Bell pairs, and Bell pairs are born from an H + CNOT circuit on |00⟩.
+With this module the library covers the full physical lifecycle —
+generate (gates) → distribute (register merge) → swap (BSM) → fuse
+(GHZ measurement) → consume (teleportation) — every step on explicit
+amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.quantum.register import QubitRegister
+from repro.quantum.states import SQRT_HALF
+
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) * SQRT_HALF
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+T_GATE = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def apply_single(
+    register: QubitRegister, label: Hashable, gate: np.ndarray
+) -> None:
+    """Apply a 2×2 unitary *gate* to one labelled qubit, in place."""
+    gate = np.asarray(gate, dtype=complex)
+    if gate.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 gate, got {gate.shape}")
+    if not np.allclose(gate @ gate.conj().T, np.eye(2), atol=1e-9):
+        raise ValueError("gate is not unitary")
+    index = register.index_of(label)
+    n = register.n_qubits
+    tensor = register.state.reshape((2,) * n)
+    moved = np.moveaxis(tensor, index, 0).reshape(2, -1)
+    moved = gate @ moved
+    restored = np.moveaxis(moved.reshape((2,) * n), 0, index)
+    register._state = restored.reshape(-1)  # friend access by design
+
+
+def hadamard(register: QubitRegister, label: Hashable) -> None:
+    """Apply H to one qubit."""
+    apply_single(register, label, HADAMARD)
+
+
+def apply_cnot(
+    register: QubitRegister, control: Hashable, target: Hashable
+) -> None:
+    """Apply CNOT(control → target), in place."""
+    if control == target:
+        raise ValueError("control and target must differ")
+    ci = register.index_of(control)
+    ti = register.index_of(target)
+    n = register.n_qubits
+    state = register.state
+    result = state.copy()
+    control_bit = n - 1 - ci
+    target_bit = n - 1 - ti
+    for index in range(state.size):
+        if (index >> control_bit) & 1:
+            result[index] = state[index ^ (1 << target_bit)]
+    register._state = result
+
+
+def create_bell_pair_via_circuit(
+    label_a: Hashable, label_b: Hashable
+) -> QubitRegister:
+    """Generate Φ⁺ the way hardware does: H on |0⟩, then CNOT.
+
+    Equivalent to :meth:`QubitRegister.bell` but derived from gates —
+    tested to match exactly.
+    """
+    register = QubitRegister.computational({label_a: 0, label_b: 0})
+    hadamard(register, label_a)
+    apply_cnot(register, label_a, label_b)
+    return register
+
+
+def create_ghz_via_circuit(labels) -> QubitRegister:
+    """Generate an n-GHZ state: H on the first qubit, CNOT fan-out."""
+    labels = list(labels)
+    if len(labels) < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    register = QubitRegister.computational({label: 0 for label in labels})
+    hadamard(register, labels[0])
+    for target in labels[1:]:
+        apply_cnot(register, labels[0], target)
+    return register

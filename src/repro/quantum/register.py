@@ -1,0 +1,297 @@
+"""A labelled multi-qubit register with projective measurements.
+
+Implements exactly the operations the quantum Internet model relies on:
+
+* holding Bell pairs whose halves live at different network nodes
+  (labels identify the owning node),
+* **BSM** — projective measurement in the Bell basis of two qubits
+  (entanglement swapping, Fig. 1 of the paper),
+* **GHZ projective measurement** — the ``n``-fusion primitive (Fig. 2),
+* reduced density matrices and fidelity probes for verification.
+
+The register is intentionally small-scale (state vectors up to ~20
+qubits); it exists to *prove* the routing layer's abstractions correct,
+not to simulate large networks — that is the analytic/Monte-Carlo job of
+:mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.states import SQRT_HALF, bell_state
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class QubitRegister:
+    """State vector over uniquely labelled qubits.
+
+    >>> reg = QubitRegister.bell("a", "s1")          # link Alice-switch
+    >>> _ = reg.merge(QubitRegister.bell("s2", "b"))  # link switch-Bob
+    >>> outcome, probability = reg.measure_bell("s1", "s2", rng=0)
+    >>> sorted(reg.labels)
+    ['a', 'b']
+    >>> round(reg.max_bell_fidelity("a", "b"), 9)   # swapped into a Bell state
+    1.0
+    """
+
+    def __init__(self, state: np.ndarray, labels: Sequence[Hashable]) -> None:
+        labels = list(labels)
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate qubit labels: {labels!r}")
+        expected = 2 ** len(labels)
+        flat = np.asarray(state, dtype=complex).reshape(-1)
+        if flat.size != expected:
+            raise ValueError(
+                f"state length {flat.size} does not match "
+                f"{len(labels)} qubits"
+            )
+        norm = np.linalg.norm(flat)
+        if not math.isclose(norm, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ValueError(f"state is not normalized (norm {norm})")
+        self._state = flat
+        self._labels: List[Hashable] = labels
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def bell(
+        cls, label_a: Hashable, label_b: Hashable, kind: int = 0
+    ) -> "QubitRegister":
+        """A fresh Bell pair shared by two labelled qubits."""
+        return cls(bell_state(kind), [label_a, label_b])
+
+    @classmethod
+    def computational(cls, bits: Dict[Hashable, int]) -> "QubitRegister":
+        """A product computational-basis state ``|bits⟩``."""
+        labels = list(bits)
+        index = 0
+        for label in labels:
+            index = (index << 1) | int(bits[label])
+        state = np.zeros(2 ** len(labels), dtype=complex)
+        state[index] = 1.0
+        return cls(state, labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[Hashable]:
+        return list(self._labels)
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self._labels)
+
+    @property
+    def state(self) -> np.ndarray:
+        """Copy of the current state vector."""
+        return self._state.copy()
+
+    def index_of(self, label: Hashable) -> int:
+        try:
+            return self._labels.index(label)
+        except ValueError:
+            raise KeyError(f"no qubit labelled {label!r}") from None
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "QubitRegister") -> "QubitRegister":
+        """Absorb *other* into this register (tensor product), in place."""
+        overlap = set(self._labels) & set(other._labels)
+        if overlap:
+            raise ValueError(f"label collision on merge: {sorted(map(repr, overlap))}")
+        self._state = np.kron(self._state, other._state)
+        self._labels.extend(other._labels)
+        return self
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def measure_bell(
+        self,
+        label_a: Hashable,
+        label_b: Hashable,
+        rng: RngLike = None,
+        force_outcome: Optional[int] = None,
+    ) -> Tuple[int, float]:
+        """Bell State Measurement on two qubits (the BSM of Fig. 1).
+
+        Projects the pair onto the Bell basis, removes the measured
+        qubits from the register (they are "freed" in the paper's
+        terminology) and collapses the remainder.
+
+        Args:
+            label_a, label_b: The two qubits to measure.
+            rng: Random source for sampling the outcome.
+            force_outcome: Pin the outcome 0..3 (post-selection) instead
+                of sampling; raises if its probability is ~0.
+
+        Returns:
+            ``(outcome, probability)`` — the Bell index measured and its
+            Born probability.
+        """
+        basis = [bell_state(k) for k in range(4)]
+        return self._project_pairwise(label_a, label_b, basis, rng, force_outcome)
+
+    def measure_ghz(
+        self,
+        labels: Sequence[Hashable],
+        rng: RngLike = None,
+        force_outcome: Optional[int] = None,
+    ) -> Tuple[int, float]:
+        """GHZ projective measurement — the ``n``-fusion of Fig. 2.
+
+        Projects the given ``n`` qubits onto the orthonormal GHZ basis
+        ``(|x⟩ + (−1)^s |x̄⟩)/√2`` (``x`` over bitstrings with leading 0,
+        ``x̄`` the complement), then removes them.
+
+        Returns ``(outcome, probability)``; outcomes are ordered
+        ``2·int(x) + s``.
+        """
+        n = len(labels)
+        if n < 2:
+            raise ValueError("GHZ measurement needs at least 2 qubits")
+        basis: List[np.ndarray] = []
+        for x in range(2 ** (n - 1)):
+            complement = (2**n - 1) ^ x
+            for sign in (1.0, -1.0):
+                vector = np.zeros(2**n, dtype=complex)
+                vector[x] = SQRT_HALF
+                vector[complement] = sign * SQRT_HALF
+                basis.append(vector)
+        return self._project_multi(list(labels), basis, rng, force_outcome)
+
+    def _project_pairwise(
+        self,
+        label_a: Hashable,
+        label_b: Hashable,
+        basis: List[np.ndarray],
+        rng: RngLike,
+        force_outcome: Optional[int],
+    ) -> Tuple[int, float]:
+        if label_a == label_b:
+            raise ValueError("cannot measure a qubit against itself")
+        return self._project_multi([label_a, label_b], basis, rng, force_outcome)
+
+    def _project_multi(
+        self,
+        measure_labels: List[Hashable],
+        basis: List[np.ndarray],
+        rng: RngLike,
+        force_outcome: Optional[int],
+    ) -> Tuple[int, float]:
+        indices = [self.index_of(label) for label in measure_labels]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"repeated labels in measurement: {measure_labels!r}")
+        k = len(indices)
+        n = self.n_qubits
+        tensor_state = self._state.reshape((2,) * n)
+        # Move the measured qubits to the front axes.
+        rest = [i for i in range(n) if i not in indices]
+        reordered = np.moveaxis(tensor_state, indices, range(k))
+        matrix = reordered.reshape(2**k, -1)
+
+        residuals = [vector.conj() @ matrix for vector in basis]
+        probabilities = np.array(
+            [float(np.vdot(r, r).real) for r in residuals]
+        )
+        total = probabilities.sum()
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise AssertionError(
+                f"projective basis not complete: probabilities sum to {total}"
+            )
+
+        if force_outcome is not None:
+            outcome = int(force_outcome)
+            if not 0 <= outcome < len(basis):
+                raise ValueError(f"outcome {outcome} out of range")
+            if probabilities[outcome] <= 1e-12:
+                raise ValueError(
+                    f"forced outcome {outcome} has probability "
+                    f"{probabilities[outcome]:.3e}"
+                )
+        else:
+            generator = ensure_rng(rng)
+            outcome = int(
+                generator.choice(len(basis), p=probabilities / total)
+            )
+
+        probability = float(probabilities[outcome])
+        collapsed = residuals[outcome] / math.sqrt(probability)
+        self._labels = [self._labels[i] for i in rest]
+        self._state = collapsed.reshape(-1)
+        return outcome, probability
+
+    def measure_computational(
+        self, label: Hashable, rng: RngLike = None
+    ) -> Tuple[int, float]:
+        """Z-basis measurement of one qubit; removes it from the register."""
+        zero = np.array([1.0, 0.0], dtype=complex)
+        one = np.array([0.0, 1.0], dtype=complex)
+        return self._project_multi([label], [zero, one], rng, None)
+
+    # ------------------------------------------------------------------
+    # Corrections and probes
+    # ------------------------------------------------------------------
+    def apply_pauli(self, label: Hashable, pauli: str) -> None:
+        """Apply a Pauli correction (``"I"/"X"/"Y"/"Z"``) to one qubit.
+
+        After a BSM, the outer pair is a Bell state up to a Pauli frame;
+        classical communication of the outcome lets a user rotate it back
+        to Φ⁺ — exactly what this method models.
+        """
+        matrices = {
+            "I": np.eye(2, dtype=complex),
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        try:
+            matrix = matrices[pauli.upper()]
+        except KeyError:
+            raise ValueError(f"unknown Pauli {pauli!r}") from None
+        index = self.index_of(label)
+        n = self.n_qubits
+        tensor_state = self._state.reshape((2,) * n)
+        moved = np.moveaxis(tensor_state, index, 0).reshape(2, -1)
+        moved = matrix @ moved
+        restored = np.moveaxis(moved.reshape((2,) * n), 0, index)
+        self._state = restored.reshape(-1)
+
+    def reduced_density(self, labels: Sequence[Hashable]) -> np.ndarray:
+        """Reduced density matrix of the given qubits (partial trace)."""
+        indices = [self.index_of(label) for label in labels]
+        k = len(indices)
+        n = self.n_qubits
+        tensor_state = self._state.reshape((2,) * n)
+        reordered = np.moveaxis(tensor_state, indices, range(k))
+        matrix = reordered.reshape(2**k, -1)
+        return matrix @ matrix.conj().T
+
+    def bell_fidelity(
+        self, label_a: Hashable, label_b: Hashable, kind: int = 0
+    ) -> float:
+        """Fidelity of the reduced pair state with a target Bell state."""
+        rho = self.reduced_density([label_a, label_b])
+        target = bell_state(kind)
+        return float((target.conj() @ rho @ target).real)
+
+    def max_bell_fidelity(self, label_a: Hashable, label_b: Hashable) -> float:
+        """Best fidelity over the four Bell states (Pauli-frame agnostic)."""
+        return max(
+            self.bell_fidelity(label_a, label_b, kind) for kind in range(4)
+        )
+
+    def ghz_fidelity(self, labels: Sequence[Hashable]) -> float:
+        """Fidelity of the reduced state with the ``n``-GHZ state."""
+        from repro.quantum.states import ghz_state
+
+        rho = self.reduced_density(labels)
+        target = ghz_state(len(labels))
+        return float((target.conj() @ rho @ target).real)

@@ -1,0 +1,96 @@
+"""Pure-state construction helpers (state vectors over labelled qubits).
+
+Conventions: qubit 0 is the most significant bit of the computational
+basis index (big-endian), states are 1-D complex numpy arrays of length
+``2^n``, normalized to unit 2-norm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+SQRT_HALF = 1.0 / math.sqrt(2.0)
+
+
+def ket(bits: Sequence[int]) -> np.ndarray:
+    """Computational basis state ``|b_0 b_1 … b_{n-1}⟩`` (big-endian)."""
+    n = len(bits)
+    if n == 0:
+        raise ValueError("ket needs at least one qubit")
+    index = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        index = (index << 1) | bit
+    state = np.zeros(2**n, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def tensor(*states: np.ndarray) -> np.ndarray:
+    """Kronecker product of the given states (left-to-right order)."""
+    if not states:
+        raise ValueError("tensor needs at least one state")
+    result = states[0]
+    for state in states[1:]:
+        result = np.kron(result, state)
+    return result
+
+
+def bell_state(kind: int = 0) -> np.ndarray:
+    """The four Bell states.
+
+    ``kind``: 0 → Φ⁺ = (|00⟩+|11⟩)/√2, 1 → Φ⁻, 2 → Ψ⁺ = (|01⟩+|10⟩)/√2,
+    3 → Ψ⁻.  The paper's quantum links carry Φ⁺ pairs.
+    """
+    state = np.zeros(4, dtype=complex)
+    if kind == 0:
+        state[0b00] = SQRT_HALF
+        state[0b11] = SQRT_HALF
+    elif kind == 1:
+        state[0b00] = SQRT_HALF
+        state[0b11] = -SQRT_HALF
+    elif kind == 2:
+        state[0b01] = SQRT_HALF
+        state[0b10] = SQRT_HALF
+    elif kind == 3:
+        state[0b01] = SQRT_HALF
+        state[0b10] = -SQRT_HALF
+    else:
+        raise ValueError(f"Bell kind must be 0..3, got {kind!r}")
+    return state
+
+
+def bell_pair() -> np.ndarray:
+    """The quantum-link state Φ⁺ = (|00⟩ + |11⟩)/√2."""
+    return bell_state(0)
+
+
+def ghz_state(n: int) -> np.ndarray:
+    """``n``-GHZ state (|0…0⟩ + |1…1⟩)/√2, ``n ≥ 2``."""
+    if n < 2:
+        raise ValueError(f"GHZ needs at least 2 qubits, got {n}")
+    state = np.zeros(2**n, dtype=complex)
+    state[0] = SQRT_HALF
+    state[-1] = SQRT_HALF
+    return state
+
+
+def is_normalized(state: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Whether *state* has unit norm."""
+    return abs(np.linalg.norm(state) - 1.0) <= tolerance
+
+
+def amplitudes(state: np.ndarray, cutoff: float = 1e-12) -> Dict[str, complex]:
+    """Non-negligible amplitudes keyed by bitstring (for debugging/tests)."""
+    n = int(round(math.log2(len(state))))
+    if 2**n != len(state):
+        raise ValueError(f"state length {len(state)} is not a power of 2")
+    result: Dict[str, complex] = {}
+    for index, amplitude in enumerate(state):
+        if abs(amplitude) > cutoff:
+            result[format(index, f"0{n}b")] = complex(amplitude)
+    return result

@@ -1,0 +1,78 @@
+"""Quantum teleportation over delivered Bell pairs.
+
+Teleportation is *why* the quantum Internet distributes entanglement:
+once Alice and Bob share a Bell pair (the output of a routed channel),
+Alice can transmit an arbitrary unknown qubit state to Bob using only a
+BSM and two classical bits.  This module implements the protocol on the
+library's state-vector register, closing the loop from routing to
+application:
+
+1. Alice holds the payload qubit ``|ψ⟩`` and her half of a Φ⁺ pair;
+2. she measures (payload, her half) in the Bell basis — the same
+   primitive switches use for swapping;
+3. she sends the 2-bit outcome to Bob classically;
+4. Bob applies the outcome's Pauli correction; his qubit is now ``|ψ⟩``
+   exactly (fidelity 1 in the noiseless model — verified in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.quantum.register import QubitRegister
+from repro.utils.rng import RngLike
+
+#: BSM outcome → Pauli correction Bob applies (Φ⁺ shared pair).
+CORRECTIONS = {0: "I", 1: "Z", 2: "X", 3: "Y"}
+
+
+def teleport(
+    register: QubitRegister,
+    payload: Hashable,
+    alice_half: Hashable,
+    bob_half: Hashable,
+    rng: RngLike = None,
+) -> Tuple[int, float]:
+    """Teleport *payload*'s state onto *bob_half* in place.
+
+    Args:
+        register: Register holding the payload qubit and a Φ⁺ pair on
+            ``(alice_half, bob_half)`` (possibly entangled with other
+            qubits — teleportation moves whatever correlations the
+            payload carries).
+        payload: Alice's qubit to transmit.
+        alice_half, bob_half: The shared Bell pair's qubits.
+        rng: Random source for the BSM outcome.
+
+    Returns:
+        ``(outcome, probability)`` of the BSM; after the call the
+        payload and Alice's half are consumed and *bob_half* carries the
+        payload's former state (correction already applied).
+    """
+    outcome, probability = register.measure_bell(payload, alice_half, rng=rng)
+    register.apply_pauli(bob_half, CORRECTIONS[outcome])
+    return outcome, probability
+
+
+def teleport_state(
+    state: np.ndarray, rng: RngLike = None
+) -> Tuple[np.ndarray, int]:
+    """Convenience: teleport a standalone single-qubit *state*.
+
+    Builds the three-qubit register (payload + fresh Φ⁺ pair), runs the
+    protocol, and returns ``(bob_state, outcome)`` where ``bob_state``
+    is Bob's final single-qubit state vector.
+    """
+    flat = np.asarray(state, dtype=complex).reshape(-1)
+    if flat.size != 2:
+        raise ValueError(f"payload must be a single qubit, got dim {flat.size}")
+    norm = np.linalg.norm(flat)
+    if not math.isclose(norm, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise ValueError(f"payload state not normalized (norm {norm})")
+    register = QubitRegister(flat, ["payload"])
+    register.merge(QubitRegister.bell("alice", "bob"))
+    outcome, _ = teleport(register, "payload", "alice", "bob", rng=rng)
+    return register.state, outcome

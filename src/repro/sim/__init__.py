@@ -1,0 +1,67 @@
+"""Stochastic simulation of the entanglement process.
+
+The paper's evaluation metric is the *analytic* entanglement rate
+(Eq. 1/Eq. 2).  This package adds the physical-process view:
+
+* :mod:`repro.sim.protocol` — vectorized Monte-Carlo trials of a routed
+  entanglement tree: every quantum link flips a ``p = exp(-αL)`` coin
+  and every BSM a ``q`` coin per attempt, exactly the "all succeed
+  simultaneously during the fixed time period" semantics of Sec. II-C.
+  Used to *validate* that measured success frequencies converge to the
+  analytic rates.
+* :mod:`repro.sim.engine` — a small discrete-event simulator that plays
+  the offline-plan protocol of Sec. II-B slot by slot (request → plan →
+  link generation → swapping), reporting time-to-first-entanglement.
+"""
+
+from repro.sim.protocol import (
+    MonteCarloResult,
+    simulate_channel,
+    simulate_solution,
+)
+from repro.sim.engine import (
+    Event,
+    EventQueue,
+    SlottedEntanglementSimulator,
+    SlottedRunResult,
+)
+from repro.sim.memory import (
+    MemoryProtocolSimulator,
+    MemoryRunResult,
+    MemoryComparison,
+    compare_memory_windows,
+)
+from repro.sim.online import (
+    EntanglementRequest,
+    OnlineScheduler,
+    OnlineResult,
+    RequestOutcome,
+)
+from repro.sim.workload import (
+    WorkloadSpec,
+    generate_workload,
+    offered_load_summary,
+    user_popularity,
+)
+
+__all__ = [
+    "MonteCarloResult",
+    "simulate_channel",
+    "simulate_solution",
+    "Event",
+    "EventQueue",
+    "SlottedEntanglementSimulator",
+    "SlottedRunResult",
+    "MemoryProtocolSimulator",
+    "MemoryRunResult",
+    "MemoryComparison",
+    "compare_memory_windows",
+    "EntanglementRequest",
+    "OnlineScheduler",
+    "OnlineResult",
+    "RequestOutcome",
+    "WorkloadSpec",
+    "generate_workload",
+    "offered_load_summary",
+    "user_popularity",
+]

@@ -1,0 +1,232 @@
+"""Online entanglement-request scheduling over a shared network.
+
+The paper plans routes *offline* for one user set (Sec. II-B).  A
+deployed quantum Internet serves a stream of requests: entanglement
+groups arrive over time, hold their switch qubits while the application
+runs, and release them on departure.  This module adds that operational
+layer on top of the routing algorithms:
+
+* :class:`EntanglementRequest` — a user group with an arrival slot and a
+  holding time;
+* :class:`OnlineScheduler` — slot-driven loss system: on each slot it
+  releases expired reservations, then tries to route that slot's
+  arrivals with the current residual capacity (optionally retrying
+  blocked requests for a bounded wait).  Blocked-and-expired requests
+  are lost;
+* :class:`OnlineResult` — acceptance ratio, rates, and qubit-utilization
+  telemetry, the metrics an operator dimensioning switch memory cares
+  about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.prim_based import solve_prim
+from repro.core.problem import MUERPSolution
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EntanglementRequest:
+    """One entanglement request in the arrival stream.
+
+    Attributes:
+        name: Unique request id.
+        users: The quantum users to entangle (≥ 2).
+        arrival: Slot index at which the request arrives.
+        hold: Number of slots the reservation is held once routed.
+        max_wait: Slots the request may wait when blocked (0 = pure
+            loss system).
+    """
+
+    name: str
+    users: Tuple[Hashable, ...]
+    arrival: int
+    hold: int = 1
+    max_wait: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.users) < 2:
+            raise ValueError(f"request {self.name!r} needs >= 2 users")
+        if len(set(self.users)) != len(self.users):
+            raise ValueError(f"request {self.name!r} has duplicate users")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.hold < 1:
+            raise ValueError("hold must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one request."""
+
+    request: EntanglementRequest
+    accepted: bool
+    solution: Optional[MUERPSolution]
+    start_slot: Optional[int]
+    release_slot: Optional[int]
+
+    @property
+    def waited(self) -> int:
+        if self.start_slot is None:
+            return 0
+        return self.start_slot - self.request.arrival
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Aggregate outcome of an online run."""
+
+    outcomes: Tuple[RequestOutcome, ...]
+    slots_simulated: int
+    peak_qubit_usage: Dict[Hashable, int]
+
+    @property
+    def n_accepted(self) -> int:
+        return sum(1 for o in self.outcomes if o.accepted)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if not self.outcomes:
+            return 1.0
+        return self.n_accepted / len(self.outcomes)
+
+    @property
+    def mean_accepted_rate(self) -> float:
+        rates = [o.solution.rate for o in self.outcomes if o.accepted]
+        if not rates:
+            return 0.0
+        return sum(rates) / len(rates)
+
+    def outcome_for(self, name: str) -> RequestOutcome:
+        for outcome in self.outcomes:
+            if outcome.request.name == name:
+                return outcome
+        raise KeyError(f"no outcome for request {name!r}")
+
+
+class OnlineScheduler:
+    """Slot-driven online admission and routing.
+
+    Args:
+        network: The shared quantum network.
+        method: Per-request solver: ``"prim"`` (default) or
+            ``"conflict_free"``.
+        rng: Random source forwarded to the solver.
+    """
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        method: str = "prim",
+        rng: RngLike = None,
+    ) -> None:
+        if method not in ("prim", "conflict_free"):
+            raise ValueError(f"unsupported method {method!r}")
+        self.network = network
+        self.method = method
+        self.rng = ensure_rng(rng)
+
+    def run(self, requests: Sequence[EntanglementRequest]) -> OnlineResult:
+        """Simulate the whole arrival stream; returns the telemetry."""
+        names = [r.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ValueError("request names must be unique")
+
+        residual = self.network.residual_qubits()
+        budgets = dict(residual)
+        peak_usage: Dict[Hashable, int] = {s: 0 for s in residual}
+
+        #: (release_slot, usage dict) of active reservations.
+        active: List[Tuple[int, Dict[Hashable, int]]] = []
+        #: requests waiting for capacity, with their give-up slot.
+        waiting: List[Tuple[int, EntanglementRequest]] = []
+        outcomes: Dict[str, RequestOutcome] = {}
+
+        by_arrival: Dict[int, List[EntanglementRequest]] = {}
+        for request in requests:
+            by_arrival.setdefault(request.arrival, []).append(request)
+        if not requests:
+            return OnlineResult((), 0, peak_usage)
+        horizon = max(r.arrival + r.max_wait for r in requests) + 1
+
+        last_activity = 0
+        for slot in range(horizon + 1):
+            # 1. Release expired reservations.
+            still_active = []
+            for release_slot, usage in active:
+                if release_slot <= slot:
+                    for switch, qubits in usage.items():
+                        residual[switch] += qubits
+                else:
+                    still_active.append((release_slot, usage))
+            active = still_active
+
+            # 2. Gather this slot's candidates: new arrivals + waiters.
+            candidates = list(by_arrival.get(slot, []))
+            retained: List[Tuple[int, EntanglementRequest]] = []
+            for give_up, request in waiting:
+                candidates.append(request)
+            waiting = []
+
+            # 3. Try to admit each candidate (arrival order).
+            for request in candidates:
+                solution = self._route(request, residual)
+                if solution is not None:
+                    usage = solution.switch_usage()
+                    for switch, qubits in usage.items():
+                        residual[switch] -= qubits
+                        used_now = budgets[switch] - residual[switch]
+                        peak_usage[switch] = max(peak_usage[switch], used_now)
+                    release_slot = slot + request.hold
+                    active.append((release_slot, usage))
+                    outcomes[request.name] = RequestOutcome(
+                        request=request,
+                        accepted=True,
+                        solution=solution,
+                        start_slot=slot,
+                        release_slot=release_slot,
+                    )
+                    last_activity = max(last_activity, release_slot)
+                elif slot < request.arrival + request.max_wait:
+                    retained.append((request.arrival + request.max_wait, request))
+                else:
+                    outcomes[request.name] = RequestOutcome(
+                        request=request,
+                        accepted=False,
+                        solution=None,
+                        start_slot=None,
+                        release_slot=None,
+                    )
+            waiting = retained
+
+        ordered = tuple(outcomes[r.name] for r in requests)
+        return OnlineResult(
+            outcomes=ordered,
+            slots_simulated=max(horizon, last_activity),
+            peak_qubit_usage=peak_usage,
+        )
+
+    def _route(
+        self,
+        request: EntanglementRequest,
+        residual: Dict[Hashable, int],
+    ) -> Optional[MUERPSolution]:
+        """Route one request against *residual* without mutating it."""
+        budget = dict(residual)
+        if self.method == "prim":
+            solution = solve_prim(
+                self.network, request.users, rng=self.rng, residual=budget
+            )
+        else:
+            solution = solve_conflict_free(
+                self.network, request.users, rng=self.rng, residual=budget
+            )
+        return solution if solution.feasible else None

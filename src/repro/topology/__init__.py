@@ -1,0 +1,42 @@
+"""Random network topology generators used by the paper's evaluation.
+
+Sec. V-A of the paper generates networks with three methods — Waxman,
+Watts–Strogatz and Volchenkov (power-law) — over a 10k × 10k km area, with
+50 switches, 10 users, average degree 6 and 4 qubits per switch by
+default.  :func:`generate` dispatches on a method name and returns a fully
+built :class:`~repro.network.QuantumNetwork`.
+"""
+
+from repro.topology.base import TopologyConfig, GeneratedTopology, repair_connectivity
+from repro.topology.waxman import waxman_network
+from repro.topology.watts_strogatz import watts_strogatz_network
+from repro.topology.volchenkov import volchenkov_network
+from repro.topology.extras import grid_network, ring_network, erdos_renyi_network
+from repro.topology.real_world import real_world_network, TOPOLOGY_DATA
+from repro.topology.perturb import (
+    remove_random_fibers,
+    densify,
+    jitter_positions,
+    degrade_switches,
+)
+from repro.topology.registry import GENERATORS, generate
+
+__all__ = [
+    "TopologyConfig",
+    "GeneratedTopology",
+    "repair_connectivity",
+    "waxman_network",
+    "watts_strogatz_network",
+    "volchenkov_network",
+    "grid_network",
+    "ring_network",
+    "erdos_renyi_network",
+    "real_world_network",
+    "TOPOLOGY_DATA",
+    "remove_random_fibers",
+    "densify",
+    "jitter_positions",
+    "degrade_switches",
+    "GENERATORS",
+    "generate",
+]

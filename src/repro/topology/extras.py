@@ -1,0 +1,127 @@
+"""Deterministic auxiliary topologies (grids, rings, Erdős–Rényi).
+
+Not used by the paper's evaluation directly, but invaluable for unit
+tests (known structure → known optimal routes) and for the lattice-style
+scenarios cited in related work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.network.graph import NetworkParams, QuantumNetwork
+from repro.topology.base import (
+    GeneratedTopology,
+    TopologyConfig,
+    assemble_network,
+    choose_user_indices,
+    repair_connectivity,
+    scatter_positions,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 1000.0,
+    corner_users: bool = True,
+    qubits_per_switch: int = 4,
+    params: Optional[NetworkParams] = None,
+) -> QuantumNetwork:
+    """Build a ``rows × cols`` lattice of switches with users at corners.
+
+    When *corner_users* is false, users sit at the west and east midpoints
+    instead (always at least two users).  Spacing is the fiber length of
+    every lattice edge.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2x2 nodes")
+    network = QuantumNetwork(params)
+    if corner_users:
+        user_cells = {(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)}
+    else:
+        user_cells = {(rows // 2, 0), (rows // 2, cols - 1)}
+
+    def name(r: int, c: int) -> str:
+        return f"n{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            position = (c * spacing, r * spacing)
+            if (r, c) in user_cells:
+                network.add_user(name(r, c), position)
+            else:
+                network.add_switch(name(r, c), position, qubits=qubits_per_switch)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                network.add_fiber(name(r, c), name(r, c + 1), spacing)
+            if r + 1 < rows:
+                network.add_fiber(name(r, c), name(r + 1, c), spacing)
+    return network
+
+
+def ring_network(
+    n_nodes: int,
+    n_users: int = 2,
+    circumference: float = 10_000.0,
+    qubits_per_switch: int = 4,
+    params: Optional[NetworkParams] = None,
+) -> QuantumNetwork:
+    """Cycle of *n_nodes* nodes with *n_users* users evenly spread."""
+    import math
+
+    if n_nodes < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    if not 2 <= n_users <= n_nodes:
+        raise ValueError("need 2 <= n_users <= n_nodes")
+    network = QuantumNetwork(params)
+    radius = circumference / (2 * math.pi)
+    user_slots = {round(i * n_nodes / n_users) % n_nodes for i in range(n_users)}
+    while len(user_slots) < n_users:  # collisions on tiny rings
+        user_slots.add(len(user_slots))
+    names = []
+    for i in range(n_nodes):
+        angle = 2 * math.pi * i / n_nodes
+        position = (radius * math.cos(angle), radius * math.sin(angle))
+        if i in user_slots:
+            node_name = f"u{i}"
+            network.add_user(node_name, position)
+        else:
+            node_name = f"s{i}"
+            network.add_switch(node_name, position, qubits=qubits_per_switch)
+        names.append(node_name)
+    segment = circumference / n_nodes
+    for i in range(n_nodes):
+        network.add_fiber(names[i], names[(i + 1) % n_nodes], segment)
+    return network
+
+
+def erdos_renyi_network(
+    config: TopologyConfig, rng: RngLike = None
+) -> QuantumNetwork:
+    """G(n, m) random network with the config's edge-count target."""
+    return erdos_renyi_topology(config, rng).network
+
+
+def erdos_renyi_topology(
+    config: TopologyConfig, rng: RngLike = None
+) -> GeneratedTopology:
+    """Like :func:`erdos_renyi_network` with metadata."""
+    generator = ensure_rng(rng)
+    positions = scatter_positions(config, generator)
+    n = config.n_nodes
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    target = min(config.target_edges, len(all_pairs))
+    chosen = generator.choice(len(all_pairs), size=target, replace=False)
+    edges: Set[Tuple[int, int]] = {all_pairs[int(k)] for k in chosen}
+    edges = repair_connectivity(positions, edges)
+    user_indices = choose_user_indices(config, generator)
+    network = assemble_network(config, positions, edges, user_indices)
+    return GeneratedTopology(
+        network=network,
+        config=config,
+        method="erdos_renyi",
+        positions={node.id: node.position for node in network.nodes},
+    )

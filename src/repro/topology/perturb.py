@@ -1,0 +1,146 @@
+"""Topology perturbation utilities.
+
+The resilience analyses (Fig. 7(b), the recovery extension, chaos tests)
+need controlled ways to mutate a topology.  All helpers return modified
+*copies* and are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Tuple
+
+from repro.network.graph import QuantumNetwork
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def remove_random_fibers(
+    network: QuantumNetwork,
+    count: int,
+    rng: RngLike = None,
+    keep_connected: bool = False,
+) -> QuantumNetwork:
+    """Copy of *network* with *count* uniformly random fibers removed.
+
+    With ``keep_connected`` fibers whose removal would disconnect the
+    graph are skipped (the trim may then fall short of *count*).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    generator = ensure_rng(rng)
+    result = network.copy()
+    removed = 0
+    attempts = 0
+    max_attempts = 20 * max(count, 1)
+    while removed < count and attempts < max_attempts:
+        attempts += 1
+        fibers = result.fibers
+        if not fibers:
+            break
+        fiber = fibers[int(generator.integers(0, len(fibers)))]
+        result.remove_fiber(fiber.u, fiber.v)
+        if keep_connected and not result.is_connected():
+            result.add_fiber(fiber.u, fiber.v, fiber.length, fiber.cores)
+            continue
+        removed += 1
+    return result
+
+
+def densify(
+    network: QuantumNetwork,
+    count: int,
+    rng: RngLike = None,
+    max_length: Optional[float] = None,
+) -> QuantumNetwork:
+    """Copy of *network* with up to *count* new random fibers added.
+
+    Candidate endpoints are uniform node pairs without an existing
+    fiber; ``max_length`` (km) filters out overly long additions.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    generator = ensure_rng(rng)
+    result = network.copy()
+    nodes = result.node_ids
+    if len(nodes) < 2:
+        return result
+    added = 0
+    attempts = 0
+    max_attempts = 50 * max(count, 1)
+    while added < count and attempts < max_attempts:
+        attempts += 1
+        i, j = generator.choice(len(nodes), size=2, replace=False)
+        u, v = nodes[int(i)], nodes[int(j)]
+        if result.has_fiber(u, v):
+            continue
+        length = result.node(u).distance_to(result.node(v))
+        if length <= 0.0:
+            length = 1e-9
+        if max_length is not None and length > max_length:
+            continue
+        result.add_fiber(u, v, length)
+        added += 1
+    return result
+
+
+def jitter_positions(
+    network: QuantumNetwork,
+    sigma_km: float,
+    rng: RngLike = None,
+) -> QuantumNetwork:
+    """Rebuild *network* with Gaussian-perturbed node positions.
+
+    Fiber lengths are recomputed from the new positions, modelling
+    deployment uncertainty; the wiring is preserved.
+    """
+    if sigma_km < 0:
+        raise ValueError("sigma_km must be >= 0")
+    generator = ensure_rng(rng)
+    result = QuantumNetwork(network.params)
+    for node in network.nodes:
+        dx, dy = generator.normal(0.0, sigma_km, size=2)
+        position = (node.position[0] + dx, node.position[1] + dy)
+        if network.is_user(node.id):
+            result.add_user(node.id, position)
+        else:
+            result.add_switch(
+                node.id, position, qubits=network.qubits_of(node.id)
+            )
+    for fiber in network.fibers:
+        result.add_fiber(fiber.u, fiber.v, cores=fiber.cores)
+    return result
+
+
+def degrade_switches(
+    network: QuantumNetwork,
+    fraction: float,
+    rng: RngLike = None,
+    to_qubits: int = 0,
+) -> Tuple[QuantumNetwork, List[Hashable]]:
+    """Set a random *fraction* of switches to *to_qubits* memories.
+
+    Returns ``(network_copy, degraded_switch_ids)`` — models partially
+    failed or maintenance-drained switches for resilience studies.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    generator = ensure_rng(rng)
+    switches = network.switch_ids
+    n_degraded = int(round(fraction * len(switches)))
+    chosen = set()
+    if n_degraded:
+        picks = generator.choice(len(switches), size=n_degraded, replace=False)
+        chosen = {switches[int(i)] for i in picks}
+    result = QuantumNetwork(network.params)
+    for node in network.nodes:
+        if network.is_user(node.id):
+            result.add_user(node.id, node.position)
+        elif node.id in chosen:
+            result.add_switch(node.id, node.position, qubits=to_qubits)
+        else:
+            result.add_switch(
+                node.id, node.position, qubits=network.qubits_of(node.id)
+            )
+    for fiber in network.fibers:
+        result.add_fiber(fiber.u, fiber.v, fiber.length, fiber.cores)
+    return result, sorted(chosen, key=repr)

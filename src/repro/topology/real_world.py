@@ -1,0 +1,119 @@
+"""Reference real-world research-network topologies.
+
+The paper evaluates on synthetic generators; real deployments are often
+benchmarked on published research topologies.  We ship two classics with
+approximate geographic coordinates (scaled to kilometres):
+
+* **NSFNET** (14 nodes, 21 links) — the historical US research backbone,
+  a standard testbed in optical/quantum networking papers.
+* **ABILENE** (11 nodes, 14 links) — the Internet2 backbone.
+
+Nodes default to switches; callers pick which sites host quantum users
+(by name or count).  Fiber lengths are great-circle-ish straight-line
+distances from the embedded coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.graph import NetworkParams, QuantumNetwork
+from repro.utils.rng import RngLike, ensure_rng
+
+# Approximate (x, y) positions in km on a flat projection of the US.
+_NSFNET_SITES: Dict[str, Tuple[float, float]] = {
+    "WA": (0, 2600), "CA1": (0, 1200), "CA2": (250, 800),
+    "UT": (1100, 1800), "CO": (1600, 1600), "TX": (2100, 400),
+    "NE": (2300, 1800), "IL": (3100, 2000), "PA": (3900, 1900),
+    "GA": (3600, 900), "MI": (3500, 2300), "NY": (4300, 2200),
+    "NJ": (4250, 2000), "DC": (4100, 1800),
+}
+
+_NSFNET_LINKS: List[Tuple[str, str]] = [
+    ("WA", "CA1"), ("WA", "CA2"), ("WA", "IL"),
+    ("CA1", "CA2"), ("CA1", "UT"), ("CA2", "TX"),
+    ("UT", "CO"), ("UT", "MI"), ("CO", "NE"), ("CO", "TX"),
+    ("NE", "IL"), ("NE", "UT"), ("TX", "GA"), ("TX", "DC"),
+    ("IL", "PA"), ("GA", "PA"), ("GA", "MI"), ("MI", "NY"),
+    ("PA", "NY"), ("NY", "NJ"), ("NJ", "DC"),
+]
+
+_ABILENE_SITES: Dict[str, Tuple[float, float]] = {
+    "SEA": (0, 2600), "SNV": (100, 1100), "LAX": (300, 700),
+    "DEN": (1600, 1700), "KSC": (2500, 1500), "HOU": (2300, 300),
+    "CHI": (3100, 2000), "IPL": (3300, 1800), "ATL": (3600, 900),
+    "WDC": (4100, 1800), "NYC": (4300, 2200),
+}
+
+_ABILENE_LINKS: List[Tuple[str, str]] = [
+    ("SEA", "SNV"), ("SEA", "DEN"), ("SNV", "LAX"), ("SNV", "DEN"),
+    ("LAX", "HOU"), ("DEN", "KSC"), ("KSC", "HOU"), ("KSC", "IPL"),
+    ("HOU", "ATL"), ("CHI", "IPL"), ("CHI", "NYC"), ("IPL", "ATL"),
+    ("ATL", "WDC"), ("NYC", "WDC"),
+]
+
+TOPOLOGY_DATA: Dict[str, Tuple[Dict[str, Tuple[float, float]], List[Tuple[str, str]]]] = {
+    "nsfnet": (_NSFNET_SITES, _NSFNET_LINKS),
+    "abilene": (_ABILENE_SITES, _ABILENE_LINKS),
+}
+
+
+def real_world_network(
+    name: str,
+    user_sites: Optional[Sequence[str]] = None,
+    n_users: int = 4,
+    qubits_per_switch: int = 4,
+    params: Optional[NetworkParams] = None,
+    rng: RngLike = None,
+) -> QuantumNetwork:
+    """Build a named reference topology as a quantum network.
+
+    Args:
+        name: ``"nsfnet"`` or ``"abilene"``.
+        user_sites: Site names that host quantum users.  When omitted,
+            *n_users* sites are drawn uniformly at random with *rng*.
+        n_users: Number of random user sites when *user_sites* is None.
+        qubits_per_switch: Budget for every non-user site.
+        params: Physical parameters (paper defaults when omitted).
+        rng: Random source for the user-site draw.
+
+    Returns:
+        A connected :class:`QuantumNetwork` whose fiber lengths are the
+        straight-line site distances.
+    """
+    try:
+        sites, links = TOPOLOGY_DATA[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {sorted(TOPOLOGY_DATA)}"
+        ) from None
+
+    if user_sites is None:
+        generator = ensure_rng(rng)
+        if not 2 <= n_users <= len(sites):
+            raise ValueError(
+                f"n_users must be in [2, {len(sites)}], got {n_users}"
+            )
+        names = sorted(sites)
+        chosen = generator.choice(len(names), size=n_users, replace=False)
+        user_set = {names[int(i)] for i in chosen}
+    else:
+        user_set = set(user_sites)
+        unknown = user_set - set(sites)
+        if unknown:
+            raise ValueError(f"unknown sites: {sorted(unknown)}")
+        if len(user_set) < 2:
+            raise ValueError("need at least 2 user sites")
+
+    network = QuantumNetwork(params)
+    for site, position in sites.items():
+        if site in user_set:
+            network.add_user(site, position)
+        else:
+            network.add_switch(site, position, qubits=qubits_per_switch)
+    for u, v in links:
+        du = sites[u]
+        dv = sites[v]
+        network.add_fiber(u, v, math.hypot(du[0] - dv[0], du[1] - dv[1]))
+    return network

@@ -1,0 +1,40 @@
+"""Name-based dispatch for topology generators."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.network.graph import QuantumNetwork
+from repro.topology.base import TopologyConfig
+from repro.topology.extras import erdos_renyi_network
+from repro.topology.volchenkov import volchenkov_network
+from repro.topology.watts_strogatz import watts_strogatz_network
+from repro.topology.waxman import waxman_network
+from repro.utils.rng import RngLike
+
+Generator = Callable[[TopologyConfig, RngLike], QuantumNetwork]
+
+#: The three methods from the paper's Sec. V-A plus an Erdős–Rényi extra.
+GENERATORS: Dict[str, Generator] = {
+    "waxman": waxman_network,
+    "watts_strogatz": watts_strogatz_network,
+    "volchenkov": volchenkov_network,
+    "erdos_renyi": erdos_renyi_network,
+}
+
+
+def generate(
+    method: str, config: TopologyConfig, rng: RngLike = None
+) -> QuantumNetwork:
+    """Generate a network with the named *method* ("waxman" by default).
+
+    Raises ``KeyError`` listing the available methods on an unknown name.
+    """
+    try:
+        generator = GENERATORS[method]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology method {method!r}; "
+            f"available: {sorted(GENERATORS)}"
+        ) from None
+    return generator(config, rng)

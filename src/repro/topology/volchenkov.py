@@ -1,0 +1,124 @@
+"""Volchenkov–Blanchard power-law random-graph generator.
+
+Volchenkov & Blanchard (2002) describe an algorithm producing graphs with
+power-law degree distributions.  We reproduce its essence: draw a target
+degree for every node from a truncated power law ``P(k) ∝ k^{-τ}``
+(re-scaled so the mean matches the configured average degree), then
+realise the degree sequence with a preferential, distance-agnostic
+stub-matching pass.  Connectivity is repaired geometrically afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.network.graph import QuantumNetwork
+from repro.topology.base import (
+    GeneratedTopology,
+    TopologyConfig,
+    assemble_network,
+    choose_user_indices,
+    repair_connectivity,
+    scatter_positions,
+    trim_to_edge_target,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+DEFAULT_EXPONENT = 2.5
+
+
+def volchenkov_network(
+    config: TopologyConfig,
+    rng: RngLike = None,
+    exponent: float = DEFAULT_EXPONENT,
+) -> QuantumNetwork:
+    """Generate a power-law (Volchenkov-style) quantum network."""
+    return volchenkov_topology(config, rng, exponent).network
+
+
+def volchenkov_topology(
+    config: TopologyConfig,
+    rng: RngLike = None,
+    exponent: float = DEFAULT_EXPONENT,
+) -> GeneratedTopology:
+    """Like :func:`volchenkov_network` with metadata."""
+    generator = ensure_rng(rng)
+    positions = scatter_positions(config, generator)
+    n = config.n_nodes
+
+    degrees = _power_law_degrees(n, config.avg_degree, exponent, generator)
+
+    # Stub matching: nodes with remaining stubs are paired preferentially
+    # by remaining-degree weight; rejected pairs (duplicates/self-loops)
+    # are retried a bounded number of times.
+    edges: Set[Tuple[int, int]] = set()
+    stubs = degrees.copy()
+    attempts = 0
+    max_attempts = 50 * max(1, sum(stubs))
+    while sum(1 for s in stubs if s > 0) >= 2 and attempts < max_attempts:
+        attempts += 1
+        weights = np.array([max(s, 0) for s in stubs], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            break
+        weights /= total
+        i = int(generator.choice(n, p=weights))
+        weights_j = weights.copy()
+        weights_j[i] = 0.0
+        total_j = weights_j.sum()
+        if total_j <= 0:
+            break
+        weights_j /= total_j
+        j = int(generator.choice(n, p=weights_j))
+        edge = (i, j) if i < j else (j, i)
+        if edge in edges:
+            continue
+        edges.add(edge)
+        stubs[i] -= 1
+        stubs[j] -= 1
+
+    edges = repair_connectivity(positions, edges)
+    edges = trim_to_edge_target(
+        positions, edges, config.target_edges, generator
+    )
+    user_indices = choose_user_indices(config, generator)
+    network = assemble_network(config, positions, edges, user_indices)
+    return GeneratedTopology(
+        network=network,
+        config=config,
+        method="volchenkov",
+        positions={node.id: node.position for node in network.nodes},
+    )
+
+
+def _power_law_degrees(
+    n: int,
+    avg_degree: float,
+    exponent: float,
+    generator: np.random.Generator,
+) -> List[int]:
+    """Sample a degree sequence ``P(k) ∝ k^{-exponent}`` with given mean.
+
+    Degrees are drawn from ``{1, …, n-1}``, then linearly re-scaled so the
+    empirical mean is close to *avg_degree*, and the total stub count is
+    made even.
+    """
+    ks = np.arange(1, max(2, n), dtype=float)
+    weights = ks ** (-exponent)
+    weights /= weights.sum()
+    raw = generator.choice(ks, size=n, p=weights)
+    mean = raw.mean()
+    if mean > 0:
+        scaled = np.maximum(1, np.round(raw * (avg_degree / mean))).astype(int)
+    else:
+        scaled = np.ones(n, dtype=int)
+    scaled = np.minimum(scaled, n - 1)
+    degrees = [int(d) for d in scaled]
+    if sum(degrees) % 2 == 1:
+        # Make total stub count even by bumping the smallest degree.
+        index = degrees.index(min(degrees))
+        degrees[index] += 1
+    return degrees

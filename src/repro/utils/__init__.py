@@ -1,0 +1,28 @@
+"""Shared utilities: union-find, indexed heap, RNG plumbing, validation.
+
+These are the low-level data structures the routing algorithms in
+:mod:`repro.core` are built on.  Algorithm 2 and Algorithm 3 of the paper
+explicitly require a union-find structure; Algorithm 1 requires a
+decrease-key priority queue for its Dijkstra-style search.
+"""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.heap import IndexedMinHeap
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    require_positive,
+    require_non_negative,
+    require_probability,
+    ValidationError,
+)
+
+__all__ = [
+    "UnionFind",
+    "IndexedMinHeap",
+    "ensure_rng",
+    "spawn_rngs",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "ValidationError",
+]

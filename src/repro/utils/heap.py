@@ -1,0 +1,121 @@
+"""Indexed binary min-heap with decrease-key.
+
+Algorithm 1 of the paper is a Dijkstra-style search over the
+``-ln``-transformed entanglement rates; an addressable heap gives the
+classic ``O(|E| + |V| log |V|)``-flavoured complexity the paper quotes
+(within a log factor for a binary heap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+
+class IndexedMinHeap:
+    """Binary min-heap keyed by arbitrary hashable items.
+
+    Supports ``push`` (insert or decrease-key), ``pop_min`` and membership
+    queries.  Increase-key via :meth:`push` is rejected so Dijkstra
+    invariants cannot be silently violated.
+
+    >>> heap = IndexedMinHeap()
+    >>> heap.push("a", 3.0)
+    >>> heap.push("b", 1.0)
+    >>> heap.push("a", 2.0)   # decrease-key
+    >>> heap.pop_min()
+    ('b', 1.0)
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[float] = []
+        self._items: List[Hashable] = []
+        self._position: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._position
+
+    def key_of(self, item: Hashable) -> float:
+        """Current key of *item* (raises ``KeyError`` if absent)."""
+        return self._keys[self._position[item]]
+
+    def push(self, item: Hashable, key: float) -> None:
+        """Insert *item* with *key*, or decrease its key if present.
+
+        Raises ``ValueError`` when the new key is larger than the stored
+        one — Dijkstra only ever relaxes distances downwards.
+        """
+        if item in self._position:
+            index = self._position[item]
+            current = self._keys[index]
+            if key > current:
+                raise ValueError(
+                    f"cannot increase key of {item!r} from {current} to {key}"
+                )
+            self._keys[index] = key
+            self._sift_up(index)
+            return
+        self._keys.append(key)
+        self._items.append(item)
+        index = len(self._items) - 1
+        self._position[item] = index
+        self._sift_up(index)
+
+    def peek_min(self) -> Tuple[Hashable, float]:
+        """Return (item, key) with the minimum key without removing it."""
+        if not self._items:
+            raise IndexError("peek from an empty heap")
+        return self._items[0], self._keys[0]
+
+    def pop_min(self) -> Tuple[Hashable, float]:
+        """Remove and return the (item, key) with the minimum key."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        min_item = self._items[0]
+        min_key = self._keys[0]
+        last_item = self._items.pop()
+        last_key = self._keys.pop()
+        del self._position[min_item]
+        if self._items:
+            self._items[0] = last_item
+            self._keys[0] = last_key
+            self._position[last_item] = 0
+            self._sift_down(0)
+        return min_item, min_key
+
+    def _sift_up(self, index: int) -> None:
+        keys = self._keys
+        items = self._items
+        position = self._position
+        while index > 0:
+            parent = (index - 1) >> 1
+            if keys[index] >= keys[parent]:
+                break
+            keys[index], keys[parent] = keys[parent], keys[index]
+            items[index], items[parent] = items[parent], items[index]
+            position[items[index]] = index
+            position[items[parent]] = parent
+            index = parent
+
+    def _sift_down(self, index: int) -> None:
+        keys = self._keys
+        items = self._items
+        position = self._position
+        size = len(items)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            if left < size and keys[left] < keys[smallest]:
+                smallest = left
+            if right < size and keys[right] < keys[smallest]:
+                smallest = right
+            if smallest == index:
+                return
+            keys[index], keys[smallest] = keys[smallest], keys[index]
+            items[index], items[smallest] = items[smallest], items[index]
+            position[items[index]] = index
+            position[items[smallest]] = smallest
+            index = smallest

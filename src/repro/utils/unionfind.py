@@ -1,0 +1,121 @@
+"""Union-find (disjoint set) with path compression and union by rank.
+
+Algorithms 2 and 3 of the paper maintain the connectivity of quantum users
+while channels are added to the entanglement tree; this structure answers
+"are these two users already entangled (transitively)?" in near-constant
+amortised time.
+
+Elements may be arbitrary hashable objects (node identifiers in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are added lazily on first use, or eagerly via the constructor
+    / :meth:`add`.
+
+    >>> uf = UnionFind(["a", "b", "c"])
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> uf.connected("a", "c")
+    False
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._n_components = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as a singleton set (no-op if present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._n_components += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._n_components
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s set.
+
+        The element is registered as a singleton if unseen.  Uses iterative
+        path compression (halving) so deep forests never hit the recursion
+        limit.
+        """
+        self.add(element)
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing *a* and *b*.
+
+        Returns ``True`` if a merge happened, ``False`` if they were
+        already in the same set.
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        rank_a = self._rank[root_a]
+        rank_b = self._rank[root_b]
+        if rank_a < rank_b:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if rank_a == rank_b:
+            self._rank[root_a] += 1
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """Return the current partition as a list of sets."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())
+
+    def component_of(self, element: Hashable) -> Set[Hashable]:
+        """Return the full set containing *element*."""
+        root = self.find(element)
+        return {e for e in self._parent if self.find(e) == root}
+
+    def all_connected(self, elements: Iterable[Hashable]) -> bool:
+        """Whether every element of *elements* shares one set.
+
+        An empty iterable (and a singleton) is trivially connected.
+        """
+        iterator = iter(elements)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return True
+        root = self.find(first)
+        return all(self.find(e) == root for e in iterator)

@@ -1,0 +1,33 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+class ValidationError(ValueError):
+    """Raised when a model parameter fails validation."""
+
+
+def require_positive(value: Number, name: str) -> Number:
+    """Validate ``value > 0`` and return it."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be positive and finite, got {value!r}")
+    return value
+
+
+def require_non_negative(value: Number, name: str) -> Number:
+    """Validate ``value >= 0`` and return it."""
+    if not math.isfinite(value) or value < 0:
+        raise ValidationError(f"{name} must be non-negative and finite, got {value!r}")
+    return value
+
+
+def require_probability(value: Number, name: str) -> Number:
+    """Validate ``0 <= value <= 1`` and return it."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

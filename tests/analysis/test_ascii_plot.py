@@ -1,0 +1,65 @@
+"""Tests for terminal bar charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, log_bar_chart
+
+
+class TestBarChart:
+    def test_peak_gets_full_width(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        text = bar_chart({"a": 1.0}, title="chart")
+        assert text.splitlines()[0] == "chart"
+
+    def test_empty_values(self):
+        assert bar_chart({}) == ""
+        assert bar_chart({}, title="t") == "t"
+
+    def test_all_zero(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestLogBarChart:
+    def test_orders_of_magnitude_visible(self):
+        text = log_bar_chart({"big": 1e-1, "small": 1e-6}, width=50)
+        lines = text.splitlines()
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar > small_bar > 0
+
+    def test_zero_value_empty_bar(self):
+        text = log_bar_chart({"fail": 0.0, "ok": 0.5})
+        fail_line = text.splitlines()[0]
+        assert "#" not in fail_line
+        assert fail_line.rstrip().endswith("0")
+
+    def test_all_zero(self):
+        text = log_bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"a": 1.0}, floor=0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"a": -0.5})
+
+    def test_empty(self):
+        assert log_bar_chart({}) == ""

@@ -1,0 +1,99 @@
+"""Tests for crossover detection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.crossover import (
+    Crossover,
+    dominance_summary,
+    find_crossovers,
+)
+
+
+class TestFindCrossovers:
+    def test_simple_crossing(self):
+        xs = [0.0, 1.0]
+        series = {"up": [0.0, 1.0], "down": [1.0, 0.0]}
+        crossings = find_crossovers(xs, series)
+        assert len(crossings) == 1
+        crossing = crossings[0]
+        assert math.isclose(crossing.x, 0.5)
+        assert crossing.leader_after == "up"
+
+    def test_no_crossing(self):
+        xs = [0.0, 1.0, 2.0]
+        series = {"high": [3, 3, 3], "low": [1, 2, 2.5]}
+        assert find_crossovers(xs, series) == []
+
+    def test_interpolated_position(self):
+        xs = [0.0, 10.0]
+        series = {"a": [1.0, 0.0], "b": [0.0, 3.0]}
+        (crossing,) = find_crossovers(xs, series)
+        # diff: 1 → -3, zero at 2.5.
+        assert math.isclose(crossing.x, 2.5)
+        assert crossing.leader_after == "b"
+
+    def test_multiple_crossings(self):
+        xs = [0, 1, 2, 3]
+        series = {"w": [0, 2, 0, 2], "z": [1, 1, 1, 1]}
+        crossings = find_crossovers(xs, series)
+        assert len(crossings) == 3
+
+    def test_pair_restriction(self):
+        xs = [0.0, 1.0]
+        series = {"a": [0, 1], "b": [1, 0], "c": [2, -1]}
+        only_ab = find_crossovers(xs, series, pair=("a", "b"))
+        assert all(
+            {c.method_a, c.method_b} == {"a", "b"} for c in only_ab
+        )
+
+    def test_unsorted_xs_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossovers([1.0, 0.0], {"a": [0, 1]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossovers([0.0, 1.0], {"a": [0.0]})
+
+    def test_on_real_sweep(self):
+        """Fig. 6(b)-style data: the baselines swap places mid-sweep."""
+        xs = [10, 20, 30, 40, 50]
+        series = {
+            "nfusion": [1.7e-3, 1.1e-3, 7.9e-4, 5.6e-4, 3.5e-4],
+            "eqcast": [1.2e-3, 1.3e-3, 1.1e-3, 4.9e-4, 4.6e-4],
+        }
+        crossings = find_crossovers(xs, series)
+        assert crossings  # they do cross at least once
+        for crossing in crossings:
+            assert 10 <= crossing.x <= 50
+
+
+class TestDominanceSummary:
+    def test_total_is_one(self):
+        xs = [0.0, 1.0, 2.0]
+        series = {"a": [1, 0, 0], "b": [0, 1, 1]}
+        summary = dominance_summary(xs, series)
+        assert math.isclose(sum(summary.values()), 1.0)
+
+    def test_clear_leader(self):
+        xs = [0.0, 1.0]
+        series = {"best": [2, 2], "worst": [1, 1]}
+        summary = dominance_summary(xs, series)
+        assert summary["best"] == 1.0
+        assert summary["worst"] == 0.0
+
+    def test_split_leadership(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        series = {"first": [2, 2, 2, 0], "second": [0, 0, 0, 4]}
+        summary = dominance_summary(xs, series)
+        assert summary["first"] > summary["second"] > 0.0
+
+    def test_single_point(self):
+        summary = dominance_summary([5.0], {"a": [1.0], "b": [2.0]})
+        assert summary == {"a": 0.0, "b": 1.0}
+
+    def test_empty(self):
+        assert dominance_summary([], {}) == {}

@@ -1,0 +1,60 @@
+"""Tests for the ASCII geographic renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.geo_plot import render_network
+from repro.core.optimal import solve_optimal
+from repro.network import QuantumNetwork
+
+
+class TestRenderNetwork:
+    def test_users_labelled_alphabetically(self, star_network):
+        art = render_network(star_network)
+        assert "A" in art and "B" in art and "C" in art
+        assert "legend" in art
+
+    def test_switch_marker(self, star_network):
+        art = render_network(star_network)
+        assert "o" in art
+
+    def test_channels_overdrawn(self, star_network):
+        solution = solve_optimal(star_network)
+        plain = render_network(star_network, legend=False)
+        routed = render_network(star_network, solution, legend=False)
+        assert "#" not in plain
+        assert "#" in routed
+
+    def test_dimensions_respected(self, star_network):
+        art = render_network(star_network, width=40, height=10, legend=False)
+        lines = art.splitlines()
+        assert len(lines) <= 10
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_empty_network(self):
+        assert "empty" in render_network(QuantumNetwork())
+
+    def test_tiny_canvas_rejected(self, star_network):
+        with pytest.raises(ValueError):
+            render_network(star_network, width=4, height=2)
+
+    def test_infeasible_solution_draws_no_channels(self, star_network):
+        from repro.core.problem import infeasible_solution
+
+        art = render_network(
+            star_network,
+            infeasible_solution(star_network.user_ids, "x"),
+            legend=False,
+        )
+        assert "#" not in art
+
+    def test_real_world_render(self):
+        from repro.topology.real_world import real_world_network
+
+        net = real_world_network("nsfnet", user_sites=["WA", "NY"])
+        art = render_network(net)
+        assert "A=WA" in art or "B=WA" in art
+
+    def test_legend_toggle(self, star_network):
+        assert "legend" not in render_network(star_network, legend=False)

@@ -1,0 +1,79 @@
+"""Tests for Markdown report generation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import (
+    comparison_markdown,
+    edge_removal_markdown,
+    experiment_markdown,
+    markdown_table,
+    sweep_markdown,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig7_edges import run_fig7b
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import sweep
+
+FAST = ExperimentConfig(
+    n_switches=8, n_users=3, avg_degree=4.0, n_networks=2, seed=1
+)
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = markdown_table(["x"], [[0.000123]])
+        assert "1.2300e-04" in text
+
+    def test_zero_and_inf(self):
+        text = markdown_table(["x"], [[0.0], [math.inf]])
+        assert "| 0 |" in text
+        assert "| ∞ |" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [[1]])
+
+
+class TestSectionGenerators:
+    def test_sweep_markdown(self):
+        result = sweep(FAST, "swap_prob", [0.8, 0.9])
+        text = sweep_markdown(result, "Fig. 8(b)", commentary="rates rise")
+        assert text.startswith("### Fig. 8(b)")
+        assert "rates rise" in text
+        assert "Alg-2" in text
+        assert "| swap_prob |" in text
+
+    def test_experiment_markdown(self):
+        result = run_experiment(FAST)
+        text = experiment_markdown(result, "default point")
+        assert "### default point" in text
+        assert "failures" in text
+        assert "N-Fusion" in text
+
+    def test_edge_removal_markdown(self):
+        result = run_fig7b(FAST, n_edges=30, step=15, max_ratio=0.5)
+        text = edge_removal_markdown(result, "Fig. 7(b)")
+        assert "removed ratio" in text
+        assert "0.50" in text
+
+    def test_comparison_markdown(self):
+        text = comparison_markdown(
+            {"greedy": 0.5, "random": 0.25}, "ablation", value_name="rate"
+        )
+        assert "| greedy | 5.0000e-01 |" in text
+        assert "| variant | rate |" in text

@@ -1,0 +1,99 @@
+"""Tests for rate statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    SummaryStats,
+    geometric_mean,
+    improvement_percent,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([0.1, 0.2, 0.3])
+        assert math.isclose(stats.mean, 0.2)
+        assert stats.n == 3
+        assert stats.minimum == 0.1
+        assert stats.maximum == 0.3
+        assert stats.n_zero == 0
+
+    def test_zeros_counted_like_paper(self):
+        """Infeasible runs contribute rate 0 to the average."""
+        stats = summarize([0.0, 0.0, 0.3])
+        assert math.isclose(stats.mean, 0.1)
+        assert stats.n_zero == 2
+        assert math.isclose(stats.failure_fraction, 2 / 3)
+
+    def test_empty(self):
+        stats = summarize([])
+        assert stats.n == 0 and stats.mean == 0.0
+
+    def test_single_sample_no_std(self):
+        assert summarize([0.5]).std == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([-0.1])
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize([0.1, 0.2, 0.3, 0.4])
+        low, high = stats.confidence_interval()
+        assert low <= stats.mean <= high
+
+    def test_ci_degenerate_for_single_sample(self):
+        stats = summarize([0.5])
+        assert stats.confidence_interval() == (0.5, 0.5)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert math.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_zero_collapses(self):
+        assert geometric_mean([0.0, 1.0]) == 0.0
+
+    def test_zero_floor(self):
+        value = geometric_mean([0.0, 1.0], zero_floor=1e-6)
+        assert math.isclose(value, 1e-3)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(1e-9, 1.0), min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic_mean(self, rates):
+        assert geometric_mean(rates) <= summarize(rates).mean + 1e-12
+
+
+class TestImprovementPercent:
+    def test_paper_semantics(self):
+        """A 54.47x ratio reads as 5347% improvement."""
+        assert math.isclose(improvement_percent(54.47, 1.0), 5347.0)
+
+    def test_no_improvement(self):
+        assert improvement_percent(1.0, 1.0) == 0.0
+
+    def test_regression_negative(self):
+        assert improvement_percent(0.5, 1.0) == -50.0
+
+    def test_zero_baseline_positive_ours(self):
+        assert improvement_percent(0.1, 0.0) == math.inf
+
+    def test_both_zero(self):
+        assert improvement_percent(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(-1.0, 1.0)

@@ -1,0 +1,72 @@
+"""Tests for text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_aligned(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["a-very-long-name", 2])
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+        assert "a-very-long-name" in text
+
+    def test_title(self):
+        table = Table(["x"], title="hello")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "hello"
+
+    def test_float_formatting(self):
+        table = Table(["rate"])
+        table.add_row([0.000123456])
+        assert "1.2346e-04" in table.render()
+
+    def test_zero_renders_bare(self):
+        """The paper's figures show failed runs as 0, not 0.0000e+00."""
+        table = Table(["rate"])
+        table.add_row([0.0])
+        assert table.render().splitlines()[-1].strip() == "0"
+
+    def test_none_renders_dash(self):
+        table = Table(["x"])
+        table.add_row([None])
+        assert table.render().splitlines()[-1].strip() == "-"
+
+    def test_bool_rendering(self):
+        table = Table(["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        text = table.render()
+        assert "yes" in text and "no" in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_n_rows(self):
+        table = Table(["x"])
+        assert table.n_rows == 0
+        table.add_row([1])
+        assert table.n_rows == 1
+
+    def test_str_is_render(self):
+        table = Table(["x"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+    def test_custom_float_format(self):
+        table = Table(["x"], float_format="{:.1f}")
+        table.add_row([0.25])
+        assert "0.2" in table.render() or "0.3" in table.render()

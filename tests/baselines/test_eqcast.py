@@ -1,0 +1,65 @@
+"""Tests for the E-Q-CAST baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.eqcast import solve_eqcast
+from repro.core.optimal import solve_optimal
+from repro.core.tree import validate_solution
+
+
+class TestChainStructure:
+    def test_consecutive_pairs(self, star_network):
+        """The paper's extension: channels <u1,u2>, <u2,u3>, …"""
+        solution = solve_eqcast(
+            star_network, order=["alice", "bob", "carol"]
+        )
+        assert solution.feasible
+        endpoints = [c.endpoints for c in solution.channels]
+        assert endpoints == [("alice", "bob"), ("bob", "carol")]
+
+    def test_default_order_is_request_order(self, star_network):
+        solution = solve_eqcast(star_network)
+        endpoints = [c.endpoints for c in solution.channels]
+        users = star_network.user_ids
+        assert endpoints == list(zip(users, users[1:]))
+
+    def test_respects_capacity(self, medium_waxman):
+        solution = solve_eqcast(medium_waxman)
+        if solution.feasible:
+            report = validate_solution(medium_waxman, solution)
+            assert report.ok, str(report)
+
+    def test_order_must_be_permutation(self, star_network):
+        with pytest.raises(ValueError):
+            solve_eqcast(star_network, order=["alice", "bob"])
+
+    def test_tight_star_infeasible(self, tight_star_network):
+        assert not solve_eqcast(tight_star_network).feasible
+
+    def test_two_users_matches_optimal(self, line_network):
+        """For a single pair the chain IS Q-CAST: same as Algorithm 1."""
+        chain = solve_eqcast(line_network)
+        optimal = solve_optimal(line_network)
+        assert math.isclose(chain.log_rate, optimal.log_rate, rel_tol=1e-12)
+
+    def test_never_beats_optimal(self, medium_waxman):
+        chain = solve_eqcast(medium_waxman)
+        optimal = solve_optimal(medium_waxman)
+        if chain.feasible:
+            assert chain.log_rate <= optimal.log_rate + 1e-9
+
+    def test_chain_order_matters(self, diamond_network):
+        """A bad chain order forces long channels (or none at all): on the
+        diamond, u0-u2 has no switch-only path, so that pairing fails
+        outright while the ring-order chain succeeds."""
+        good = solve_eqcast(diamond_network, order=["u0", "u1", "u2", "u3"])
+        bad = solve_eqcast(diamond_network, order=["u0", "u2", "u1", "u3"])
+        assert good.feasible
+        assert bad.rate < good.rate  # infeasible → 0 here
+
+    def test_method_name(self, star_network):
+        assert solve_eqcast(star_network).method == "eqcast"

@@ -1,0 +1,105 @@
+"""Tests for the N-FUSION baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.nfusion import (
+    DEFAULT_FUSION_PENALTY,
+    fusion_log_success,
+    solve_nfusion,
+)
+from repro.core.optimal import solve_optimal
+from repro.core.tree import validate_solution
+
+
+class TestFusionModel:
+    def test_two_fusion_equals_bsm(self):
+        """BSM is 2-fusion: q_fusion(2) = q exactly."""
+        assert math.isclose(fusion_log_success(2, 0.9), math.log(0.9))
+
+    def test_higher_n_lower_success(self):
+        for n in range(2, 6):
+            assert fusion_log_success(n + 1, 0.9) < fusion_log_success(n, 0.9)
+
+    def test_penalty_one_matches_bsm_chain(self):
+        """With mu = 1 an n-fusion costs exactly n-1 chained BSMs."""
+        assert math.isclose(
+            fusion_log_success(5, 0.9, penalty=1.0), 4 * math.log(0.9)
+        )
+
+    def test_n_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            fusion_log_success(1, 0.9)
+
+    def test_q_zero_is_impossible(self):
+        assert fusion_log_success(3, 0.0) == -math.inf
+
+
+class TestStar:
+    def test_star_topology(self, star_network):
+        solution = solve_nfusion(star_network)
+        assert solution.feasible
+        # All channels share one endpoint (the central user).
+        counts = {}
+        for channel in solution.channels:
+            for endpoint in channel.endpoints:
+                counts[endpoint] = counts.get(endpoint, 0) + 1
+        center, hits = max(counts.items(), key=lambda kv: kv[1])
+        assert hits == len(solution.channels) == 2
+
+    def test_rate_includes_fusion_penalty(self, star_network):
+        solution = solve_nfusion(star_network)
+        channel_product = sum(c.log_rate for c in solution.channels)
+        fusion = fusion_log_success(3, 0.9, DEFAULT_FUSION_PENALTY)
+        assert math.isclose(
+            solution.log_rate, channel_product + fusion, rel_tol=1e-9
+        )
+
+    def test_channels_keep_eq1_rates(self, star_network):
+        report = validate_solution(star_network, solve_nfusion(star_network))
+        assert report.ok, str(report)
+
+    def test_explicit_center(self, star_network):
+        solution = solve_nfusion(star_network, center="bob")
+        assert solution.feasible
+        for channel in solution.channels:
+            assert "bob" in channel.endpoints
+
+    def test_unknown_center_rejected(self, star_network):
+        with pytest.raises(ValueError):
+            solve_nfusion(star_network, center="hub")
+
+    def test_best_center_at_least_as_good_as_any_fixed(self, medium_waxman):
+        best = solve_nfusion(medium_waxman)
+        for user in medium_waxman.user_ids[:4]:
+            fixed = solve_nfusion(medium_waxman, center=user)
+            if fixed.feasible:
+                assert best.log_rate >= fixed.log_rate - 1e-9
+
+    def test_tight_star_infeasible(self, tight_star_network):
+        """Q = 2 hub: the central user cannot reach both others."""
+        assert not solve_nfusion(tight_star_network).feasible
+
+    def test_never_beats_bsm_tree_optimum(self, medium_waxman):
+        """The fusion penalty + star shape should lose to Alg-2."""
+        fusion = solve_nfusion(medium_waxman)
+        optimal = solve_optimal(medium_waxman)
+        if fusion.feasible:
+            assert fusion.log_rate < optimal.log_rate
+
+    def test_respects_capacity(self, medium_waxman):
+        solution = solve_nfusion(medium_waxman)
+        if solution.feasible:
+            report = validate_solution(medium_waxman, solution)
+            assert report.ok, str(report)
+
+    def test_penalty_parameter_monotone(self, star_network):
+        loose = solve_nfusion(star_network, fusion_penalty=1.0)
+        tight = solve_nfusion(star_network, fusion_penalty=0.5)
+        assert loose.rate > tight.rate
+
+    def test_method_name(self, star_network):
+        assert solve_nfusion(star_network).method == "nfusion"

@@ -1,0 +1,113 @@
+"""Tests for the naive Steiner baseline (Sec. III-A illustration)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.steiner import (
+    solve_steiner_naive,
+    steiner_tree_nodes,
+    steiner_violation_rate,
+)
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.optimal import solve_optimal
+from repro.core.tree import validate_solution
+from repro.network import NetworkBuilder
+from repro.topology import TopologyConfig, waxman_network
+
+
+class TestSteinerTree:
+    def test_star_tree_found(self, star_network):
+        tree = steiner_tree_nodes(star_network, star_network.user_ids)
+        assert tree is not None
+        assert set(star_network.user_ids) <= set(tree.nodes)
+
+    def test_disconnected_users_none(self, params_q09):
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .user("b", (10, 0))
+            .build()
+        )
+        assert steiner_tree_nodes(net, ["a", "b"]) is None
+
+
+class TestSolveSteinerNaive:
+    def test_valid_when_capacity_ample(self, star_network):
+        """Q = 4 star: two hub channels fit — the classic and quantum
+        views coincide."""
+        solution = solve_steiner_naive(star_network)
+        assert solution.feasible
+        report = validate_solution(star_network, solution)
+        assert report.ok, str(report)
+
+    def test_fig4b_violation_detected(self, tight_star_network):
+        """Fig. 4(b): the Steiner tree through the 2-qubit hub is
+        graph-connected but physically unrealisable."""
+        tree = steiner_tree_nodes(
+            tight_star_network, tight_star_network.user_ids
+        )
+        assert tree is not None  # classic connectivity holds…
+        solution = solve_steiner_naive(tight_star_network)
+        assert not solution.feasible  # …but entanglement does not
+
+    def test_never_beats_optimal(self, medium_waxman):
+        steiner = solve_steiner_naive(medium_waxman)
+        optimal = solve_optimal(medium_waxman)
+        if steiner.feasible:
+            assert steiner.log_rate <= optimal.log_rate + 1e-9
+
+    def test_chain_decomposition_on_line(self, line_network):
+        solution = solve_steiner_naive(line_network)
+        assert solution.feasible
+        assert solution.n_channels == 1
+
+    def test_disconnected_infeasible(self, params_q09):
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .user("b", (10, 0))
+            .user("c", (20, 0))
+            .fiber("a", "b", 10)
+            .build()
+        )
+        assert not solve_steiner_naive(net).feasible
+
+    def test_channels_are_wellformed_when_feasible(self):
+        config = TopologyConfig(
+            n_switches=12, n_users=4, avg_degree=5.0, qubits_per_switch=8
+        )
+        for seed in range(5):
+            net = waxman_network(config, rng=seed)
+            solution = solve_steiner_naive(net)
+            if solution.feasible:
+                report = validate_solution(net, solution)
+                assert report.ok, f"seed {seed}: {report}"
+
+
+class TestViolationRate:
+    def test_tight_networks_violate_sometimes(self):
+        """With Q = 2 the classic recipe must fail on a visible fraction
+        of instances where Algorithm 3 succeeds."""
+        config = TopologyConfig(
+            n_switches=12, n_users=5, avg_degree=4.0, qubits_per_switch=2
+        )
+        rate = steiner_violation_rate(
+            lambda rng: waxman_network(config, rng=rng),
+            n_networks=10,
+            seed=4,
+        )
+        assert 0.0 <= rate <= 1.0
+
+    def test_ample_capacity_rarely_violates(self):
+        config = TopologyConfig(
+            n_switches=12, n_users=4, avg_degree=5.0, qubits_per_switch=16
+        )
+        rate = steiner_violation_rate(
+            lambda rng: waxman_network(config, rng=rng),
+            n_networks=8,
+            seed=4,
+        )
+        assert rate <= 0.25

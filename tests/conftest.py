@@ -1,0 +1,135 @@
+"""Shared fixtures: canonical small networks with known-by-hand optima."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network import NetworkBuilder, NetworkParams, QuantumNetwork
+from repro.topology import TopologyConfig, waxman_network
+
+
+@pytest.fixture
+def params_q09() -> NetworkParams:
+    """Paper defaults: alpha 1e-4 per km, q = 0.9."""
+    return NetworkParams(alpha=1e-4, swap_prob=0.9)
+
+
+@pytest.fixture
+def line_network(params_q09) -> QuantumNetwork:
+    """alice - s0 - s1 - bob, each hop 1000 km.
+
+    Unique channel: rate = q^2 * exp(-alpha * 3000).
+    """
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 0))
+        .switch("s0", (1000, 0), qubits=4)
+        .switch("s1", (2000, 0), qubits=4)
+        .user("bob", (3000, 0))
+        .path(["alice", "s0", "s1", "bob"])
+        .build()
+    )
+
+
+@pytest.fixture
+def direct_pair(params_q09) -> QuantumNetwork:
+    """alice - bob direct fiber, 500 km: rate = exp(-alpha * 500)."""
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 0))
+        .user("bob", (500, 0))
+        .fiber("alice", "bob")
+        .build()
+    )
+
+
+@pytest.fixture
+def star_network(params_q09) -> QuantumNetwork:
+    """Three users around one switch (Fig. 4a of the paper).
+
+    With Q = 4 the switch hosts exactly 2 channels — enough for a
+    3-user tree; with Q = 2 only one channel fits and entanglement of
+    all three users through the hub alone is impossible.
+    """
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 1000))
+        .user("bob", (-1000, -500))
+        .user("carol", (1000, -500))
+        .switch("hub", (0, 0), qubits=4)
+        .fiber("alice", "hub", 1000)
+        .fiber("bob", "hub", 1000)
+        .fiber("carol", "hub", 1000)
+        .build()
+    )
+
+
+@pytest.fixture
+def tight_star_network(params_q09) -> QuantumNetwork:
+    """Same as star_network but the hub has only 2 qubits (Fig. 4b)."""
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 1000))
+        .user("bob", (-1000, -500))
+        .user("carol", (1000, -500))
+        .switch("hub", (0, 0), qubits=2)
+        .fiber("alice", "hub", 1000)
+        .fiber("bob", "hub", 1000)
+        .fiber("carol", "hub", 1000)
+        .build()
+    )
+
+
+@pytest.fixture
+def two_path_network(params_q09) -> QuantumNetwork:
+    """alice and bob joined by a short 2-hop path and a long direct fiber.
+
+    Short path: 2 links of 500 km + 1 swap → q * exp(-alpha*1000).
+    Direct:     1 link of 20_000 km        → exp(-alpha*20_000).
+    With alpha = 1e-4, q = 0.9: 0.9*e^-0.1 ≈ 0.814 vs e^-2 ≈ 0.135 —
+    the switched path wins.
+    """
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 0))
+        .user("bob", (1000, 0))
+        .switch("mid", (500, 0), qubits=2)
+        .fiber("alice", "mid", 500)
+        .fiber("mid", "bob", 500)
+        .fiber("alice", "bob", 20_000)
+        .build()
+    )
+
+
+@pytest.fixture
+def diamond_network(params_q09) -> QuantumNetwork:
+    """Four users on a cycle of switches — multiple tree shapes exist."""
+    builder = NetworkBuilder(params_q09)
+    builder.user("u0", (0, 0)).user("u1", (2000, 0))
+    builder.user("u2", (2000, 2000)).user("u3", (0, 2000))
+    builder.switch("a", (1000, 0), qubits=4)
+    builder.switch("b", (2000, 1000), qubits=4)
+    builder.switch("c", (1000, 2000), qubits=4)
+    builder.switch("d", (0, 1000), qubits=4)
+    builder.fiber("u0", "a", 1000).fiber("a", "u1", 1000)
+    builder.fiber("u1", "b", 1000).fiber("b", "u2", 1000)
+    builder.fiber("u2", "c", 1000).fiber("c", "u3", 1000)
+    builder.fiber("u3", "d", 1000).fiber("d", "u0", 1000)
+    return builder.build()
+
+
+@pytest.fixture
+def small_waxman() -> QuantumNetwork:
+    """A small random Waxman network (deterministic seed)."""
+    config = TopologyConfig(
+        n_switches=12, n_users=4, avg_degree=4.0, qubits_per_switch=4
+    )
+    return waxman_network(config, rng=123)
+
+
+@pytest.fixture
+def medium_waxman() -> QuantumNetwork:
+    """Paper-scale Waxman network (deterministic seed)."""
+    return waxman_network(TopologyConfig(), rng=2024)

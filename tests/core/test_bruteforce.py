@@ -1,0 +1,113 @@
+"""Tests for the exhaustive reference solver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bruteforce import (
+    MAX_USERS,
+    brute_force_optimal,
+    enumerate_channels,
+)
+from repro.core.tree import validate_solution
+from repro.network import NetworkBuilder
+from repro.topology import TopologyConfig, waxman_network
+
+
+class TestEnumerateChannels:
+    def test_line_single_path(self, line_network):
+        channels = enumerate_channels(line_network, "alice", "bob")
+        assert len(channels) == 1
+        assert channels[0].path == ("alice", "s0", "s1", "bob")
+
+    def test_two_paths(self, two_path_network):
+        channels = enumerate_channels(two_path_network, "alice", "bob")
+        assert len(channels) == 2
+        paths = {c.path for c in channels}
+        assert ("alice", "bob") in paths
+        assert ("alice", "mid", "bob") in paths
+
+    def test_excludes_user_relays(self, params_q09):
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .user("m", (10, 0))
+            .user("b", (20, 0))
+            .fiber("a", "m", 10)
+            .fiber("m", "b", 10)
+            .build()
+        )
+        assert enumerate_channels(net, "a", "b") == []
+
+    def test_excludes_useless_switches(self, params_q09):
+        """Switches with < 2 qubits cannot ever carry a channel."""
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .switch("weak", (10, 0), qubits=1)
+            .user("b", (20, 0))
+            .path(["a", "weak", "b"], length=10)
+            .build()
+        )
+        assert enumerate_channels(net, "a", "b") == []
+
+    def test_path_limit_enforced(self):
+        config = TopologyConfig(n_switches=12, n_users=2, avg_degree=6.0)
+        net = waxman_network(config, rng=0)
+        users = net.user_ids
+        with pytest.raises(RuntimeError):
+            enumerate_channels(net, users[0], users[1], max_paths=1)
+
+
+class TestBruteForce:
+    def test_star(self, star_network):
+        solution = brute_force_optimal(star_network)
+        assert solution.feasible
+        assert solution.n_channels == 2
+        report = validate_solution(star_network, solution)
+        assert report.ok
+
+    def test_tight_star_infeasible_with_capacity(self, tight_star_network):
+        solution = brute_force_optimal(tight_star_network)
+        assert not solution.feasible
+
+    def test_tight_star_feasible_without_capacity(self, tight_star_network):
+        solution = brute_force_optimal(
+            tight_star_network, enforce_capacity=False
+        )
+        assert solution.feasible
+
+    def test_capacity_enforcement_changes_result(self, params_q09):
+        """With a cheap congested hub and an expensive spare, enforcing
+        capacity must pick the spare for one channel."""
+        builder = NetworkBuilder(params_q09)
+        builder.user("a", (0, 0)).user("b", (2000, 0)).user("c", (1000, 1000))
+        builder.switch("hub", (1000, 0), qubits=2)
+        builder.switch("spare", (1000, -2000), qubits=4)
+        builder.fiber("a", "hub", 1000).fiber("hub", "b", 1000)
+        builder.fiber("c", "hub", 1000)
+        builder.fiber("a", "spare", 3000).fiber("spare", "b", 3000)
+        builder.fiber("c", "spare", 3000)
+        net = builder.build()
+        constrained = brute_force_optimal(net)
+        relaxed = brute_force_optimal(net, enforce_capacity=False)
+        assert constrained.feasible and relaxed.feasible
+        assert constrained.log_rate < relaxed.log_rate
+        usage = constrained.switch_usage()
+        assert usage.get("hub", 0) <= 2
+
+    def test_user_limit(self, params_q09):
+        builder = NetworkBuilder(params_q09)
+        names = [f"u{i}" for i in range(MAX_USERS + 1)]
+        for i, name in enumerate(names):
+            builder.user(name, (i * 10.0, 0))
+        for a, b in zip(names, names[1:]):
+            builder.fiber(a, b, 10)
+        net = builder.build()
+        with pytest.raises(ValueError):
+            brute_force_optimal(net)
+
+    def test_method_name(self, star_network):
+        assert brute_force_optimal(star_network).method == "brute_force"

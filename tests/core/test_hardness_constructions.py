@@ -1,0 +1,114 @@
+"""Constructions mirroring the paper's hardness reductions (Theorems 1-2).
+
+We cannot test NP-completeness itself, but we can test the *gadgets* the
+proofs rely on: degree-constrained spanning-tree instances map onto MUERP
+instances whose feasibility tracks the degree bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bruteforce import brute_force_optimal
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.prim_based import solve_prim
+from repro.network import NetworkBuilder, NetworkParams
+
+
+def hub_and_spokes(n_leaves: int, hub_qubits: int):
+    """The Sec. III-A example: a central switch with leaf users.
+
+    A spanning entanglement tree needs n_leaves - 1 channels, every one
+    transiting the hub, so feasibility ⇔ hub capacity ≥ n_leaves - 1.
+    """
+    builder = NetworkBuilder(NetworkParams())
+    builder.switch("hub", (0, 0), qubits=hub_qubits)
+    for k in range(n_leaves):
+        angle = 2 * math.pi * k / n_leaves
+        builder.user(
+            f"u{k}", (1000 * math.cos(angle), 1000 * math.sin(angle))
+        )
+        builder.fiber(f"u{k}", "hub", 1000)
+    return builder.build()
+
+
+class TestHubFeasibilityThreshold:
+    """Feasibility flips exactly at capacity = |U| - 1 channels."""
+
+    @pytest.mark.parametrize("n_leaves", [3, 4, 5])
+    def test_exact_capacity_feasible(self, n_leaves):
+        net = hub_and_spokes(n_leaves, hub_qubits=2 * (n_leaves - 1))
+        for solver in (solve_conflict_free, lambda n: solve_prim(n, rng=0)):
+            assert solver(net).feasible
+
+    @pytest.mark.parametrize("n_leaves", [3, 4, 5])
+    def test_one_channel_short_infeasible(self, n_leaves):
+        net = hub_and_spokes(n_leaves, hub_qubits=2 * (n_leaves - 1) - 2)
+        for solver in (solve_conflict_free, lambda n: solve_prim(n, rng=0)):
+            assert not solver(net).feasible
+
+    @pytest.mark.parametrize("n_leaves", [3, 4])
+    def test_brute_force_agrees(self, n_leaves):
+        tight = hub_and_spokes(n_leaves, hub_qubits=2 * (n_leaves - 1) - 2)
+        roomy = hub_and_spokes(n_leaves, hub_qubits=2 * (n_leaves - 1))
+        assert not brute_force_optimal(tight).feasible
+        assert brute_force_optimal(roomy).feasible
+
+    def test_odd_qubit_rounds_down(self):
+        """Def. 3: capacity = ⌊Q/2⌋, so 5 qubits = 2 channels only."""
+        net = hub_and_spokes(4, hub_qubits=5)  # needs 3 channels
+        assert not solve_conflict_free(net).feasible
+
+    def test_steiner_tree_connectivity_is_not_enough(self):
+        """Fig. 4b of the paper: graph-connected != entangleable."""
+        net = hub_and_spokes(3, hub_qubits=2)
+        assert net.is_connected()  # classic connectivity holds
+        assert not solve_conflict_free(net).feasible  # MUERP infeasible
+
+
+class TestDegreeBoundGadget:
+    """User-side degree constraints (the DCSTP reduction's essence).
+
+    In our model users have unlimited capacity, so the reduction's
+    degree bound materialises on *switch* budgets; a path of switches
+    each able to carry one channel forms a width-1 corridor — at most
+    one user pair can cross it.
+    """
+
+    def test_corridor_admits_exactly_one_crossing(self):
+        builder = NetworkBuilder(NetworkParams())
+        # Two users on the left, two on the right, single corridor.
+        builder.user("l0", (0, 0)).user("l1", (0, 1000))
+        builder.user("r0", (3000, 0)).user("r1", (3000, 1000))
+        builder.switch("c0", (1000, 500), qubits=2)
+        builder.switch("c1", (2000, 500), qubits=2)
+        builder.fiber("l0", "c0", 1000).fiber("l1", "c0", 1000)
+        builder.fiber("c0", "c1", 1000)
+        builder.fiber("c1", "r0", 1000).fiber("c1", "r1", 1000)
+        net = builder.build()
+        solution = solve_conflict_free(net)
+        # Feasible: l0-l1 must pair through c0? No — c0 has one slot.
+        # Actually l0-l1 can only connect via c0 (2 qubits = 1 channel),
+        # the corridor crossing also needs c0, so only one of them fits:
+        # the instance is infeasible.
+        assert not solution.feasible
+
+    def test_corridor_with_local_links_is_feasible(self):
+        builder = NetworkBuilder(NetworkParams())
+        builder.user("l0", (0, 0)).user("l1", (0, 1000))
+        builder.user("r0", (3000, 0)).user("r1", (3000, 1000))
+        builder.switch("c0", (1000, 500), qubits=2)
+        builder.switch("c1", (2000, 500), qubits=2)
+        builder.fiber("l0", "c0", 1000).fiber("l1", "c0", 1000)
+        builder.fiber("c0", "c1", 1000)
+        builder.fiber("c1", "r0", 1000).fiber("c1", "r1", 1000)
+        # Direct user-user fibers remove pressure from the corridor.
+        builder.fiber("l0", "l1", 1000)
+        builder.fiber("r0", "r1", 1000)
+        net = builder.build()
+        solution = solve_conflict_free(net)
+        assert solution.feasible
+        # Tree: l0-l1 direct, r0-r1 direct, one corridor crossing.
+        assert solution.n_channels == 3

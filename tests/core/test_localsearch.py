@@ -1,0 +1,126 @@
+"""Tests for local-search post-optimization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.localsearch import improve_solution
+from repro.core.optimal import solve_optimal
+from repro.core.prim_based import solve_prim
+from repro.core.problem import infeasible_solution
+from repro.core.tree import validate_solution
+from repro.network import NetworkBuilder, NetworkParams
+from repro.topology import TopologyConfig, waxman_network
+
+
+class TestBasics:
+    def test_never_degrades(self, medium_waxman):
+        for method in (solve_conflict_free, lambda n: solve_prim(n, rng=0)):
+            base = method(medium_waxman)
+            improved = improve_solution(medium_waxman, base)
+            assert improved.log_rate >= base.log_rate - 1e-12
+
+    def test_result_validates(self, medium_waxman):
+        base = solve_prim(medium_waxman, rng=1)
+        improved = improve_solution(medium_waxman, base)
+        report = validate_solution(medium_waxman, improved)
+        assert report.ok, str(report)
+
+    def test_infeasible_passthrough(self, star_network):
+        solution = infeasible_solution(star_network.user_ids, "x")
+        assert improve_solution(star_network, solution) is solution
+
+    def test_optimal_solution_is_local_optimum(self, star_network):
+        base = solve_conflict_free(star_network)
+        improved = improve_solution(star_network, base)
+        assert math.isclose(improved.log_rate, base.log_rate, rel_tol=1e-12)
+
+    def test_method_suffix_only_on_change(self, medium_waxman):
+        base = solve_prim(medium_waxman, rng=2)
+        improved = improve_solution(medium_waxman, base)
+        if improved is base:
+            assert improved.method == base.method
+        else:
+            assert improved.method.endswith("+ls")
+
+
+class TestActuallyImproves:
+    def test_fixes_a_bad_random_tree(self, medium_waxman):
+        """Random trees leave obvious improvements on the table."""
+        from repro.baselines.random_tree import solve_random_tree
+
+        improved_at_least_once = False
+        for seed in range(6):
+            base = solve_random_tree(medium_waxman, rng=seed)
+            if not base.feasible:
+                continue
+            improved = improve_solution(medium_waxman, base)
+            assert improved.log_rate >= base.log_rate - 1e-12
+            if improved.log_rate > base.log_rate + 1e-9:
+                improved_at_least_once = True
+        assert improved_at_least_once
+
+    def test_reconnect_move_changes_endpoints(self, params_q09):
+        """Construct a case where swapping the user pairing wins: a bad
+        chain a-b, b-c must become the cheap star around the hub."""
+        builder = NetworkBuilder(params_q09)
+        builder.user("a", (0, 0)).user("b", (5000, 0)).user("c", (10_000, 0))
+        builder.switch("hub", (5000, 100), qubits=8)
+        builder.fiber("a", "hub", 5001)
+        builder.fiber("b", "hub", 100)
+        builder.fiber("c", "hub", 5001)
+        # A long detour switch that a bad construction might use.
+        builder.switch("far", (5000, 9000), qubits=8)
+        builder.fiber("a", "far", 10_000)
+        builder.fiber("c", "far", 10_000)
+        net = builder.build()
+        from repro.core.problem import Channel
+
+        bad = Channel.from_path(net, ["a", "far", "c"])
+        good = Channel.from_path(net, ["a", "hub", "b"])
+        base = solve_optimal(net)  # reference optimum
+        from repro.core.problem import MUERPSolution
+
+        handmade = MUERPSolution(
+            channels=(bad, good),
+            users=frozenset(("a", "b", "c")),
+            method="handmade",
+        )
+        improved = improve_solution(net, handmade)
+        assert improved.log_rate > handmade.log_rate + 1e-6
+        assert math.isclose(improved.log_rate, base.log_rate, rel_tol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_valid_and_no_worse_on_random_instances(self, seed):
+        config = TopologyConfig(
+            n_switches=10, n_users=5, avg_degree=4.0, qubits_per_switch=2
+        )
+        net = waxman_network(config, rng=seed)
+        base = solve_prim(net, rng=seed)
+        if not base.feasible:
+            return
+        improved = improve_solution(net, base)
+        assert improved.log_rate >= base.log_rate - 1e-12
+        report = validate_solution(net, improved)
+        assert report.ok, str(report)
+
+    def test_never_beats_brute_force(self):
+        from repro.core.bruteforce import brute_force_optimal
+
+        config = TopologyConfig(
+            n_switches=6, n_users=4, avg_degree=3.0, qubits_per_switch=4
+        )
+        for seed in range(5):
+            net = waxman_network(config, rng=seed)
+            base = solve_prim(net, rng=seed)
+            if not base.feasible:
+                continue
+            improved = improve_solution(net, base)
+            truth = brute_force_optimal(net)
+            assert improved.log_rate <= truth.log_rate + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for Eq. (1)/(2) rate arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rates import (
+    channel_log_rate,
+    channel_log_rate_from_lengths,
+    channel_rate,
+    link_log_rate,
+    swap_log_rate,
+    tree_log_rate,
+    tree_rate,
+)
+from repro.network import NetworkBuilder, NetworkParams
+
+
+class TestLinkAndSwap:
+    def test_link_log_rate(self):
+        assert math.isclose(link_log_rate(1000.0, 1e-4), -0.1)
+
+    def test_swap_log_rate(self):
+        assert math.isclose(swap_log_rate(0.9), math.log(0.9))
+
+    def test_swap_log_rate_zero_is_minus_inf(self):
+        assert swap_log_rate(0.0) == -math.inf
+
+    def test_swap_log_rate_one_is_zero(self):
+        assert swap_log_rate(1.0) == 0.0
+
+
+class TestChannelFromLengths:
+    def test_single_link_no_swap(self):
+        """l = 1: rate = exp(-alpha L), no q factor (Eq. 1)."""
+        log_rate = channel_log_rate_from_lengths([1000.0], 1e-4, 0.9)
+        assert math.isclose(log_rate, -0.1)
+
+    def test_two_links_one_swap(self):
+        log_rate = channel_log_rate_from_lengths([1000.0, 2000.0], 1e-4, 0.9)
+        assert math.isclose(log_rate, -0.3 + math.log(0.9))
+
+    def test_paper_example_p_squared_q(self):
+        """Fig. 4a: Alice-switch-Bob with link rate p each → p²q."""
+        alpha, length, q = 1e-4, 1500.0, 0.9
+        p = math.exp(-alpha * length)
+        log_rate = channel_log_rate_from_lengths([length, length], alpha, q)
+        assert math.isclose(math.exp(log_rate), p * p * q)
+
+    def test_q_zero_multihop_is_zero_rate(self):
+        log_rate = channel_log_rate_from_lengths([100.0, 100.0], 1e-4, 0.0)
+        assert log_rate == -math.inf
+
+    def test_q_zero_single_hop_unaffected(self):
+        log_rate = channel_log_rate_from_lengths([100.0], 1e-4, 0.0)
+        assert math.isclose(log_rate, -0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            channel_log_rate_from_lengths([], 1e-4, 0.9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lengths=st.lists(st.floats(1.0, 10_000.0), min_size=1, max_size=10),
+        q=st.floats(0.01, 1.0),
+    )
+    def test_matches_naive_product(self, lengths, q):
+        alpha = 1e-4
+        naive = q ** (len(lengths) - 1)
+        for length in lengths:
+            naive *= math.exp(-alpha * length)
+        log_rate = channel_log_rate_from_lengths(lengths, alpha, q)
+        assert math.isclose(math.exp(log_rate), naive, rel_tol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lengths=st.lists(st.floats(1.0, 5000.0), min_size=1, max_size=8),
+        extra=st.floats(1.0, 5000.0),
+        q=st.floats(0.01, 1.0),
+    )
+    def test_adding_a_link_decreases_rate(self, lengths, extra, q):
+        alpha = 1e-4
+        shorter = channel_log_rate_from_lengths(lengths, alpha, q)
+        longer = channel_log_rate_from_lengths(lengths + [extra], alpha, q)
+        assert longer <= shorter + 1e-12
+
+
+class TestChannelOnNetwork:
+    @pytest.fixture
+    def net(self):
+        return (
+            NetworkBuilder(NetworkParams(alpha=1e-4, swap_prob=0.9))
+            .user("a", (0, 0))
+            .switch("s", (1000, 0))
+            .user("b", (2000, 0))
+            .path(["a", "s", "b"])
+            .build()
+        )
+
+    def test_channel_log_rate(self, net):
+        expected = -0.2 + math.log(0.9)
+        assert math.isclose(channel_log_rate(net, ["a", "s", "b"]), expected)
+
+    def test_channel_rate_linear(self, net):
+        assert math.isclose(
+            channel_rate(net, ["a", "s", "b"]),
+            math.exp(-0.2) * 0.9,
+        )
+
+    def test_missing_fiber_rejected(self, net):
+        with pytest.raises(ValueError):
+            channel_log_rate(net, ["a", "b"])
+
+    def test_short_path_rejected(self, net):
+        with pytest.raises(ValueError):
+            channel_log_rate(net, ["a"])
+
+
+class TestTreeRates:
+    def test_tree_log_rate_sums(self):
+        assert math.isclose(tree_log_rate([-0.1, -0.2, -0.3]), -0.6)
+
+    def test_tree_rate_is_product(self):
+        """Eq. (2): tree rate = product of channel rates."""
+        logs = [math.log(0.5), math.log(0.25)]
+        assert math.isclose(tree_rate(logs), 0.125)
+
+    def test_empty_tree_rate_is_one(self):
+        assert tree_rate([]) == 1.0

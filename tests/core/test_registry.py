@@ -1,0 +1,60 @@
+"""Tests for the solver registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.baselines  # noqa: F401 - ensure baselines registered
+from repro.core.registry import DISPLAY_NAMES, SOLVERS, register_solver, solve
+
+
+class TestRegistry:
+    def test_core_algorithms_registered(self):
+        for name in ("optimal", "conflict_free", "prim"):
+            assert name in SOLVERS
+
+    def test_paper_aliases(self):
+        for name in ("alg2", "alg3", "alg4"):
+            assert name in SOLVERS
+
+    def test_baselines_registered(self):
+        for name in ("eqcast", "nfusion", "random_tree"):
+            assert name in SOLVERS
+
+    def test_display_names_match_figures(self):
+        assert DISPLAY_NAMES["optimal"] == "Alg-2"
+        assert DISPLAY_NAMES["conflict_free"] == "Alg-3"
+        assert DISPLAY_NAMES["prim"] == "Alg-4"
+        assert DISPLAY_NAMES["nfusion"] == "N-Fusion"
+        assert DISPLAY_NAMES["eqcast"] == "E-Q-CAST"
+
+    def test_solve_dispatch(self, star_network):
+        solution = solve("optimal", star_network)
+        assert solution.method == "optimal"
+
+    def test_solve_with_users_subset(self, star_network):
+        solution = solve("prim", star_network, users=["alice", "bob"], rng=0)
+        assert solution.users == frozenset(("alice", "bob"))
+
+    def test_unknown_solver(self, star_network):
+        with pytest.raises(KeyError, match="optimal"):
+            solve("definitely-not-a-solver", star_network)
+
+    def test_register_custom(self, star_network):
+        from repro.core.problem import infeasible_solution
+
+        def stub(network, users=None, rng=None):
+            return infeasible_solution(network.user_ids, "stub")
+
+        register_solver("stub-test", stub, display="Stub")
+        try:
+            assert solve("stub-test", star_network).method == "stub"
+            assert DISPLAY_NAMES["stub-test"] == "Stub"
+        finally:
+            del SOLVERS["stub-test"]
+            del DISPLAY_NAMES["stub-test"]
+
+    def test_alias_and_primary_agree(self, medium_waxman):
+        a = solve("optimal", medium_waxman)
+        b = solve("alg2", medium_waxman)
+        assert a.log_rate == b.log_rate

@@ -1,0 +1,76 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    AblationResult,
+    run_fusion_penalty_ablation,
+    run_prim_seed_ablation,
+    run_retention_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+
+FAST = ExperimentConfig(
+    n_switches=10,
+    n_users=4,
+    avg_degree=4.0,
+    qubits_per_switch=2,  # tight: retention policy actually matters
+    n_networks=3,
+    seed=9,
+)
+
+
+class TestRetention:
+    def test_variants_present(self):
+        result = run_retention_ablation(FAST)
+        assert set(result.variants) == {
+            "greedy retention (paper)",
+            "random retention",
+        }
+
+    def test_sample_counts(self):
+        result = run_retention_ablation(FAST)
+        for rates in result.variants.values():
+            assert len(rates) == FAST.n_networks
+
+    def test_greedy_at_least_as_good_on_average(self):
+        config = FAST.replace(n_networks=6)
+        result = run_retention_ablation(config)
+        stats = result.stats()
+        greedy = stats["greedy retention (paper)"].mean
+        random_mean = stats["random retention"].mean
+        assert greedy >= random_mean * 0.7  # allow noise, expect parity+
+
+    def test_table(self):
+        text = run_retention_ablation(FAST).to_table("retention").render()
+        assert "greedy" in text
+
+
+class TestPrimSeed:
+    def test_variant_names(self):
+        result = run_prim_seed_ablation(FAST, n_seeds=3)
+        assert "seed user #0" in result.variants
+        assert "best of all seeds" in result.variants
+
+    def test_best_of_dominates_each_seed(self):
+        result = run_prim_seed_ablation(FAST, n_seeds=3)
+        best = result.variants["best of all seeds"]
+        for name, rates in result.variants.items():
+            if name == "best of all seeds":
+                continue
+            for single, combined in zip(rates, best):
+                assert combined >= single - 1e-12
+
+
+class TestFusionPenalty:
+    def test_variants(self):
+        result = run_fusion_penalty_ablation(FAST, penalties=(1.0, 0.5))
+        assert set(result.variants) == {"mu=1.0", "mu=0.5"}
+
+    def test_monotone_in_penalty(self):
+        result = run_fusion_penalty_ablation(FAST, penalties=(1.0, 0.5))
+        loose = result.stats()["mu=1.0"].mean
+        tight = result.stats()["mu=0.5"].mean
+        assert loose >= tight

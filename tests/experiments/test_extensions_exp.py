@@ -1,0 +1,78 @@
+"""Tests for the extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.catalog import EXPERIMENTS, run_named
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions_exp import (
+    OnlineLoadResult,
+    run_localsearch_experiment,
+    run_online_load_experiment,
+)
+
+FAST = ExperimentConfig(
+    n_switches=10,
+    n_users=6,
+    avg_degree=4.0,
+    qubits_per_switch=4,
+    n_networks=2,
+    seed=3,
+)
+
+
+class TestLocalsearchExperiment:
+    def test_variants_paired(self):
+        result = run_localsearch_experiment(FAST, methods=("prim",))
+        assert set(result.variants) == {"prim", "prim+ls"}
+
+    def test_local_search_never_hurts(self):
+        result = run_localsearch_experiment(
+            FAST, methods=("prim", "random_tree")
+        )
+        for method in ("prim", "random_tree"):
+            base = result.variants[method]
+            improved = result.variants[method + "+ls"]
+            for before, after in zip(base, improved):
+                assert after >= before - 1e-12
+
+    def test_table_renders(self):
+        result = run_localsearch_experiment(FAST, methods=("prim",))
+        assert "prim+ls" in result.to_table("ls").render()
+
+
+class TestOnlineLoadExperiment:
+    def test_structure(self):
+        result = run_online_load_experiment(FAST, loads=(1, 4))
+        assert isinstance(result, OnlineLoadResult)
+        assert result.loads == (1, 4)
+        assert len(result.acceptance) == 2
+
+    def test_acceptance_bounded(self):
+        result = run_online_load_experiment(FAST, loads=(1, 2, 6))
+        for ratio in result.acceptance:
+            assert 0.0 <= ratio <= 1.0
+
+    def test_single_request_usually_accepted(self):
+        result = run_online_load_experiment(FAST, loads=(1,))
+        assert result.acceptance[0] >= 0.5
+
+    def test_load_pressure_never_raises_acceptance_much(self):
+        result = run_online_load_experiment(FAST, loads=(1, 8))
+        assert result.acceptance[1] <= result.acceptance[0] + 1e-9
+
+    def test_table_renders(self):
+        result = run_online_load_experiment(FAST, loads=(1, 2))
+        text = result.to_table("load").render()
+        assert "acceptance ratio" in text
+
+
+class TestCatalogIntegration:
+    def test_registered(self):
+        assert "ext-localsearch" in EXPERIMENTS
+        assert "ext-online-load" in EXPERIMENTS
+
+    def test_run_named(self):
+        result = run_named("ext-online-load", FAST)
+        assert isinstance(result, OnlineLoadResult)

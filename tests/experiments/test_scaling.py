@@ -1,0 +1,42 @@
+"""Tests for the runtime-scaling study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scaling import ScalingResult, run_scaling
+
+FAST = ExperimentConfig(n_users=4, avg_degree=4.0, seed=2)
+
+
+class TestRunScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling(
+            FAST, sizes=(10, 20), methods=("optimal", "prim"), repeats=1
+        )
+
+    def test_structure(self, result):
+        assert result.sizes == (10, 20)
+        assert set(result.timings) == {"optimal", "prim"}
+        assert all(len(v) == 2 for v in result.timings.values())
+
+    def test_timings_positive(self, result):
+        for series in result.timings.values():
+            assert all(t > 0 for t in series)
+
+    def test_table(self, result):
+        text = result.to_table("scaling").render()
+        assert "switches" in text
+        assert "(ms)" in text
+
+    def test_growth_factor(self, result):
+        factor = result.growth_factor("prim")
+        assert factor > 0
+
+    def test_bigger_networks_not_faster_by_much(self, result):
+        """Sanity: 20-switch networks shouldn't run 10x faster than
+        10-switch ones (would indicate a measurement bug)."""
+        for series in result.timings.values():
+            assert series[1] > 0.1 * series[0]

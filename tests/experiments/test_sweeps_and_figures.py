@@ -1,0 +1,159 @@
+"""Tests for sweeps and the per-figure experiment modules.
+
+Figure runs use heavily reduced configs (small networks, few replicas)
+so the suite stays fast; the benchmarks run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.catalog import EXPERIMENTS, run_named
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5_topology import run_fig5
+from repro.experiments.fig6_scale import run_fig6a, run_fig6b
+from repro.experiments.fig7_edges import EdgeRemovalResult, run_fig7a, run_fig7b
+from repro.experiments.fig8_switch import run_fig8a, run_fig8b
+from repro.experiments.headline import run_headline
+from repro.experiments.sweeps import SweepResult, sweep
+
+FAST = ExperimentConfig(
+    n_switches=12,
+    n_users=4,
+    avg_degree=4.0,
+    n_networks=2,
+    seed=5,
+)
+
+
+class TestSweep:
+    def test_values_and_results_aligned(self):
+        result = sweep(FAST, "swap_prob", [0.8, 0.9])
+        assert result.values == (0.8, 0.9)
+        assert len(result.results) == 2
+        assert result.results[0].config.swap_prob == 0.8
+
+    def test_series_shape(self):
+        result = sweep(FAST, "swap_prob", [0.8, 0.9])
+        series = result.series()
+        assert set(series) == set(FAST.methods)
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_to_table(self):
+        result = sweep(FAST, "swap_prob", [0.8, 0.9])
+        text = result.to_table("t").render()
+        assert "swap_prob" in text and "Alg-3" in text
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(FAST, "swap_prob", [])
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            sweep(FAST, "not_a_field", [1])
+
+
+class TestFig5:
+    def test_covers_three_topologies(self):
+        result = run_fig5(FAST)
+        assert result.values == ("waxman", "watts_strogatz", "volchenkov")
+
+    def test_proposed_beat_baselines_everywhere(self):
+        result = run_fig5(FAST)
+        for point in result.results:
+            rates = point.mean_rates()
+            assert rates["optimal"] >= rates["nfusion"]
+            assert rates["optimal"] >= rates["eqcast"]
+
+
+class TestFig6:
+    def test_fig6a_rate_decreases_with_users(self):
+        result = run_fig6a(FAST, user_counts=(3, 4, 6))
+        series = result.series()["optimal"]
+        assert series[0] > series[-1]
+
+    def test_fig6b_switch_counts(self):
+        result = run_fig6b(FAST, switch_counts=(6, 12))
+        assert result.parameter == "n_switches"
+        assert len(result.results) == 2
+
+
+class TestFig7:
+    def test_fig7a_rate_increases_with_degree(self):
+        result = run_fig7a(FAST, degrees=(3.0, 6.0))
+        series = result.series()["optimal"]
+        assert series[-1] >= series[0]
+
+    def test_fig7b_structure(self):
+        result = run_fig7b(FAST, n_edges=60, step=10, max_ratio=0.5)
+        assert isinstance(result, EdgeRemovalResult)
+        assert result.ratios[0] == 0.0
+        assert math.isclose(result.ratios[-1], 0.5)
+        assert set(result.series) == set(FAST.methods)
+
+    def test_fig7b_rate_trends_down(self):
+        result = run_fig7b(FAST, n_edges=60, step=10, max_ratio=0.5)
+        series = result.series["optimal"]
+        assert series[-1] <= series[0]
+
+    def test_fig7b_table(self):
+        result = run_fig7b(FAST, n_edges=60, step=20, max_ratio=0.4)
+        text = result.to_table("fig7b").render()
+        assert "removed ratio" in text
+
+
+class TestFig8:
+    def test_fig8a_alg2_flat_heuristics_rise(self):
+        result = run_fig8a(FAST, qubit_counts=(2, 8))
+        series = result.series()
+        # Alg-2 ignores the budget: identical rates at Q=2 and Q=8.
+        assert math.isclose(
+            series["optimal"][0], series["optimal"][1], rel_tol=1e-12
+        )
+        # Heuristics can only improve with more qubits.
+        assert series["conflict_free"][1] >= series["conflict_free"][0] - 1e-12
+        assert series["prim"][1] >= series["prim"][0] - 1e-12
+
+    def test_fig8b_rate_increases_with_q(self):
+        result = run_fig8b(FAST, swap_probs=(0.6, 1.0))
+        for method, series in result.series().items():
+            if series[0] > 0:
+                assert series[1] >= series[0], method
+
+
+class TestHeadline:
+    def test_improvements_positive(self):
+        result = run_headline(FAST)
+        assert result.n_configurations > 0
+        for (algorithm, baseline), gain in result.improvements.items():
+            assert gain >= 0.0 or algorithm == "prim"
+
+    def test_table(self):
+        result = run_headline(FAST)
+        text = result.to_table("headline").render()
+        assert "vs N-Fusion" in text
+
+
+class TestCatalog:
+    def test_all_figures_present(self):
+        for name in (
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "fig8a",
+            "fig8b",
+            "headline",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_run_named_dispatch(self):
+        result = run_named("fig6b", FAST)
+        assert isinstance(result, SweepResult)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_named("fig99")

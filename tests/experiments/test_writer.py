@@ -1,0 +1,51 @@
+"""Tests for full-report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.writer import write_full_report
+
+FAST = ExperimentConfig(
+    n_switches=8, n_users=3, avg_degree=4.0, n_networks=1, seed=2
+)
+
+
+class TestWriteFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return write_full_report(FAST, include_fig7b=False)
+
+    def test_all_figures_present(self, report):
+        for title in (
+            "Fig. 5",
+            "Fig. 6(a)",
+            "Fig. 6(b)",
+            "Fig. 7(a)",
+            "Fig. 8(a)",
+            "Fig. 8(b)",
+            "Headline improvements",
+        ):
+            assert title in report, title
+
+    def test_fig7b_excluded_when_asked(self, report):
+        assert "Fig. 7(b)" not in report
+
+    def test_fig7b_included_by_default(self):
+        small = FAST.replace(n_switches=6)
+        report = write_full_report(small)
+        assert "Fig. 7(b)" in report
+
+    def test_config_recorded(self, report):
+        assert "seed=2" in report
+        assert "8 switches" in report
+
+    def test_valid_markdown_tables(self, report):
+        # Every table separator row is well-formed.
+        for line in report.splitlines():
+            if line.startswith("|---"):
+                assert set(line) <= {"|", "-"}
+
+    def test_methods_in_legend_order(self, report):
+        assert report.index("Alg-2") < report.index("N-Fusion")

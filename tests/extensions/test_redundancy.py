@@ -1,0 +1,144 @@
+"""Tests for redundant multi-channel trees."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.problem import infeasible_solution
+from repro.extensions.redundancy import (
+    RedundantTree,
+    add_redundancy,
+    simulate_redundant,
+)
+from repro.network import NetworkBuilder
+from repro.topology import TopologyConfig, waxman_network
+
+
+@pytest.fixture
+def twin_path(params_q09):
+    """Two disjoint 2-hop routes between two users, roomy switches."""
+    from repro.network import NetworkBuilder
+
+    builder = NetworkBuilder(params_q09)
+    builder.user("a", (0, 0)).user("b", (8000, 0))
+    builder.switch("n", (4000, 2000), qubits=4)
+    builder.switch("s", (4000, -2000), qubits=4)
+    builder.fiber("a", "n", 4500).fiber("n", "b", 4500)
+    builder.fiber("a", "s", 4600).fiber("s", "b", 4600)
+    return builder.build()
+
+
+class TestAddRedundancy:
+    def test_exhausts_leftover_capacity(self, twin_path):
+        """Greedy keeps adding backups while qubits remain: the two
+        4-qubit switches host 2 channels each → 3 backups total, across
+        both disjoint routes."""
+        base = solve_conflict_free(twin_path)
+        tree = add_redundancy(twin_path, base)
+        assert tree.n_backups == 3
+        paths = {c.path for group in tree.groups for c in group}
+        assert ("a", "n", "b") in paths and ("a", "s", "b") in paths
+        usage = tree.switch_usage()
+        assert usage == {"n": 4, "s": 4}
+
+    def test_rate_strictly_improves(self, twin_path):
+        base = solve_conflict_free(twin_path)
+        tree = add_redundancy(twin_path, base)
+        assert tree.rate > base.rate
+
+    def test_analytic_rate_formula(self, twin_path):
+        base = solve_conflict_free(twin_path)
+        tree = add_redundancy(twin_path, base)
+        (group,) = tree.groups
+        miss = 1.0
+        for channel in group:
+            miss *= 1.0 - channel.rate
+        assert math.isclose(tree.rate, 1.0 - miss, rel_tol=1e-12)
+
+    def test_capacity_respected(self, medium_waxman):
+        base = solve_conflict_free(medium_waxman)
+        tree = add_redundancy(medium_waxman, base)
+        budgets = medium_waxman.residual_qubits()
+        for switch, used in tree.switch_usage().items():
+            assert used <= budgets[switch], switch
+
+    def test_max_backups_cap(self, medium_waxman):
+        roomy = medium_waxman.with_switch_qubits(40)
+        base = solve_conflict_free(roomy)
+        tree = add_redundancy(roomy, base, max_backups=2)
+        assert tree.n_backups <= 2
+
+    def test_tight_capacity_limits_backups(self, twin_path):
+        """With 2-qubit switches, the base channel fills one switch and
+        the single backup fills the other: exactly one backup fits."""
+        tight = twin_path.with_switch_qubits(2)
+        base = solve_conflict_free(tight)
+        tree = add_redundancy(tight, base)
+        assert tree.n_backups == 1
+        usage = tree.switch_usage()
+        assert all(used <= 2 for used in usage.values())
+
+    def test_no_route_no_backups(self, line_network):
+        """A single-path network offers nowhere to put a backup once the
+        only corridor is saturated... but its 4-qubit switches can host
+        a duplicate of the same path; starve them to 2 qubits first."""
+        tight = line_network.with_switch_qubits(2)
+        base = solve_conflict_free(tight)
+        tree = add_redundancy(tight, base)
+        assert tree.n_backups == 0
+        assert math.isclose(tree.rate, base.rate, rel_tol=1e-12)
+
+    def test_never_worse_than_base(self, medium_waxman):
+        base = solve_conflict_free(medium_waxman)
+        tree = add_redundancy(medium_waxman, base)
+        assert tree.log_rate >= base.log_rate - 1e-12
+
+    def test_infeasible_rejected(self, twin_path):
+        with pytest.raises(ValueError):
+            add_redundancy(
+                twin_path, infeasible_solution(twin_path.user_ids, "x")
+            )
+
+    def test_roomier_network_gets_more_backups(self):
+        config = TopologyConfig(
+            n_switches=12, n_users=4, avg_degree=5.0, qubits_per_switch=4
+        )
+        network = waxman_network(config, rng=3)
+        base = solve_conflict_free(network)
+        tight_tree = add_redundancy(network, base)
+        roomy = network.with_switch_qubits(20)
+        base_roomy = solve_conflict_free(roomy)
+        roomy_tree = add_redundancy(roomy, base_roomy)
+        assert roomy_tree.n_backups >= tight_tree.n_backups
+
+
+class TestSimulateRedundant:
+    def test_monte_carlo_matches_analytic(self, twin_path):
+        base = solve_conflict_free(twin_path)
+        tree = add_redundancy(twin_path, base)
+        empirical, analytic = simulate_redundant(
+            twin_path, tree, trials=60_000, rng=0
+        )
+        standard_error = math.sqrt(analytic * (1 - analytic) / 60_000)
+        assert abs(empirical - analytic) < 4 * standard_error
+
+    def test_random_network_consistency(self, medium_waxman):
+        roomy = medium_waxman.with_switch_qubits(8)
+        base = solve_conflict_free(roomy)
+        tree = add_redundancy(roomy, base, max_backups=3)
+        empirical, analytic = simulate_redundant(
+            roomy, tree, trials=60_000, rng=1
+        )
+        standard_error = math.sqrt(
+            max(analytic * (1 - analytic), 1e-9) / 60_000
+        )
+        assert abs(empirical - analytic) < 4 * standard_error
+
+    def test_bad_trials_rejected(self, twin_path):
+        base = solve_conflict_free(twin_path)
+        tree = add_redundancy(twin_path, base)
+        with pytest.raises(ValueError):
+            simulate_redundant(twin_path, tree, trials=0)

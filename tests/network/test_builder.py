@@ -1,0 +1,83 @@
+"""Tests for NetworkBuilder and networkx conversion."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.network.builder import NetworkBuilder, network_from_networkx
+from repro.network.graph import NetworkParams
+
+
+class TestBuilder:
+    def test_chained_construction(self):
+        net = (
+            NetworkBuilder()
+            .user("a", (0, 0))
+            .switch("s", (1, 0), qubits=8)
+            .user("b", (2, 0))
+            .fiber("a", "s")
+            .fiber("s", "b")
+            .build()
+        )
+        assert len(net.users) == 2
+        assert net.qubits_of("s") == 8
+
+    def test_users_bulk(self):
+        net = NetworkBuilder().users(["a", "b", "c"]).build()
+        assert len(net.users) == 3
+
+    def test_path_helper(self):
+        net = (
+            NetworkBuilder()
+            .user("a")
+            .switch("s1")
+            .switch("s2")
+            .user("b")
+            .path(["a", "s1", "s2", "b"], length=10.0)
+            .build()
+        )
+        assert net.n_fibers == 3
+        assert net.fiber_between("s1", "s2").length == 10.0
+
+    def test_params(self):
+        net = NetworkBuilder().params(alpha=2e-4, swap_prob=0.8).build()
+        assert net.params.alpha == 2e-4
+        assert net.params.swap_prob == 0.8
+
+    def test_params_via_constructor(self):
+        net = NetworkBuilder(NetworkParams(swap_prob=0.7)).build()
+        assert net.params.swap_prob == 0.7
+
+
+class TestFromNetworkx:
+    def test_basic_conversion(self):
+        graph = nx.path_graph(4)
+        net = network_from_networkx(graph, user_ids=[0, 3])
+        assert {u.id for u in net.users} == {0, 3}
+        assert {s.id for s in net.switches} == {1, 2}
+        assert net.n_fibers == 3
+
+    def test_attributes_honoured(self):
+        graph = nx.Graph()
+        graph.add_node("u", position=(1.0, 2.0))
+        graph.add_node("s", qubits=10)
+        graph.add_edge("u", "s", length=42.0)
+        net = network_from_networkx(graph, user_ids=["u"])
+        assert net.node("u").position == (1.0, 2.0)
+        assert net.qubits_of("s") == 10
+        assert net.fiber_between("u", "s").length == 42.0
+
+    def test_defaults(self):
+        graph = nx.path_graph(3)
+        net = network_from_networkx(
+            graph, user_ids=[0, 2], default_qubits=6, default_length=7.0
+        )
+        assert net.qubits_of(1) == 6
+        assert net.fiber_between(0, 1).length == 7.0
+
+    def test_unknown_user_id_rejected(self):
+        with pytest.raises(ValueError):
+            network_from_networkx(nx.path_graph(3), user_ids=[0, 99])

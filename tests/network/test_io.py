@@ -1,0 +1,115 @@
+"""Tests for JSON serialization of networks and solutions."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.optimal import solve_optimal
+from repro.network.io import (
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+    solution_from_json,
+    solution_to_json,
+)
+from repro.topology import TopologyConfig, waxman_network
+
+
+class TestNetworkRoundTrip:
+    def test_round_trip_preserves_structure(self, star_network):
+        restored = network_from_json(network_to_json(star_network))
+        assert sorted(u.id for u in restored.users) == sorted(
+            u.id for u in star_network.users
+        )
+        assert sorted(s.id for s in restored.switches) == sorted(
+            s.id for s in star_network.switches
+        )
+        assert restored.n_fibers == star_network.n_fibers
+        assert restored.params == star_network.params
+
+    def test_round_trip_preserves_lengths_and_qubits(self, line_network):
+        restored = network_from_json(network_to_json(line_network))
+        for fiber in line_network.fibers:
+            twin = restored.fiber_between(fiber.u, fiber.v)
+            assert math.isclose(twin.length, fiber.length)
+        assert restored.qubits_of("s0") == 4
+
+    def test_round_trip_preserves_positions(self, star_network):
+        restored = network_from_json(network_to_json(star_network))
+        for node in star_network.nodes:
+            assert restored.node(node.id).position == node.position
+
+    def test_random_network_round_trip(self):
+        network = waxman_network(
+            TopologyConfig(n_switches=10, n_users=4, avg_degree=4.0), rng=1
+        )
+        restored = network_from_json(network_to_json(network))
+        assert restored.n_fibers == network.n_fibers
+        # Routing over the restored network gives identical results.
+        assert math.isclose(
+            solve_optimal(restored).log_rate,
+            solve_optimal(network).log_rate,
+            rel_tol=1e-12,
+        )
+
+    def test_json_is_valid_and_versioned(self, star_network):
+        document = json.loads(network_to_json(star_network))
+        assert document["format"] == "repro.quantum-network"
+        assert document["version"] == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self, star_network):
+        document = network_to_dict(star_network)
+        document["version"] = 999
+        with pytest.raises(ValueError):
+            network_from_dict(document)
+
+
+class TestSolutionRoundTrip:
+    def test_round_trip(self, star_network):
+        solution = solve_optimal(star_network)
+        restored = solution_from_json(solution_to_json(solution))
+        assert restored.method == solution.method
+        assert restored.feasible == solution.feasible
+        assert restored.users == solution.users
+        assert [c.path for c in restored.channels] == [
+            c.path for c in solution.channels
+        ]
+        assert math.isclose(restored.log_rate, solution.log_rate)
+
+    def test_infeasible_round_trip(self):
+        from repro.core.problem import infeasible_solution
+
+        solution = infeasible_solution(["a", "b"], "prim")
+        restored = solution_from_json(solution_to_json(solution))
+        assert not restored.feasible
+        assert restored.rate == 0.0
+
+    def test_extra_log_rate_preserved(self, star_network):
+        from repro.baselines.nfusion import solve_nfusion
+
+        solution = solve_nfusion(star_network)
+        restored = solution_from_json(solution_to_json(solution))
+        assert math.isclose(
+            restored.extra_log_rate, solution.extra_log_rate
+        )
+        assert math.isclose(restored.rate, solution.rate)
+
+    def test_restored_solution_validates(self, star_network):
+        from repro.core.tree import validate_solution
+
+        solution = solve_optimal(star_network)
+        restored = solution_from_json(solution_to_json(solution))
+        report = validate_solution(star_network, restored)
+        assert report.ok, str(report)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            solution_from_json(json.dumps({"format": "nope", "version": 1}))

@@ -1,0 +1,73 @@
+"""Tests for optical fibers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.link import DEFAULT_CORES, OpticalFiber, fiber_key
+from repro.utils.validation import ValidationError
+
+
+class TestFiberKey:
+    def test_order_insensitive(self):
+        assert fiber_key("a", "b") == fiber_key("b", "a")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            fiber_key("a", "a")
+
+    def test_heterogeneous_ids(self):
+        assert fiber_key(1, "x") == fiber_key("x", 1)
+
+
+class TestOpticalFiber:
+    def test_success_probability_formula(self):
+        """Paper: p = exp(-alpha * L)."""
+        fiber = OpticalFiber("a", "b", length=1000.0)
+        assert math.isclose(
+            fiber.success_probability(1e-4), math.exp(-0.1)
+        )
+
+    def test_log_success(self):
+        fiber = OpticalFiber("a", "b", length=2000.0)
+        assert math.isclose(fiber.log_success(1e-4), -0.2)
+
+    def test_zero_alpha_would_be_invalid_at_network_level(self):
+        # The fiber itself accepts any alpha; probability 1 at alpha=0.
+        fiber = OpticalFiber("a", "b", length=123.0)
+        assert fiber.success_probability(0.0) == 1.0
+
+    def test_other_end(self):
+        fiber = OpticalFiber("a", "b", length=1.0)
+        assert fiber.other_end("a") == "b"
+        assert fiber.other_end("b") == "a"
+
+    def test_other_end_unknown_raises(self):
+        with pytest.raises(ValueError):
+            OpticalFiber("a", "b", length=1.0).other_end("c")
+
+    def test_key_matches_fiber_key(self):
+        fiber = OpticalFiber("b", "a", length=1.0)
+        assert fiber.key == fiber_key("a", "b")
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ValidationError):
+            OpticalFiber("a", "b", length=0.0)
+        with pytest.raises(ValidationError):
+            OpticalFiber("a", "b", length=-5.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalFiber("a", "a", length=1.0)
+
+    def test_default_cores_are_plentiful(self):
+        """The paper assumes fibers have adequate capacity."""
+        assert OpticalFiber("a", "b", length=1.0).cores == DEFAULT_CORES
+        assert DEFAULT_CORES >= 10**4
+
+    def test_longer_fiber_lower_success(self):
+        short = OpticalFiber("a", "b", length=100.0)
+        long = OpticalFiber("a", "b", length=10_000.0)
+        assert short.success_probability(1e-4) > long.success_probability(1e-4)

@@ -1,0 +1,59 @@
+"""Tests for node types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.node import NodeKind, QuantumSwitch, QuantumUser
+from repro.utils.validation import ValidationError
+
+
+class TestQuantumUser:
+    def test_kind(self):
+        user = QuantumUser("alice")
+        assert user.kind is NodeKind.USER
+        assert user.is_user and not user.is_switch
+
+    def test_default_position(self):
+        assert QuantumUser("alice").position == (0.0, 0.0)
+
+    def test_distance(self):
+        a = QuantumUser("a", (0, 0))
+        b = QuantumUser("b", (3, 4))
+        assert math.isclose(a.distance_to(b), 5.0)
+        assert math.isclose(b.distance_to(a), 5.0)
+
+    def test_frozen(self):
+        user = QuantumUser("alice")
+        with pytest.raises(AttributeError):
+            user.id = "eve"
+
+    def test_equality_by_value(self):
+        assert QuantumUser("a", (1, 2)) == QuantumUser("a", (1, 2))
+
+
+class TestQuantumSwitch:
+    def test_kind(self):
+        switch = QuantumSwitch("s", qubits=4)
+        assert switch.kind is NodeKind.SWITCH
+        assert switch.is_switch and not switch.is_user
+
+    @pytest.mark.parametrize(
+        "qubits,capacity", [(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (10, 5)]
+    )
+    def test_channel_capacity_floor_q_over_2(self, qubits, capacity):
+        """Def. 3: capacity is ⌊Q/2⌋ channels."""
+        assert QuantumSwitch("s", qubits=qubits).channel_capacity == capacity
+
+    def test_default_qubits_match_paper(self):
+        assert QuantumSwitch("s").qubits == 4
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValidationError):
+            QuantumSwitch("s", qubits=-2)
+
+    def test_fractional_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumSwitch("s", qubits=2.5)

@@ -1,0 +1,84 @@
+"""Tests for topology statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.statistics import (
+    bridge_fibers,
+    degree_histogram,
+    topology_stats,
+    user_eccentricity_km,
+)
+from repro.topology.extras import grid_network, ring_network
+
+
+class TestTopologyStats:
+    def test_line_network(self, line_network):
+        stats = topology_stats(line_network)
+        assert stats.n_users == 2
+        assert stats.n_switches == 2
+        assert stats.n_fibers == 3
+        assert stats.diameter_hops == 3
+        assert stats.connected
+        assert math.isclose(stats.mean_fiber_km, 1000.0)
+        assert math.isclose(stats.total_fiber_km, 3000.0)
+        assert stats.n_bridges == 3  # a path is all bridges
+
+    def test_ring_has_no_bridges(self):
+        stats = topology_stats(ring_network(10))
+        assert stats.n_bridges == 0
+        assert stats.min_degree == stats.max_degree == 2
+
+    def test_describe_mentions_key_numbers(self, star_network):
+        text = topology_stats(star_network).describe()
+        assert "3 users" in text
+        assert "connected" in text
+
+    def test_random_network(self, medium_waxman):
+        stats = topology_stats(medium_waxman)
+        assert stats.connected
+        assert stats.average_degree == pytest.approx(
+            medium_waxman.average_degree()
+        )
+        assert stats.max_degree >= stats.min_degree
+
+    def test_disconnected_flagged(self, line_network):
+        line_network.remove_fiber("s0", "s1")
+        stats = topology_stats(line_network)
+        assert not stats.connected
+        assert stats.diameter_hops == 0
+
+
+class TestDegreeHistogram:
+    def test_star(self, star_network):
+        histogram = degree_histogram(star_network)
+        assert histogram == {1: 3, 3: 1}
+
+    def test_total_counts_nodes(self, medium_waxman):
+        histogram = degree_histogram(medium_waxman)
+        assert sum(histogram.values()) == len(medium_waxman)
+
+
+class TestBridges:
+    def test_path_is_all_bridges(self, line_network):
+        bridges = {frozenset(b) for b in bridge_fibers(line_network)}
+        assert len(bridges) == 3
+
+    def test_grid_interior_not_bridges(self):
+        net = grid_network(3, 3)
+        assert bridge_fibers(net) == []
+
+
+class TestUserEccentricity:
+    def test_line(self, line_network):
+        ecc = user_eccentricity_km(line_network)
+        assert math.isclose(ecc["alice"], 3000.0)
+        assert math.isclose(ecc["bob"], 3000.0)
+
+    def test_unreachable_is_inf(self, line_network):
+        line_network.remove_fiber("s0", "s1")
+        ecc = user_eccentricity_km(line_network)
+        assert ecc["alice"] == math.inf

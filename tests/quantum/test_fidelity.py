@@ -1,0 +1,145 @@
+"""Tests for fidelity algebra."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.fidelity import (
+    bell_fidelity,
+    chain_werner_fidelity,
+    is_ghz_like,
+    link_fidelity_from_length,
+    max_bell_fidelity,
+    state_fidelity,
+    werner_fidelity_after_swap,
+)
+from repro.quantum.states import bell_state, ghz_state, ket
+
+
+class TestStateFidelity:
+    def test_identical_states(self):
+        assert math.isclose(state_fidelity(bell_state(0), bell_state(0)), 1.0)
+
+    def test_orthogonal_states(self):
+        assert math.isclose(
+            state_fidelity(bell_state(0), bell_state(1)), 0.0, abs_tol=1e-12
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            state_fidelity(ket([0]), bell_state(0))
+
+    def test_bell_fidelity_of_product_state(self):
+        assert math.isclose(bell_fidelity(ket([0, 0]), 0), 0.5)
+
+    def test_max_bell_fidelity_of_bell(self):
+        for kind in range(4):
+            assert math.isclose(max_bell_fidelity(bell_state(kind)), 1.0)
+
+
+class TestGHZLike:
+    def test_ghz_is_ghz_like(self):
+        for n in (2, 3, 4):
+            assert is_ghz_like(ghz_state(n))
+
+    def test_product_state_is_not(self):
+        assert not is_ghz_like(ket([0, 0, 0]))
+
+    def test_w_like_state_is_not(self):
+        state = np.zeros(8, dtype=complex)
+        state[0b001] = state[0b010] = state[0b100] = 1 / math.sqrt(3)
+        assert not is_ghz_like(state)
+
+    def test_non_complementary_support_is_not(self):
+        state = np.zeros(4, dtype=complex)
+        state[0b00] = state[0b01] = 1 / math.sqrt(2)
+        assert not is_ghz_like(state)
+
+
+class TestWernerSwap:
+    def test_perfect_pairs_stay_perfect(self):
+        assert math.isclose(werner_fidelity_after_swap(1.0, 1.0), 1.0)
+
+    def test_fully_mixed_fixed_point(self):
+        """F = 1/4 (fully mixed Werner) is a fixed point of the rule."""
+        assert math.isclose(werner_fidelity_after_swap(0.25, 0.25), 0.25)
+
+    def test_known_value(self):
+        # 0.9*0.9 + 0.1*0.1/3
+        assert math.isclose(
+            werner_fidelity_after_swap(0.9, 0.9), 0.81 + 0.01 / 3
+        )
+
+    def test_symmetry(self):
+        assert math.isclose(
+            werner_fidelity_after_swap(0.7, 0.95),
+            werner_fidelity_after_swap(0.95, 0.7),
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            werner_fidelity_after_swap(1.1, 0.5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        f1=st.floats(0.25, 1.0),
+        f2=st.floats(0.25, 1.0),
+    )
+    def test_swap_never_exceeds_inputs(self, f1, f2):
+        """Swapping can't create fidelity: F' <= max(F1, F2)."""
+        result = werner_fidelity_after_swap(f1, f2)
+        assert result <= max(f1, f2) + 1e-12
+        assert result >= 0.25 - 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        f1=st.floats(0.3, 1.0),
+        f2=st.floats(0.3, 1.0),
+        delta=st.floats(0.0, 0.2),
+    )
+    def test_monotone_in_first_argument(self, f1, f2, delta):
+        """The Pareto search correctness condition (DESIGN.md)."""
+        higher = min(1.0, f1 + delta)
+        assert werner_fidelity_after_swap(higher, f2) >= (
+            werner_fidelity_after_swap(f1, f2) - 1e-12
+        )
+
+
+class TestChainFidelity:
+    def test_single_link(self):
+        assert chain_werner_fidelity([0.9]) == 0.9
+
+    def test_two_links_matches_swap(self):
+        assert math.isclose(
+            chain_werner_fidelity([0.9, 0.8]),
+            werner_fidelity_after_swap(0.9, 0.8),
+        )
+
+    def test_longer_chains_degrade(self):
+        f3 = chain_werner_fidelity([0.95] * 3)
+        f6 = chain_werner_fidelity([0.95] * 6)
+        assert f6 < f3 < 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chain_werner_fidelity([])
+
+
+class TestLinkFidelityFromLength:
+    def test_zero_length_is_base(self):
+        assert math.isclose(link_fidelity_from_length(0.0), 0.99)
+
+    def test_decays_with_length(self):
+        assert link_fidelity_from_length(100) > link_fidelity_from_length(5000)
+
+    def test_floor_at_quarter(self):
+        assert link_fidelity_from_length(1e12) >= 0.25
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            link_fidelity_from_length(-1.0)

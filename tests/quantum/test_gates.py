@@ -1,0 +1,142 @@
+"""Tests for the gate layer: entanglement generation from circuits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    HADAMARD,
+    PAULI_X,
+    PAULI_Z,
+    S_GATE,
+    T_GATE,
+    apply_cnot,
+    apply_single,
+    create_bell_pair_via_circuit,
+    create_ghz_via_circuit,
+    hadamard,
+)
+from repro.quantum.register import QubitRegister
+from repro.quantum.states import bell_state, ghz_state, ket
+
+
+class TestSingleQubitGates:
+    def test_hadamard_on_zero(self):
+        register = QubitRegister.computational({"q": 0})
+        hadamard(register, "q")
+        assert np.allclose(
+            register.state, np.array([1, 1]) / math.sqrt(2)
+        )
+
+    def test_x_flips(self):
+        register = QubitRegister.computational({"q": 0})
+        apply_single(register, "q", PAULI_X)
+        assert np.allclose(register.state, ket([1]))
+
+    def test_gate_composition_hzh_is_x(self):
+        register = QubitRegister.computational({"q": 0})
+        hadamard(register, "q")
+        apply_single(register, "q", PAULI_Z)
+        hadamard(register, "q")
+        assert np.allclose(register.state, ket([1]), atol=1e-9)
+
+    def test_s_squared_is_z(self):
+        a = QubitRegister.computational({"q": 1})
+        apply_single(a, "q", S_GATE)
+        apply_single(a, "q", S_GATE)
+        b = QubitRegister.computational({"q": 1})
+        apply_single(b, "q", PAULI_Z)
+        assert np.allclose(a.state, b.state)
+
+    def test_t_fourth_power_is_z(self):
+        register = QubitRegister.computational({"q": 1})
+        for _ in range(4):
+            apply_single(register, "q", T_GATE)
+        expected = QubitRegister.computational({"q": 1})
+        apply_single(expected, "q", PAULI_Z)
+        assert np.allclose(register.state, expected.state)
+
+    def test_non_unitary_rejected(self):
+        register = QubitRegister.computational({"q": 0})
+        with pytest.raises(ValueError):
+            apply_single(register, "q", np.array([[1, 0], [0, 2]]))
+
+    def test_bad_shape_rejected(self):
+        register = QubitRegister.computational({"q": 0})
+        with pytest.raises(ValueError):
+            apply_single(register, "q", np.eye(4))
+
+    def test_gate_targets_correct_qubit(self):
+        register = QubitRegister.computational({"a": 0, "b": 0})
+        apply_single(register, "b", PAULI_X)
+        assert np.allclose(register.state, ket([0, 1]))
+
+
+class TestCnot:
+    def test_control_zero_identity(self):
+        register = QubitRegister.computational({"c": 0, "t": 0})
+        apply_cnot(register, "c", "t")
+        assert np.allclose(register.state, ket([0, 0]))
+
+    def test_control_one_flips_target(self):
+        register = QubitRegister.computational({"c": 1, "t": 0})
+        apply_cnot(register, "c", "t")
+        assert np.allclose(register.state, ket([1, 1]))
+
+    def test_label_order_not_register_order(self):
+        register = QubitRegister.computational({"t": 0, "c": 1})
+        apply_cnot(register, "c", "t")  # control is the SECOND qubit
+        assert np.allclose(register.state, ket([1, 1]))
+
+    def test_same_qubit_rejected(self):
+        register = QubitRegister.computational({"c": 0, "t": 0})
+        with pytest.raises(ValueError):
+            apply_cnot(register, "c", "c")
+
+    def test_involution(self):
+        register = QubitRegister.bell("a", "b")
+        before = register.state
+        apply_cnot(register, "a", "b")
+        apply_cnot(register, "a", "b")
+        assert np.allclose(register.state, before)
+
+
+class TestCircuitGeneration:
+    def test_bell_circuit_matches_constructor(self):
+        circuit = create_bell_pair_via_circuit("a", "b")
+        assert np.allclose(circuit.state, bell_state(0), atol=1e-9)
+
+    def test_bell_circuit_swappable(self):
+        """Generated pairs work with the swapping machinery: the full
+        generate → distribute → swap pipeline on amplitudes."""
+        left = create_bell_pair_via_circuit("alice", "s1")
+        right = create_bell_pair_via_circuit("s2", "bob")
+        left.merge(right)
+        left.measure_bell("s1", "s2", rng=0)
+        assert math.isclose(
+            left.max_bell_fidelity("alice", "bob"), 1.0, abs_tol=1e-9
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_ghz_circuit(self, n):
+        labels = [f"q{i}" for i in range(n)]
+        circuit = create_ghz_via_circuit(labels)
+        assert np.allclose(circuit.state, ghz_state(n), atol=1e-9)
+
+    def test_ghz_too_small(self):
+        with pytest.raises(ValueError):
+            create_ghz_via_circuit(["only"])
+
+    def test_generated_pair_teleports(self):
+        from repro.quantum.teleportation import teleport
+
+        register = create_bell_pair_via_circuit("alice", "bob")
+        payload = np.array([0.6, 0.8], dtype=complex)
+        register.merge(QubitRegister(payload, ["psi"]))
+        teleport(register, "psi", "alice", "bob", rng=1)
+        rho = register.reduced_density(["bob"])
+        fidelity = float((payload.conj() @ rho @ payload).real)
+        assert math.isclose(fidelity, 1.0, abs_tol=1e-9)

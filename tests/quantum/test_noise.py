@@ -1,0 +1,187 @@
+"""Tests for density-matrix noise models.
+
+The centerpiece: deriving the Werner swap rule
+``F' = F₁F₂ + (1−F₁)(1−F₂)/3`` from an actual BSM on density matrices,
+which certifies the fidelity-aware extension's arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.fidelity import werner_fidelity_after_swap
+from repro.quantum.noise import (
+    density_of,
+    depolarize,
+    dephase_qubit,
+    fidelity_to_bell,
+    is_density_matrix,
+    swap_werner_pairs,
+    werner_state,
+)
+from repro.quantum.states import bell_state, ket
+
+
+class TestDensityBasics:
+    def test_pure_density(self):
+        rho = density_of(bell_state(0))
+        assert is_density_matrix(rho)
+        assert math.isclose(float(np.trace(rho @ rho).real), 1.0)
+
+    def test_is_density_matrix_rejects_nonhermitian(self):
+        bad = np.array([[1.0, 1.0], [0.0, 0.0]], dtype=complex)
+        assert not is_density_matrix(bad)
+
+    def test_is_density_matrix_rejects_bad_trace(self):
+        assert not is_density_matrix(2 * density_of(ket([0])))
+
+    def test_is_density_matrix_rejects_negative(self):
+        bad = np.diag([1.5, -0.5]).astype(complex)
+        assert not is_density_matrix(bad)
+
+
+class TestWernerState:
+    @pytest.mark.parametrize("fidelity", [0.25, 0.5, 0.75, 0.9, 1.0])
+    def test_valid_density_matrix(self, fidelity):
+        assert is_density_matrix(werner_state(fidelity))
+
+    @pytest.mark.parametrize("fidelity", [0.3, 0.6, 0.99])
+    def test_fidelity_by_construction(self, fidelity):
+        rho = werner_state(fidelity)
+        assert math.isclose(fidelity_to_bell(rho, 0), fidelity, abs_tol=1e-12)
+
+    def test_other_bell_components_uniform(self):
+        rho = werner_state(0.7)
+        for kind in (1, 2, 3):
+            assert math.isclose(
+                fidelity_to_bell(rho, kind), 0.1, abs_tol=1e-12
+            )
+
+    def test_f1_is_pure_bell(self):
+        assert np.allclose(werner_state(1.0), density_of(bell_state(0)))
+
+    def test_quarter_is_maximally_mixed(self):
+        assert np.allclose(werner_state(0.25), np.eye(4) / 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            werner_state(1.2)
+
+
+class TestChannels:
+    def test_depolarize_full_is_maximally_mixed(self):
+        rho = depolarize(density_of(bell_state(0)), 1.0)
+        assert np.allclose(rho, np.eye(4) / 4)
+
+    def test_depolarize_zero_is_identity_map(self):
+        rho = density_of(bell_state(0))
+        assert np.allclose(depolarize(rho, 0.0), rho)
+
+    def test_depolarize_preserves_density(self):
+        rho = depolarize(density_of(bell_state(2)), 0.3)
+        assert is_density_matrix(rho)
+
+    def test_dephase_kills_coherences(self):
+        rho = density_of(bell_state(0))
+        dephased = dephase_qubit(rho, qubit=0, probability=1.0)
+        assert is_density_matrix(dephased)
+        # Full dephasing on one half kills the off-diagonal Bell terms.
+        assert abs(dephased[0, 3]) < 1e-12
+
+    def test_dephase_lowers_bell_fidelity(self):
+        rho = density_of(bell_state(0))
+        dephased = dephase_qubit(rho, qubit=1, probability=0.5)
+        assert fidelity_to_bell(dephased) < 1.0
+
+
+class TestSwapDerivesWernerRule:
+    """The load-bearing derivation for the fidelity-aware extension."""
+
+    def test_perfect_pairs_swap_to_perfect(self):
+        rho, probabilities = swap_werner_pairs(
+            werner_state(1.0), werner_state(1.0)
+        )
+        assert math.isclose(fidelity_to_bell(rho), 1.0, abs_tol=1e-9)
+        for probability in probabilities:
+            assert math.isclose(probability, 0.25, abs_tol=1e-9)
+
+    @pytest.mark.parametrize(
+        "f1,f2",
+        [(0.9, 0.9), (0.8, 0.95), (0.7, 0.7), (0.5, 0.9), (0.25, 0.25)],
+    )
+    def test_matches_closed_form(self, f1, f2):
+        """Measured post-swap fidelity == F1·F2 + (1-F1)(1-F2)/3."""
+        rho, _ = swap_werner_pairs(werner_state(f1), werner_state(f2))
+        measured = fidelity_to_bell(rho)
+        predicted = werner_fidelity_after_swap(f1, f2)
+        assert math.isclose(measured, predicted, abs_tol=1e-9), (
+            f"F1={f1}, F2={f2}: measured {measured}, formula {predicted}"
+        )
+
+    def test_output_is_density_matrix(self):
+        rho, _ = swap_werner_pairs(werner_state(0.8), werner_state(0.85))
+        assert is_density_matrix(rho)
+
+    def test_output_is_werner_form(self):
+        """The swapped state is again Werner: other Bell fidelities equal."""
+        rho, _ = swap_werner_pairs(werner_state(0.8), werner_state(0.9))
+        others = [fidelity_to_bell(rho, kind) for kind in (1, 2, 3)]
+        assert max(others) - min(others) < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(f1=st.floats(0.25, 1.0), f2=st.floats(0.25, 1.0))
+    def test_property_closed_form_everywhere(self, f1, f2):
+        rho, probabilities = swap_werner_pairs(
+            werner_state(f1), werner_state(f2)
+        )
+        assert math.isclose(sum(probabilities), 1.0, abs_tol=1e-9)
+        assert math.isclose(
+            fidelity_to_bell(rho),
+            werner_fidelity_after_swap(f1, f2),
+            abs_tol=1e-9,
+        )
+
+
+class TestPurificationDerivesClosedForm:
+    """Companion derivation: the BBPSSW recurrence formulas used by
+    repro.extensions.purification, reproduced from actual CNOTs and
+    Z-measurements on density matrices."""
+
+    @pytest.mark.parametrize("f", [1.0, 0.9, 0.75, 0.6, 0.5, 0.25])
+    def test_matches_closed_form(self, f):
+        from repro.extensions.purification import purify_once
+        from repro.quantum.noise import purify_werner_pairs
+
+        rho, p = purify_werner_pairs(werner_state(f), werner_state(f))
+        closed_f, closed_p = purify_once(f)
+        assert math.isclose(fidelity_to_bell(rho), closed_f, abs_tol=1e-9)
+        assert math.isclose(p, closed_p, abs_tol=1e-9)
+
+    def test_output_is_density_matrix(self):
+        from repro.quantum.noise import purify_werner_pairs
+
+        rho, _ = purify_werner_pairs(werner_state(0.8), werner_state(0.8))
+        assert is_density_matrix(rho)
+
+    @settings(max_examples=15, deadline=None)
+    @given(f=st.floats(0.25, 1.0))
+    def test_property_closed_form_everywhere(self, f):
+        from repro.extensions.purification import purify_once
+        from repro.quantum.noise import purify_werner_pairs
+
+        rho, p = purify_werner_pairs(werner_state(f), werner_state(f))
+        closed_f, closed_p = purify_once(f)
+        assert math.isclose(fidelity_to_bell(rho), closed_f, abs_tol=1e-9)
+        assert math.isclose(p, closed_p, abs_tol=1e-9)
+
+    def test_asymmetric_inputs_still_density(self):
+        from repro.quantum.noise import purify_werner_pairs
+
+        rho, p = purify_werner_pairs(werner_state(0.9), werner_state(0.6))
+        assert is_density_matrix(rho)
+        assert 0.0 < p <= 1.0

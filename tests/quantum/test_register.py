@@ -1,0 +1,206 @@
+"""Tests verifying the model's physical primitives on real state vectors.
+
+These are the load-bearing checks of DESIGN.md §6: BSM swapping of two
+Bell pairs yields a Bell pair (Fig. 1), and n-fusion of n Bell pairs
+yields an n-GHZ state (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.fidelity import is_ghz_like
+from repro.quantum.register import QubitRegister
+from repro.quantum.states import bell_state, ghz_state
+
+
+class TestConstruction:
+    def test_bell_constructor(self):
+        reg = QubitRegister.bell("a", "b")
+        assert reg.n_qubits == 2
+        assert np.allclose(reg.state, bell_state(0))
+
+    def test_computational_constructor(self):
+        reg = QubitRegister.computational({"x": 1, "y": 0})
+        assert reg.n_qubits == 2
+        assert reg.state[0b10] == 1.0
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister(bell_state(0), ["a", "a"])
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister(bell_state(0), ["a", "b", "c"])
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister(np.array([1.0, 1.0]), ["a"])
+
+    def test_merge(self):
+        reg = QubitRegister.bell("a", "b").merge(QubitRegister.bell("c", "d"))
+        assert reg.n_qubits == 4
+
+    def test_merge_label_collision(self):
+        with pytest.raises(ValueError):
+            QubitRegister.bell("a", "b").merge(QubitRegister.bell("b", "c"))
+
+    def test_index_of_missing(self):
+        with pytest.raises(KeyError):
+            QubitRegister.bell("a", "b").index_of("z")
+
+
+class TestBSMSwapping:
+    """Fig. 1: Alice-switch + switch-Bob Bell pairs, BSM at the switch."""
+
+    def _swapped(self, rng=0, force=None):
+        reg = QubitRegister.bell("alice", "sw1")
+        reg.merge(QubitRegister.bell("sw2", "bob"))
+        outcome, probability = reg.measure_bell(
+            "sw1", "sw2", rng=rng, force_outcome=force
+        )
+        return reg, outcome, probability
+
+    def test_switch_qubits_freed(self):
+        reg, _, _ = self._swapped()
+        assert sorted(reg.labels) == ["alice", "bob"]
+
+    def test_outcomes_uniform_quarter(self):
+        for outcome in range(4):
+            _, _, probability = self._swapped(force=outcome)
+            assert math.isclose(probability, 0.25, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("outcome", range(4))
+    def test_result_is_maximally_entangled_bell(self, outcome):
+        reg, _, _ = self._swapped(force=outcome)
+        assert math.isclose(
+            reg.max_bell_fidelity("alice", "bob"), 1.0, abs_tol=1e-9
+        )
+
+    def test_outcome_zero_is_phi_plus_exactly(self):
+        reg, _, _ = self._swapped(force=0)
+        assert math.isclose(
+            reg.bell_fidelity("alice", "bob", kind=0), 1.0, abs_tol=1e-9
+        )
+
+    def test_pauli_correction_restores_phi_plus(self):
+        """Any BSM outcome can be rotated back to Φ⁺ classically."""
+        corrections = {0: "I", 1: "Z", 2: "X", 3: "Y"}
+        for outcome, pauli in corrections.items():
+            reg, _, _ = self._swapped(force=outcome)
+            reg.apply_pauli("bob", pauli)
+            assert math.isclose(
+                reg.bell_fidelity("alice", "bob", kind=0), 1.0, abs_tol=1e-9
+            ), f"outcome {outcome} not corrected by {pauli}"
+
+    def test_chained_swaps_three_hops(self):
+        """alice-s1 s2-m1 (swap) then m2-bob: two BSMs still give Bell."""
+        reg = QubitRegister.bell("alice", "s1")
+        reg.merge(QubitRegister.bell("s2", "m1"))
+        reg.merge(QubitRegister.bell("m2", "bob"))
+        reg.measure_bell("s1", "s2", rng=1)
+        reg.measure_bell("m1", "m2", rng=2)
+        assert sorted(reg.labels) == ["alice", "bob"]
+        assert math.isclose(
+            reg.max_bell_fidelity("alice", "bob"), 1.0, abs_tol=1e-9
+        )
+
+    def test_sampled_outcome_matches_probability(self):
+        _, outcome, probability = self._swapped(rng=123)
+        assert 0 <= outcome < 4
+        assert math.isclose(probability, 0.25, abs_tol=1e-9)
+
+    def test_measuring_same_qubit_twice_rejected(self):
+        reg = QubitRegister.bell("a", "b")
+        with pytest.raises(ValueError):
+            reg.measure_bell("a", "a")
+
+    def test_impossible_forced_outcome_rejected(self):
+        reg = QubitRegister.computational({"a": 0, "b": 0})
+        # |00> has zero overlap with Ψ± (kinds 2, 3).
+        with pytest.raises(ValueError):
+            reg.measure_bell("a", "b", force_outcome=3)
+
+
+class TestGHZFusion:
+    """Fig. 2: n-fusion of n Bell pairs at a switch yields an n-GHZ."""
+
+    def _fused(self, n, rng=0, force=None):
+        reg = QubitRegister.bell(f"user0", "hub0")
+        for k in range(1, n):
+            reg.merge(QubitRegister.bell(f"user{k}", f"hub{k}"))
+        outcome, probability = reg.measure_ghz(
+            [f"hub{k}" for k in range(n)], rng=rng, force_outcome=force
+        )
+        return reg, outcome, probability
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_hub_qubits_freed(self, n):
+        reg, _, _ = self._fused(n)
+        assert sorted(reg.labels) == sorted(f"user{k}" for k in range(n))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_every_outcome_yields_ghz_class_state(self, n):
+        for outcome in range(2**n):
+            reg, _, probability = self._fused(n, force=outcome)
+            assert probability > 0
+            assert is_ghz_like(reg.state), (
+                f"n={n} outcome={outcome} not GHZ-like"
+            )
+
+    def test_three_fusion_matches_paper_figure(self):
+        """3-fusion entangles three users' qubits (Fig. 2)."""
+        reg, _, _ = self._fused(3, force=0)
+        assert math.isclose(
+            reg.ghz_fidelity(["user0", "user1", "user2"]), 1.0, abs_tol=1e-9
+        )
+
+    def test_two_fusion_equals_bsm_up_to_outcome(self):
+        """BSM is 2-fusion (paper Sec. I): both leave a Bell pair."""
+        reg, _, _ = self._fused(2, force=0)
+        assert math.isclose(
+            reg.max_bell_fidelity("user0", "user1"), 1.0, abs_tol=1e-9
+        )
+
+    def test_outcome_probabilities_sum_to_one(self):
+        n = 3
+        total = 0.0
+        for outcome in range(2**n):
+            _, _, probability = self._fused(n, force=outcome)
+            total += probability
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+    def test_single_qubit_fusion_rejected(self):
+        reg = QubitRegister.bell("a", "b")
+        with pytest.raises(ValueError):
+            reg.measure_ghz(["a"])
+
+
+class TestProbes:
+    def test_reduced_density_of_bell_half_is_mixed(self):
+        reg = QubitRegister.bell("a", "b")
+        rho = reg.reduced_density(["a"])
+        assert np.allclose(rho, np.eye(2) / 2)
+
+    def test_reduced_density_trace_one(self):
+        reg = QubitRegister.bell("a", "b").merge(QubitRegister.bell("c", "d"))
+        rho = reg.reduced_density(["a", "c"])
+        assert math.isclose(float(np.trace(rho).real), 1.0, abs_tol=1e-9)
+
+    def test_computational_measurement_correlated(self):
+        """Measuring one half of Φ⁺ collapses the other to the same bit."""
+        for seed in range(5):
+            reg = QubitRegister.bell("a", "b")
+            bit, probability = reg.measure_computational("a", rng=seed)
+            assert math.isclose(probability, 0.5, abs_tol=1e-9)
+            other, probability_b = reg.measure_computational("b", rng=seed)
+            assert other == bit
+            assert math.isclose(probability_b, 1.0, abs_tol=1e-9)
+
+    def test_unknown_pauli_rejected(self):
+        reg = QubitRegister.bell("a", "b")
+        with pytest.raises(ValueError):
+            reg.apply_pauli("a", "Q")

@@ -1,0 +1,105 @@
+"""Tests for state construction helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.states import (
+    amplitudes,
+    bell_pair,
+    bell_state,
+    ghz_state,
+    is_normalized,
+    ket,
+    tensor,
+)
+
+
+class TestKet:
+    def test_single_qubit(self):
+        assert np.allclose(ket([0]), [1, 0])
+        assert np.allclose(ket([1]), [0, 1])
+
+    def test_big_endian_ordering(self):
+        # |10> → index 2
+        state = ket([1, 0])
+        assert state[2] == 1.0
+        assert state.sum() == 1.0
+
+    def test_three_qubits(self):
+        state = ket([1, 0, 1])
+        assert state[0b101] == 1.0
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            ket([2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ket([])
+
+
+class TestTensor:
+    def test_two_singles(self):
+        assert np.allclose(tensor(ket([0]), ket([1])), ket([0, 1]))
+
+    def test_associativity(self):
+        a, b, c = ket([0]), ket([1]), ket([1])
+        assert np.allclose(tensor(tensor(a, b), c), tensor(a, b, c))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tensor()
+
+
+class TestBellStates:
+    def test_phi_plus_amplitudes(self):
+        """The paper's quantum link state (|00> + |11>)/sqrt(2)."""
+        state = bell_pair()
+        assert math.isclose(abs(state[0b00]) ** 2, 0.5)
+        assert math.isclose(abs(state[0b11]) ** 2, 0.5)
+        assert state[0b01] == 0 and state[0b10] == 0
+
+    @pytest.mark.parametrize("kind", range(4))
+    def test_normalized(self, kind):
+        assert is_normalized(bell_state(kind))
+
+    def test_orthonormal_basis(self):
+        for i in range(4):
+            for j in range(4):
+                inner = np.vdot(bell_state(i), bell_state(j))
+                expected = 1.0 if i == j else 0.0
+                assert math.isclose(abs(inner), expected, abs_tol=1e-12)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            bell_state(4)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_structure(self, n):
+        state = ghz_state(n)
+        assert is_normalized(state)
+        amps = amplitudes(state)
+        assert set(amps) == {"0" * n, "1" * n}
+
+    def test_ghz2_is_phi_plus(self):
+        assert np.allclose(ghz_state(2), bell_pair())
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ghz_state(1)
+
+
+class TestAmplitudes:
+    def test_filters_zero(self):
+        amps = amplitudes(bell_pair())
+        assert set(amps) == {"00", "11"}
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            amplitudes(np.zeros(3))

@@ -1,0 +1,116 @@
+"""Tests for quantum teleportation over delivered Bell pairs."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.fidelity import state_fidelity
+from repro.quantum.register import QubitRegister
+from repro.quantum.states import SQRT_HALF, bell_state, ket
+from repro.quantum.teleportation import teleport, teleport_state
+
+
+def qubit(theta: float, phi: float) -> np.ndarray:
+    """Bloch-sphere state cos(θ/2)|0⟩ + e^{iφ}sin(θ/2)|1⟩."""
+    return np.array(
+        [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)],
+        dtype=complex,
+    )
+
+
+class TestTeleportState:
+    @pytest.mark.parametrize(
+        "state",
+        [
+            ket([0]),
+            ket([1]),
+            np.array([SQRT_HALF, SQRT_HALF], dtype=complex),
+            np.array([SQRT_HALF, -SQRT_HALF], dtype=complex),
+            np.array([SQRT_HALF, 1j * SQRT_HALF], dtype=complex),
+        ],
+    )
+    def test_known_states_arrive_exactly(self, state):
+        for seed in range(4):  # different BSM outcomes
+            bob, _ = teleport_state(state, rng=seed)
+            assert math.isclose(
+                state_fidelity(bob, state), 1.0, abs_tol=1e-9
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        theta=st.floats(0.0, math.pi),
+        phi=st.floats(0.0, 2 * math.pi),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_arbitrary_states(self, theta, phi, seed):
+        payload = qubit(theta, phi)
+        bob, outcome = teleport_state(payload, rng=seed)
+        assert 0 <= outcome < 4
+        assert math.isclose(
+            state_fidelity(bob, payload), 1.0, abs_tol=1e-9
+        )
+
+    def test_each_outcome_uniform(self):
+        outcomes = set()
+        for seed in range(40):
+            _, outcome = teleport_state(qubit(1.0, 0.5), rng=seed)
+            outcomes.add(outcome)
+        assert outcomes == {0, 1, 2, 3}
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            teleport_state(np.array([1.0, 1.0]))
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            teleport_state(bell_state(0))
+
+
+class TestTeleportInRegister:
+    def test_qubits_consumed(self):
+        register = QubitRegister(ket([0]), ["p"])
+        register.merge(QubitRegister.bell("a", "b"))
+        teleport(register, "p", "a", "b", rng=0)
+        assert register.labels == ["b"]
+
+    def test_entanglement_is_teleported(self):
+        """Teleporting half of a Bell pair moves the *entanglement*:
+        afterwards the partner is entangled with Bob instead (this is
+        exactly entanglement swapping viewed as an application)."""
+        register = QubitRegister.bell("partner", "payload")
+        register.merge(QubitRegister.bell("alice", "bob"))
+        teleport(register, "payload", "alice", "bob", rng=3)
+        assert sorted(register.labels) == ["bob", "partner"]
+        assert math.isclose(
+            register.bell_fidelity("partner", "bob", kind=0),
+            1.0,
+            abs_tol=1e-9,
+        )
+
+    def test_probability_quarter_for_mixed_payload(self):
+        register = QubitRegister(ket([0]), ["p"])
+        register.merge(QubitRegister.bell("a", "b"))
+        _, probability = teleport(register, "p", "a", "b", rng=0)
+        # |0> payload: each Bell outcome has probability 1/4.
+        assert math.isclose(probability, 0.25, abs_tol=1e-9)
+
+    def test_chain_routing_then_teleport(self):
+        """Capstone: build a 2-hop channel with a BSM swap, correct it,
+        then teleport a payload over the resulting end-to-end pair."""
+        network_pair = QubitRegister.bell("alice", "s1")
+        network_pair.merge(QubitRegister.bell("s2", "bob"))
+        outcome, _ = network_pair.measure_bell("s1", "s2", rng=1)
+        from repro.quantum.teleportation import CORRECTIONS
+
+        network_pair.apply_pauli("bob", CORRECTIONS[outcome])
+        payload = qubit(0.7, 1.2)
+        network_pair.merge(QubitRegister(payload, ["psi"]))
+        teleport(network_pair, "psi", "alice", "bob", rng=2)
+        rho = network_pair.reduced_density(["bob"])
+        fidelity = float((payload.conj() @ rho @ payload).real)
+        assert math.isclose(fidelity, 1.0, abs_tol=1e-9)

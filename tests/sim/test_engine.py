@@ -1,0 +1,127 @@
+"""Tests for the discrete-event slotted protocol simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.optimal import solve_optimal
+from repro.core.problem import infeasible_solution
+from repro.sim.engine import (
+    Event,
+    EventQueue,
+    SlottedEntanglementSimulator,
+    SlottedRunResult,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.schedule(2.0, "b")
+        queue.schedule(1.0, "a")
+        queue.schedule(3.0, "c")
+        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert queue.pop().kind == "first"
+        assert queue.pop().kind == "second"
+
+    def test_payload_carried(self):
+        queue = EventQueue()
+        queue.schedule(0.0, "x", value=42)
+        assert queue.pop().payload == {"value": 42}
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, "x")
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(math.inf, "x")
+
+    def test_len(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        queue.schedule(0.0, "x")
+        assert len(queue) == 1
+
+
+class TestSimulator:
+    def test_runs_to_success(self, star_network):
+        solution = solve_optimal(star_network)
+        simulator = SlottedEntanglementSimulator(star_network, solution, rng=0)
+        result = simulator.run()
+        assert result.succeeded
+        assert result.slots_used >= 1
+
+    def test_infeasible_solution_rejected(self, star_network):
+        with pytest.raises(ValueError):
+            SlottedEntanglementSimulator(
+                star_network, infeasible_solution(star_network.user_ids, "x")
+            )
+
+    def test_attempt_counting(self, star_network):
+        solution = solve_optimal(star_network)
+        simulator = SlottedEntanglementSimulator(star_network, solution, rng=1)
+        result = simulator.run()
+        # 2 channels x 2 links and 1 swap each, per slot.
+        assert result.link_attempts == 4 * result.slots_used
+        assert result.swap_attempts == 2 * result.slots_used
+
+    def test_trace_log(self, star_network):
+        solution = solve_optimal(star_network)
+        simulator = SlottedEntanglementSimulator(
+            star_network, solution, rng=2, trace=True
+        )
+        result = simulator.run()
+        assert result.log
+        assert any("link-attempt" in line for line in result.log)
+        assert any("swap-attempt" in line for line in result.log)
+
+    def test_max_slots_caps_failures(self, params_q09):
+        """An extremely long fiber almost never succeeds in few slots."""
+        from repro.network import NetworkBuilder
+
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .user("b", (150_000, 0))
+            .fiber("a", "b")
+            .build()
+        )
+        solution = solve_optimal(net)
+        simulator = SlottedEntanglementSimulator(net, solution, rng=3)
+        result = simulator.run(max_slots=3)
+        assert not result.succeeded
+        assert result.slots_used == 3
+
+    def test_expected_slots_is_reciprocal_rate(self, star_network):
+        solution = solve_optimal(star_network)
+        simulator = SlottedEntanglementSimulator(star_network, solution, rng=0)
+        result = simulator.run()
+        assert math.isclose(
+            result.expected_slots, 1.0 / solution.rate, rel_tol=1e-12
+        )
+
+    def test_mean_slots_matches_geometric_mean(self, star_network):
+        """Slots-to-success is geometric: mean ≈ 1/P within noise."""
+        solution = solve_optimal(star_network)
+        simulator = SlottedEntanglementSimulator(star_network, solution, rng=7)
+        mean = simulator.mean_slots_to_success(runs=400)
+        expected = 1.0 / solution.rate
+        assert abs(mean - expected) < 0.35 * expected
+
+    def test_deterministic_given_seed(self, star_network):
+        solution = solve_optimal(star_network)
+        a = SlottedEntanglementSimulator(star_network, solution, rng=11).run()
+        b = SlottedEntanglementSimulator(star_network, solution, rng=11).run()
+        assert a.slots_used == b.slots_used

@@ -1,0 +1,145 @@
+"""Tests for the memory-assisted protocol simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.optimal import solve_optimal
+from repro.core.problem import infeasible_solution
+from repro.sim.memory import (
+    MemoryComparison,
+    MemoryProtocolSimulator,
+    compare_memory_windows,
+)
+
+
+class TestConstruction:
+    def test_infeasible_rejected(self, star_network):
+        with pytest.raises(ValueError):
+            MemoryProtocolSimulator(
+                star_network, infeasible_solution(star_network.user_ids, "x")
+            )
+
+    def test_bad_window_rejected(self, star_network):
+        solution = solve_optimal(star_network)
+        with pytest.raises(ValueError):
+            MemoryProtocolSimulator(star_network, solution, window=0)
+
+
+class TestRuns:
+    def test_completes(self, star_network):
+        solution = solve_optimal(star_network)
+        result = MemoryProtocolSimulator(
+            star_network, solution, window=2, rng=0
+        ).run()
+        assert result.succeeded
+        assert result.window == 2
+        assert result.link_attempts >= solution.total_links()
+
+    def test_deterministic_given_seed(self, star_network):
+        solution = solve_optimal(star_network)
+        a = MemoryProtocolSimulator(star_network, solution, window=3, rng=7).run()
+        b = MemoryProtocolSimulator(star_network, solution, window=3, rng=7).run()
+        assert a.slots_used == b.slots_used
+        assert a.link_attempts == b.link_attempts
+
+    def test_max_slots_respected(self, params_q09):
+        from repro.network import NetworkBuilder
+
+        net = (
+            NetworkBuilder(params_q09)
+            .user("a", (0, 0))
+            .user("b", (200_000, 0))
+            .fiber("a", "b")
+            .build()
+        )
+        solution = solve_optimal(net)
+        result = MemoryProtocolSimulator(net, solution, rng=0).run(max_slots=5)
+        assert not result.succeeded
+        assert result.slots_used == 5
+
+
+class TestWindowOneMatchesMemorylessChannel:
+    def test_single_channel_mean_matches_reciprocal_rate(self, line_network):
+        """w = 1 on a single channel is geometric with mean 1/P_Λ."""
+        solution = solve_optimal(line_network)
+        assert solution.n_channels == 1
+        simulator = MemoryProtocolSimulator(
+            line_network, solution, window=1, rng=3
+        )
+        mean = simulator.mean_slots(runs=600)
+        expected = 1.0 / solution.rate
+        assert abs(mean - expected) < 0.25 * expected
+
+    def test_direct_link_channel(self, direct_pair):
+        solution = solve_optimal(direct_pair)
+        simulator = MemoryProtocolSimulator(
+            direct_pair, solution, window=1, rng=4
+        )
+        mean = simulator.mean_slots(runs=600)
+        expected = 1.0 / solution.rate
+        assert abs(mean - expected) < 0.25 * expected
+
+
+@pytest.fixture
+def lossy_line(params_q09):
+    """alice - s0 - s1 - bob with 10_000 km hops: p ≈ 0.37 per link.
+
+    Low link probability is where quantum memory pays off — links rarely
+    co-exist in one slot, so holding them across slots matters.
+    """
+    from repro.network import NetworkBuilder
+
+    return (
+        NetworkBuilder(params_q09)
+        .user("alice", (0, 0))
+        .switch("s0", (10_000, 0), qubits=4)
+        .switch("s1", (20_000, 0), qubits=4)
+        .user("bob", (30_000, 0))
+        .path(["alice", "s0", "s1", "bob"])
+        .build()
+    )
+
+
+class TestMemoryHelps:
+    def test_larger_window_never_slower(self, lossy_line):
+        solution = solve_optimal(lossy_line)
+        comparison = compare_memory_windows(
+            lossy_line, solution, windows=(1, 4, 16), runs=150, rng=5
+        )
+        slots = comparison.mean_slots
+        # Allow small statistical noise but require the broad ordering.
+        assert slots[1] <= slots[0] * 1.05
+        assert slots[2] <= slots[1] * 1.05
+        assert slots[2] < slots[0]
+
+    def test_speedup_reported_relative_to_w1(self, star_network):
+        solution = solve_optimal(star_network)
+        comparison = compare_memory_windows(
+            star_network, solution, windows=(1, 8), runs=60, rng=6
+        )
+        speedups = comparison.speedup()
+        assert math.isclose(speedups[0], 1.0)
+        assert speedups[1] >= 1.0 or comparison.mean_slots[1] <= comparison.mean_slots[0] * 1.15
+
+    def test_memoryless_expectation_recorded(self, star_network):
+        solution = solve_optimal(star_network)
+        comparison = compare_memory_windows(
+            star_network, solution, windows=(1,), runs=10, rng=0
+        )
+        assert math.isclose(
+            comparison.memoryless_expectation, 1.0 / solution.rate
+        )
+
+    def test_huge_window_far_faster_than_memoryless(self, lossy_line):
+        """With effectively infinite memory each link only needs to
+        succeed once (plus swap retries), so completion is far faster
+        than the memoryless 1/P_Λ ≈ 25 slots on the lossy line."""
+        solution = solve_optimal(lossy_line)
+        simulator = MemoryProtocolSimulator(
+            lossy_line, solution, window=10_000, rng=8
+        )
+        mean = simulator.mean_slots(runs=200)
+        assert mean < 0.5 * (1.0 / solution.rate)

@@ -1,0 +1,145 @@
+"""Tests for the Monte-Carlo protocol simulator.
+
+The headline property (DESIGN.md §6): empirical success frequency
+converges to the analytic Eq. (1)/(2) rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.optimal import solve_optimal
+from repro.core.problem import Channel, infeasible_solution
+from repro.sim.protocol import (
+    MonteCarloResult,
+    simulate_channel,
+    simulate_solution,
+)
+
+
+class TestMonteCarloResult:
+    def test_empirical_rate(self):
+        result = MonteCarloResult(trials=100, successes=25, analytic_rate=0.25)
+        assert result.empirical_rate == 0.25
+
+    def test_standard_error(self):
+        result = MonteCarloResult(trials=400, successes=100, analytic_rate=0.25)
+        expected = math.sqrt(0.25 * 0.75 / 400)
+        assert math.isclose(result.standard_error, expected)
+
+    def test_confidence_interval_clamped(self):
+        result = MonteCarloResult(trials=10, successes=0, analytic_rate=0.0)
+        low, high = result.confidence_interval()
+        assert low == 0.0 and high >= 0.0
+
+    def test_consistent_true_when_inside(self):
+        result = MonteCarloResult(
+            trials=10_000, successes=5000, analytic_rate=0.5
+        )
+        assert result.consistent
+
+    def test_consistent_false_when_far(self):
+        result = MonteCarloResult(
+            trials=10_000, successes=5000, analytic_rate=0.9
+        )
+        assert not result.consistent
+
+    def test_zero_trials_degenerate(self):
+        result = MonteCarloResult(trials=0, successes=0, analytic_rate=0.5)
+        assert result.empirical_rate == 0.0
+        assert result.standard_error == 0.0
+
+
+class TestChannelSimulation:
+    def test_converges_to_eq1(self, line_network):
+        channel = Channel.from_path(
+            line_network, ["alice", "s0", "s1", "bob"]
+        )
+        result = simulate_channel(line_network, channel, trials=40_000, rng=0)
+        assert result.consistent, (
+            f"empirical {result.empirical_rate} vs analytic "
+            f"{result.analytic_rate}"
+        )
+
+    def test_direct_link_converges(self, direct_pair):
+        channel = Channel.from_path(direct_pair, ["alice", "bob"])
+        result = simulate_channel(direct_pair, channel, trials=40_000, rng=1)
+        assert result.consistent
+
+    def test_deterministic_given_seed(self, line_network):
+        channel = Channel.from_path(
+            line_network, ["alice", "s0", "s1", "bob"]
+        )
+        a = simulate_channel(line_network, channel, trials=1000, rng=5)
+        b = simulate_channel(line_network, channel, trials=1000, rng=5)
+        assert a.successes == b.successes
+
+    def test_invalid_trials(self, line_network):
+        channel = Channel.from_path(
+            line_network, ["alice", "s0", "s1", "bob"]
+        )
+        with pytest.raises(ValueError):
+            simulate_channel(line_network, channel, trials=0)
+
+    def test_missing_fiber_rejected(self, line_network):
+        fake = Channel(("alice", "bob"), -0.1)
+        with pytest.raises(ValueError):
+            simulate_channel(line_network, fake, trials=10)
+
+    def test_q_one_short_fiber_nearly_always_succeeds(self, params_q09):
+        from repro.network import NetworkBuilder, NetworkParams
+
+        net = (
+            NetworkBuilder(NetworkParams(alpha=1e-4, swap_prob=1.0))
+            .user("a", (0, 0))
+            .switch("s", (1, 0))
+            .user("b", (2, 0))
+            .path(["a", "s", "b"])
+            .build()
+        )
+        channel = Channel.from_path(net, ["a", "s", "b"])
+        result = simulate_channel(net, channel, trials=2000, rng=0)
+        assert result.empirical_rate > 0.99
+
+
+class TestSolutionSimulation:
+    def test_tree_converges_to_eq2(self, star_network):
+        solution = solve_optimal(star_network)
+        result = simulate_solution(star_network, solution, trials=40_000, rng=0)
+        assert result.consistent
+
+    def test_infeasible_never_succeeds(self, star_network):
+        solution = infeasible_solution(star_network.user_ids, "x")
+        result = simulate_solution(star_network, solution, trials=500, rng=0)
+        assert result.successes == 0
+        assert result.analytic_rate == 0.0
+
+    def test_batching_equivalence(self, star_network):
+        """Batched and unbatched runs agree statistically (same analytic
+        target, both consistent)."""
+        solution = solve_optimal(star_network)
+        small_batches = simulate_solution(
+            star_network, solution, trials=20_000, rng=2, batch_size=1000
+        )
+        one_batch = simulate_solution(
+            star_network, solution, trials=20_000, rng=2, batch_size=10**6
+        )
+        assert small_batches.consistent and one_batch.consistent
+
+    def test_nfusion_extra_factor_simulated(self, star_network):
+        from repro.baselines.nfusion import solve_nfusion
+
+        solution = solve_nfusion(star_network)
+        assert solution.extra_log_rate < 0.0
+        result = simulate_solution(star_network, solution, trials=60_000, rng=3)
+        assert result.consistent, (
+            f"empirical {result.empirical_rate} vs analytic "
+            f"{result.analytic_rate}"
+        )
+
+    def test_larger_tree_on_random_network(self, small_waxman):
+        solution = solve_optimal(small_waxman)
+        result = simulate_solution(small_waxman, solution, trials=60_000, rng=4)
+        assert result.consistent

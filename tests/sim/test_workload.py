@@ -1,0 +1,125 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.online import OnlineScheduler
+from repro.sim.workload import (
+    WorkloadSpec,
+    generate_workload,
+    offered_load_summary,
+    user_popularity,
+)
+
+USERS = [f"u{i}" for i in range(10)]
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": 0.0},
+            {"horizon": 0},
+            {"mean_group_size": 1.5},
+            {"max_group_size": 1},
+            {"max_wait": -1},
+            {"hotspot_skew": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(Exception):
+            WorkloadSpec(**kwargs)
+
+
+class TestUserPopularity:
+    def test_uniform_when_no_skew(self):
+        weights = user_popularity(5, 0.0)
+        assert np.allclose(weights, 0.2)
+
+    def test_skew_concentrates(self):
+        weights = user_popularity(10, 1.5)
+        assert weights[0] > weights[-1]
+        assert math.isclose(float(weights.sum()), 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            user_popularity(0, 1.0)
+
+
+class TestGenerateWorkload:
+    def test_deterministic(self):
+        spec = WorkloadSpec(arrival_rate=1.0, horizon=20)
+        a = generate_workload(USERS, spec, rng=4)
+        b = generate_workload(USERS, spec, rng=4)
+        assert [(r.name, r.users, r.arrival) for r in a] == [
+            (r.name, r.users, r.arrival) for r in b
+        ]
+
+    def test_request_wellformedness(self):
+        spec = WorkloadSpec(arrival_rate=2.0, horizon=30, max_wait=3)
+        requests = generate_workload(USERS, spec, rng=1)
+        assert requests  # rate 2 over 30 slots: empty is astronomically unlikely
+        for request in requests:
+            assert 2 <= len(request.users) <= spec.max_group_size
+            assert len(set(request.users)) == len(request.users)
+            assert 0 <= request.arrival < spec.horizon
+            assert request.hold >= 1
+            assert request.max_wait == 3
+
+    def test_arrival_rate_scales_volume(self):
+        low = generate_workload(
+            USERS, WorkloadSpec(arrival_rate=0.2, horizon=100), rng=2
+        )
+        high = generate_workload(
+            USERS, WorkloadSpec(arrival_rate=3.0, horizon=100), rng=2
+        )
+        assert len(high) > 3 * len(low)
+
+    def test_hotspot_skew_visible(self):
+        spec = WorkloadSpec(arrival_rate=3.0, horizon=100, hotspot_skew=2.0)
+        requests = generate_workload(USERS, spec, rng=3)
+        counts = {u: 0 for u in USERS}
+        for request in requests:
+            for user in request.users:
+                counts[user] += 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] > 2 * max(values[-1], 1)
+
+    def test_group_size_cap(self):
+        spec = WorkloadSpec(
+            arrival_rate=2.0, horizon=50, mean_group_size=4.0, max_group_size=3
+        )
+        requests = generate_workload(USERS, spec, rng=5)
+        assert all(len(r.users) <= 3 for r in requests)
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(["only"], WorkloadSpec())
+
+    def test_feeds_scheduler(self, medium_waxman):
+        spec = WorkloadSpec(arrival_rate=0.4, horizon=15)
+        requests = generate_workload(medium_waxman.user_ids, spec, rng=6)
+        result = OnlineScheduler(medium_waxman, rng=6).run(requests)
+        assert len(result.outcomes) == len(requests)
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = offered_load_summary([])
+        assert summary["n_requests"] == 0
+
+    def test_statistics(self):
+        spec = WorkloadSpec(arrival_rate=1.5, horizon=40)
+        requests = generate_workload(USERS, spec, rng=7)
+        summary = offered_load_summary(requests)
+        assert summary["n_requests"] == len(requests)
+        assert 2.0 <= summary["mean_group_size"] <= spec.max_group_size
+        assert summary["mean_hold"] >= 1.0
+        assert summary["horizon"] <= spec.horizon

@@ -1,0 +1,117 @@
+"""Chaos tests: random failure sequences with repeated incremental repair.
+
+The grand operational invariant: starting from a valid routed tree and
+applying an arbitrary sequence of fiber failures with repair after each,
+every intermediate state is either a *valid* tree on the damaged network
+or a clean infeasibility — never a corrupted structure, never a capacity
+violation, and never a better rate than before the damage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.tree import validate_solution
+from repro.extensions.recovery import apply_failures, repair_solution
+from repro.topology import TopologyConfig, waxman_network
+from repro.utils.rng import ensure_rng
+
+CONFIG = TopologyConfig(
+    n_switches=14, n_users=5, avg_degree=5.0, qubits_per_switch=4
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_failures=st.integers(1, 8),
+)
+def test_repeated_failure_and_repair_preserves_invariants(seed, n_failures):
+    rng = ensure_rng(seed)
+    network = waxman_network(CONFIG, rng=seed)
+    solution = solve_conflict_free(network)
+    if not solution.feasible:
+        return
+
+    damaged = network
+    cumulative_cuts = []
+    previous_log_rate = solution.log_rate
+    for _ in range(n_failures):
+        fibers = damaged.fibers
+        if not fibers:
+            break
+        victim = fibers[int(rng.integers(0, len(fibers)))]
+        cumulative_cuts.append((victim.u, victim.v))
+        report = repair_solution(
+            network, solution, failed_fibers=cumulative_cuts
+        )
+        damaged = apply_failures(network, failed_fibers=cumulative_cuts)
+        if not report.repaired:
+            assert report.solution.rate == 0.0
+            return
+        result = validate_solution(damaged, report.solution)
+        assert result.ok, str(result)
+        # Damage can only reduce the originally routed tree's rate…
+        assert report.solution.log_rate <= previous_log_rate + 1e-9
+        solution = report.solution
+        previous_log_rate = solution.log_rate
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dark_switch_repair_or_clean_failure(seed):
+    network = waxman_network(CONFIG, rng=seed)
+    solution = solve_conflict_free(network)
+    if not solution.feasible:
+        return
+    used_switches = sorted(
+        solution.switch_usage(), key=repr
+    )
+    if not used_switches:
+        return
+    victim = used_switches[seed % len(used_switches)]
+    report = repair_solution(network, solution, failed_switches=[victim])
+    if report.repaired:
+        damaged = apply_failures(network, failed_switches=[victim])
+        result = validate_solution(damaged, report.solution)
+        assert result.ok, str(result)
+        assert victim not in report.solution.switch_usage()
+    else:
+        assert report.solution.rate == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_requests=st.integers(1, 10),
+)
+def test_online_chaos_never_overbooks(seed, n_requests):
+    """Random request streams never drive any switch past its budget."""
+    from repro.sim.online import EntanglementRequest, OnlineScheduler
+
+    rng = ensure_rng(seed)
+    network = waxman_network(CONFIG, rng=seed)
+    users = network.user_ids
+    requests = []
+    for index in range(n_requests):
+        size = int(rng.integers(2, min(4, len(users)) + 1))
+        chosen = rng.choice(len(users), size=size, replace=False)
+        requests.append(
+            EntanglementRequest(
+                f"r{index}",
+                tuple(users[int(i)] for i in chosen),
+                arrival=int(rng.integers(0, 5)),
+                hold=int(rng.integers(1, 6)),
+                max_wait=int(rng.integers(0, 3)),
+            )
+        )
+    result = OnlineScheduler(network, rng=seed).run(requests)
+    budgets = network.residual_qubits()
+    for switch, peak in result.peak_qubit_usage.items():
+        assert peak <= budgets[switch]
+    assert len(result.outcomes) == n_requests

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.topology == "waxman"
+        assert args.method == "conflict_free"
+        assert args.switches == 50
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "solvers" in out and "waxman" in out
+
+    def test_solve_small(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--switches",
+                "10",
+                "--users",
+                "4",
+                "--seed",
+                "3",
+                "--show-channels",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MUERPSolution" in out
+        assert "Channel[" in out
+
+    def test_solve_with_optimal(self, capsys):
+        code = main(
+            ["solve", "--method", "optimal", "--switches", "8", "--users", "3"]
+        )
+        assert code == 0
+
+    def test_experiment_reduced(self, capsys):
+        code = main(
+            ["experiment", "fig6b", "--networks", "1", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n_switches" in out
+        assert "Alg-2" in out
+
+    def test_experiment_ablation(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "ablation-fusion-penalty",
+                "--networks",
+                "1",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "mu=" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_stats(self, capsys):
+        code = main(["stats", "--switches", "10", "--users", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degree histogram" in out
+        assert "connected" in out
+
+    def test_montecarlo_consistent(self, capsys):
+        code = main(
+            [
+                "montecarlo",
+                "--switches",
+                "10",
+                "--users",
+                "3",
+                "--trials",
+                "5000",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consistent:           yes" in out
+
+    def test_experiment_markdown(self, capsys):
+        code = main(
+            ["experiment", "fig8b", "--networks", "1", "--seed", "2", "--markdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### experiment fig8b")
+        assert "| swap_prob |" in out
+
+    def test_experiment_markdown_edge_removal(self, capsys):
+        code = main(
+            ["experiment", "fig7b", "--networks", "1", "--seed", "2", "--markdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed ratio" in out

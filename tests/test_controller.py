@@ -1,0 +1,164 @@
+"""Tests for the central entanglement controller."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.controller import (
+    EntanglementController,
+    PlanningError,
+    ServiceReport,
+)
+from repro.core.tree import validate_solution
+
+
+class TestPlanning:
+    def test_plan_is_validated_and_feasible(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0)
+        solution = controller.plan()
+        assert solution.feasible
+        report = validate_solution(controller.network, solution)
+        assert report.ok
+
+    def test_plan_subset(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0)
+        users = medium_waxman.user_ids[:3]
+        solution = controller.plan(users)
+        assert solution.users == frozenset(users)
+
+    def test_infeasible_returns_rate_zero(self, tight_star_network):
+        controller = EntanglementController(tight_star_network, rng=0)
+        solution = controller.plan()
+        assert not solution.feasible
+        assert solution.rate == 0.0
+
+    def test_local_search_toggle(self, medium_waxman):
+        with_ls = EntanglementController(
+            medium_waxman, rng=0, use_local_search=True
+        ).plan()
+        without = EntanglementController(
+            medium_waxman, rng=0, use_local_search=False
+        ).plan()
+        assert with_ls.log_rate >= without.log_rate - 1e-12
+
+    def test_method_selection(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, method="prim", rng=0)
+        assert controller.plan().method.startswith("prim")
+
+    def test_network_copied_not_shared(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0)
+        assert controller.network is not medium_waxman
+        assert controller.network.n_fibers == medium_waxman.n_fibers
+
+
+class TestExecution:
+    def test_serve_end_to_end(self, star_network):
+        controller = EntanglementController(star_network, rng=1)
+        report = controller.serve()
+        assert isinstance(report, ServiceReport)
+        assert report.entangled
+        assert report.windows_used >= 1
+
+    def test_serve_infeasible(self, tight_star_network):
+        controller = EntanglementController(tight_star_network, rng=1)
+        report = controller.serve()
+        assert not report.entangled
+        assert report.run is None
+        assert report.windows_used == 0
+
+    def test_execute_telemetry(self, star_network):
+        controller = EntanglementController(star_network, rng=2)
+        solution = controller.plan()
+        run = controller.execute(solution)
+        assert run.succeeded
+        assert run.link_attempts >= solution.total_links()
+
+
+class TestFailureHandling:
+    def test_repairable_failure(self, two_path_network):
+        controller = EntanglementController(
+            two_path_network, rng=0, use_local_search=False
+        )
+        solution = controller.plan()
+        assert solution.channels[0].path == ("alice", "mid", "bob")
+        fixed = controller.handle_failure(
+            solution, failed_fibers=[("alice", "mid")]
+        )
+        assert fixed.feasible
+        assert fixed.channels[0].path == ("alice", "bob")
+        # The controller's view no longer has the cut fiber.
+        assert not controller.network.has_fiber("alice", "mid")
+
+    def test_fatal_failure(self, star_network):
+        controller = EntanglementController(star_network, rng=0)
+        solution = controller.plan()
+        fixed = controller.handle_failure(
+            solution, failed_switches=["hub"]
+        )
+        assert not fixed.feasible
+
+    def test_replan_fallback_when_repair_impossible(self, params_q09):
+        """Repair keeps surviving channels; when their reservations
+        block the only detour, a fresh replan can still succeed."""
+        from repro.network import NetworkBuilder
+
+        builder = NetworkBuilder(params_q09)
+        builder.user("a", (0, 0)).user("b", (2000, 0)).user("c", (1000, 900))
+        builder.switch("m1", (1000, 0), qubits=2)
+        builder.switch("m2", (1000, 400), qubits=4)
+        builder.fiber("a", "m1", 1000).fiber("m1", "b", 1000)
+        builder.fiber("a", "m2", 1100).fiber("m2", "b", 1100)
+        builder.fiber("c", "m2", 500)
+        net = builder.build()
+        controller = EntanglementController(
+            net, rng=0, use_local_search=False
+        )
+        solution = controller.plan()
+        assert solution.feasible
+        fixed = controller.handle_failure(
+            solution, failed_fibers=[("a", "m1")]
+        )
+        # Whether by repair or replan, the service must continue if the
+        # damaged network still supports a tree at all.
+        damaged_fresh = controller.plan()
+        assert fixed.feasible == damaged_fresh.feasible
+
+    def test_sequential_failures_accumulate(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=3)
+        solution = controller.plan()
+        n_before = controller.network.n_fibers
+        fiber1 = solution.channels[0].path[:2]
+        solution = controller.handle_failure(solution, failed_fibers=[fiber1])
+        assert controller.network.n_fibers == n_before - 1
+        if solution.feasible:
+            fiber2 = solution.channels[0].path[:2]
+            controller.handle_failure(solution, failed_fibers=[fiber2])
+            assert controller.network.n_fibers == n_before - 2
+
+
+class TestPlanningErrorGuard:
+    def test_planning_error_carries_report(self, medium_waxman):
+        """Force an invalid plan through a corrupt solver registration."""
+        from repro.core.problem import Channel, MUERPSolution
+        from repro.core.registry import SOLVERS, register_solver
+
+        def bad_solver(network, users=None, rng=None):
+            users = network.user_ids
+            # A channel whose fiber does not exist.
+            fake = Channel((users[0], users[1]), -0.1)
+            return MUERPSolution(
+                channels=(fake,), users=frozenset(users[:2])
+            )
+
+        register_solver("bad-test-solver", bad_solver)
+        try:
+            controller = EntanglementController(
+                medium_waxman, method="bad-test-solver", rng=0
+            )
+            with pytest.raises(PlanningError) as excinfo:
+                controller.plan(medium_waxman.user_ids[:2])
+            assert not excinfo.value.report.ok
+        finally:
+            del SOLVERS["bad-test-solver"]

@@ -1,0 +1,31 @@
+"""Executable docstrings: the usage examples in module docs must work."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.network.builder
+import repro.quantum.register
+import repro.utils.heap
+import repro.utils.unionfind
+
+MODULES_WITH_DOCTESTS = [
+    repro.utils.unionfind,
+    repro.utils.heap,
+    repro.network.builder,
+    repro.quantum.register,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0, (
+        f"{module.__name__}: {results.failed}/{results.attempted} "
+        "doctests failed"
+    )

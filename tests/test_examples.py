@@ -1,0 +1,62 @@
+"""Example scripts run as part of the suite (anti-rot).
+
+Every script under ``examples/`` must execute cleanly end to end —
+documentation that cannot rot.  Each also has a content probe so a
+script that silently degrades into printing nothing still fails.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script name → a string its output must contain.
+CONTENT_PROBES = {
+    "quickstart.py": "entanglement rate by algorithm",
+    "distributed_quantum_computing.py": "time-to-entanglement",
+    "quantum_secret_sharing.py": "fairness (min rate)",
+    "fidelity_aware_routing.py": "Pareto-optimal channels",
+    "network_resilience.py": "most critical fibers",
+    "physical_verification.py": "GHZ-class: True",
+    "nsfnet_backbone.py": "memory-assisted protocol",
+    "online_service.py": "peak qubit pressure",
+    "teleport_end_to_end.py": "payload delivered exactly",
+    "controller_lifecycle.py": "repaired plan",
+}
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CONTENT_PROBES))
+def test_example_runs_and_produces_expected_output(name):
+    stdout = run_example(name)
+    assert CONTENT_PROBES[name] in stdout, (
+        f"{name} output missing probe {CONTENT_PROBES[name]!r}"
+    )
+
+
+def test_every_example_has_a_probe():
+    """New examples must register a content probe here."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CONTENT_PROBES), (
+        "examples/ and CONTENT_PROBES out of sync: "
+        f"{sorted(scripts ^ set(CONTENT_PROBES))}"
+    )

@@ -1,0 +1,186 @@
+"""Cross-module property tests (hypothesis).
+
+Each property here spans at least two subsystems, complementing the
+per-module suites with whole-library invariants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import find_best_channel
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.optimal import solve_optimal
+from repro.core.prim_based import solve_prim
+from repro.network.graph import NetworkParams
+from repro.network.io import network_from_json, network_to_json
+from repro.topology.base import TopologyConfig
+from repro.topology.waxman import waxman_network
+
+SMALL = TopologyConfig(
+    n_switches=10, n_users=4, avg_degree=4.0, qubits_per_switch=4
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_channel_search_is_symmetric(seed):
+    """Best-channel rate u→v equals v→u (undirected fibers)."""
+    net = waxman_network(SMALL, rng=seed)
+    users = net.user_ids
+    forward = find_best_channel(net, users[0], users[1])
+    backward = find_best_channel(net, users[1], users[0])
+    assert (forward is None) == (backward is None)
+    if forward is not None:
+        assert math.isclose(
+            forward.log_rate, backward.log_rate, rel_tol=1e-9
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    alpha_scale=st.floats(1.5, 10.0),
+)
+def test_higher_attenuation_never_helps(seed, alpha_scale):
+    """Scaling α up can only lower every solver's rate."""
+    net = waxman_network(SMALL, rng=seed)
+    worse = net.with_params(
+        NetworkParams(
+            alpha=net.params.alpha * alpha_scale,
+            swap_prob=net.params.swap_prob,
+        )
+    )
+    for solver in (
+        solve_optimal,
+        solve_conflict_free,
+        lambda n: solve_prim(n, rng=seed),
+    ):
+        base = solver(net)
+        degraded = solver(worse)
+        if base.feasible and degraded.feasible:
+            assert degraded.log_rate <= base.log_rate + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_json_round_trip_preserves_routing(seed):
+    """Serialization is routing-transparent on random networks."""
+    net = waxman_network(SMALL, rng=seed)
+    restored = network_from_json(network_to_json(net))
+    original = solve_conflict_free(net)
+    replayed = solve_conflict_free(restored)
+    assert original.feasible == replayed.feasible
+    if original.feasible:
+        assert math.isclose(
+            original.log_rate, replayed.log_rate, rel_tol=1e-9
+        )
+        assert [c.path for c in original.channels] == [
+            c.path for c in replayed.channels
+        ]
+
+
+def test_user_subsets_are_not_monotone():
+    """A deliberately counterintuitive model artifact, pinned as a test:
+    entangling *fewer* users can be harder — even infeasible — because
+    quantum users may serve as entanglement-tree vertices (channels
+    terminate there) but can never be *transited* by a channel (Def. 2).
+
+    Construction: u and v sit far apart, only reachable through the
+    user w's neighborhood.  {u, v, w} is feasible (two short channels
+    meeting at w); {u, v} alone is not (no switch-only u-v path).
+    """
+    from repro.network import NetworkBuilder
+
+    builder = NetworkBuilder(NetworkParams())
+    builder.user("u", (0, 0)).user("w", (1000, 0)).user("v", (2000, 0))
+    builder.switch("s1", (500, 0), qubits=4)
+    builder.switch("s2", (1500, 0), qubits=4)
+    builder.fiber("u", "s1", 500).fiber("s1", "w", 500)
+    builder.fiber("w", "s2", 500).fiber("s2", "v", 500)
+    net = builder.build()
+
+    trio = solve_optimal(net, ["u", "v", "w"])
+    assert trio.feasible  # u-s1-w and w-s2-v meet at the user w
+    pair = solve_optimal(net, ["u", "v"])
+    assert not pair.feasible  # u-…-v would have to transit user w
+
+    # The rate direction can invert too: with a long direct detour the
+    # 3-user tree (two good channels) beats the 2-user tree (one bad
+    # channel).
+    net.add_fiber("u", "v", 30_000)  # p = e^-3 ≈ 0.05
+    trio_again = solve_optimal(net, ["u", "v", "w"])
+    pair_again = solve_optimal(net, ["u", "v"])
+    assert pair_again.feasible
+    assert trio_again.log_rate > pair_again.log_rate
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_kbest_first_equals_algorithm1_everywhere(seed):
+    from repro.core.kbest import k_best_channels
+
+    net = waxman_network(SMALL, rng=seed)
+    users = net.user_ids
+    top = k_best_channels(net, users[0], users[1], k=3)
+    direct = find_best_channel(net, users[0], users[1])
+    if direct is None:
+        assert top == []
+    else:
+        assert math.isclose(top[0].log_rate, direct.log_rate, rel_tol=1e-9)
+        for first, second in zip(top, top[1:]):
+            assert first.log_rate >= second.log_rate - 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    trials=st.sampled_from([20_000, 40_000]),
+)
+def test_montecarlo_consistency_property(seed, trials):
+    """Eq. (2) matches simulation for random solutions (3σ)."""
+    from repro.sim.protocol import simulate_solution
+
+    net = waxman_network(SMALL, rng=seed)
+    solution = solve_conflict_free(net)
+    if not solution.feasible:
+        return
+    result = simulate_solution(net, solution, trials=trials, rng=seed)
+    assert result.consistent
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_localsearch_idempotent_at_fixpoint(seed):
+    """Running local search twice adds nothing the first pass missed."""
+    from repro.core.localsearch import improve_solution
+
+    net = waxman_network(SMALL, rng=seed)
+    base = solve_prim(net, rng=seed)
+    if not base.feasible:
+        return
+    once = improve_solution(net, base)
+    twice = improve_solution(net, once)
+    assert math.isclose(twice.log_rate, once.log_rate, rel_tol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    sigma=st.floats(0.0, 200.0),
+)
+def test_jitter_preserves_solvability_structure(seed, sigma):
+    """Position jitter changes rates but not the wiring, so feasibility
+    under abundant capacity is invariant."""
+    from repro.topology.perturb import jitter_positions
+
+    net = waxman_network(SMALL, rng=seed).with_switch_qubits(8)
+    jittered = jitter_positions(net, sigma, rng=seed)
+    assert (
+        solve_conflict_free(net).feasible
+        == solve_conflict_free(jittered).feasible
+    )

@@ -1,0 +1,54 @@
+"""Scale smoke tests: the library stays usable well beyond paper scale."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.registry import solve
+from repro.core.tree import validate_solution
+from repro.topology import TopologyConfig, waxman_network
+
+BIG = TopologyConfig(
+    n_switches=300, n_users=20, avg_degree=6.0, qubits_per_switch=4
+)
+
+
+@pytest.fixture(scope="module")
+def big_network():
+    return waxman_network(BIG, rng=1)
+
+
+class TestScale:
+    def test_generation_under_limit(self):
+        start = time.perf_counter()
+        network = waxman_network(BIG, rng=2)
+        elapsed = time.perf_counter() - start
+        assert network.is_connected()
+        assert elapsed < 10.0
+
+    @pytest.mark.parametrize("method", ["optimal", "conflict_free"])
+    def test_routing_300_switches_under_limit(self, big_network, method):
+        start = time.perf_counter()
+        solution = solve(method, big_network, rng=0)
+        elapsed = time.perf_counter() - start
+        assert solution.feasible
+        assert elapsed < 5.0, f"{method} took {elapsed:.1f}s"
+        report = validate_solution(
+            big_network, solution, enforce_capacity=method != "optimal"
+        )
+        assert report.ok, str(report)
+
+    def test_prim_300_switches_under_limit(self, big_network):
+        start = time.perf_counter()
+        solution = solve("prim", big_network, rng=0)
+        elapsed = time.perf_counter() - start
+        assert solution.feasible
+        assert elapsed < 20.0  # |U|² Dijkstras; still interactive
+
+    def test_20_user_tree_shape(self, big_network):
+        solution = solve("conflict_free", big_network, rng=0)
+        assert solution.n_channels == 19
+        assert solution.spans_users()
+        assert 0.0 < solution.rate < 1.0

@@ -1,0 +1,158 @@
+"""Tests for topology scaffolding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.topology.base import (
+    TopologyConfig,
+    assemble_network,
+    choose_user_indices,
+    euclidean,
+    pad_to_edge_target,
+    repair_connectivity,
+    scatter_positions,
+    trim_to_edge_target,
+    _is_connected,
+)
+
+
+class TestTopologyConfig:
+    def test_paper_defaults(self):
+        config = TopologyConfig()
+        assert config.n_switches == 50
+        assert config.n_users == 10
+        assert config.avg_degree == 6.0
+        assert config.qubits_per_switch == 4
+        assert config.area == 10_000.0
+        assert config.alpha == 1e-4
+        assert config.swap_prob == 0.9
+
+    def test_n_nodes(self):
+        assert TopologyConfig(n_switches=5, n_users=3).n_nodes == 8
+
+    def test_target_edges_from_degree(self):
+        config = TopologyConfig(n_switches=50, n_users=10, avg_degree=6)
+        assert config.target_edges == 180
+
+    def test_target_edges_explicit(self):
+        config = TopologyConfig(n_edges=600)
+        assert config.target_edges == 600
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_users=1)
+
+    def test_replace(self):
+        config = TopologyConfig().replace(n_users=4)
+        assert config.n_users == 4
+        assert config.n_switches == 50
+
+    def test_network_params(self):
+        params = TopologyConfig(alpha=2e-4, swap_prob=0.8).network_params()
+        assert params.alpha == 2e-4
+        assert params.swap_prob == 0.8
+
+
+class TestScatter:
+    def test_positions_in_area(self):
+        config = TopologyConfig(n_switches=20, n_users=5, area=1000.0)
+        for x, y in scatter_positions(config, rng=0):
+            assert 0 <= x <= 1000 and 0 <= y <= 1000
+
+    def test_deterministic(self):
+        config = TopologyConfig(n_switches=5, n_users=2)
+        assert scatter_positions(config, 7) == scatter_positions(config, 7)
+
+    def test_count(self):
+        config = TopologyConfig(n_switches=5, n_users=3)
+        assert len(scatter_positions(config, 0)) == 8
+
+
+class TestChooseUsers:
+    def test_count_and_range(self):
+        config = TopologyConfig(n_switches=10, n_users=4)
+        indices = choose_user_indices(config, 0)
+        assert len(indices) == 4
+        assert all(0 <= i < 14 for i in indices)
+
+    def test_deterministic(self):
+        config = TopologyConfig(n_switches=10, n_users=4)
+        assert choose_user_indices(config, 5) == choose_user_indices(config, 5)
+
+
+class TestRepairConnectivity:
+    def test_already_connected_unchanged(self):
+        positions = [(0, 0), (1, 0), (2, 0)]
+        edges = {(0, 1), (1, 2)}
+        assert repair_connectivity(positions, edges) == edges
+
+    def test_disconnected_gets_bridged(self):
+        positions = [(0, 0), (1, 0), (10, 0), (11, 0)]
+        edges = {(0, 1), (2, 3)}
+        repaired = repair_connectivity(positions, edges)
+        assert _is_connected(4, repaired)
+        # The geometrically shortest bridge (1)-(2) should be chosen.
+        assert (1, 2) in repaired
+
+    def test_no_edges_at_all(self):
+        positions = [(0, 0), (5, 0), (10, 0)]
+        repaired = repair_connectivity(positions, set())
+        assert _is_connected(3, repaired)
+        assert len(repaired) == 2  # a tree
+
+    def test_empty(self):
+        assert repair_connectivity([], set()) == set()
+
+
+class TestTrimAndPad:
+    def test_trim_reaches_target_without_disconnecting(self):
+        positions = [(float(i), 0.0) for i in range(6)]
+        # Complete-ish graph.
+        edges = {(i, j) for i in range(6) for j in range(i + 1, 6)}
+        trimmed = trim_to_edge_target(positions, edges, 5, rng=0)
+        assert len(trimmed) == 5
+        assert _is_connected(6, trimmed)
+
+    def test_trim_stops_at_spanning_tree(self):
+        positions = [(float(i), 0.0) for i in range(4)]
+        edges = {(0, 1), (1, 2), (2, 3)}
+        trimmed = trim_to_edge_target(positions, edges, 1, rng=0)
+        assert trimmed == edges  # every edge is a bridge
+
+    def test_pad_adds_shortest_missing(self):
+        positions = [(0, 0), (1, 0), (10, 0)]
+        edges = {(0, 2)}
+        padded = pad_to_edge_target(positions, edges, 2, rng=0)
+        assert (0, 1) in padded
+        assert len(padded) == 2
+
+
+class TestAssemble:
+    def test_names_and_kinds(self):
+        config = TopologyConfig(n_switches=2, n_users=2, avg_degree=2)
+        positions = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        network = assemble_network(
+            config, positions, {(0, 1), (1, 2), (2, 3)}, user_indices={0, 3}
+        )
+        assert sorted(u.id for u in network.users) == ["u0", "u1"]
+        assert sorted(s.id for s in network.switches) == ["s0", "s1"]
+        assert network.n_fibers == 3
+        assert network.qubits_of("s0") == 4
+
+    def test_fiber_lengths_are_euclidean(self):
+        config = TopologyConfig(n_switches=1, n_users=2, avg_degree=2)
+        positions = [(0, 0), (3, 4), (10, 10)]
+        network = assemble_network(
+            config, positions, {(0, 1)}, user_indices={0, 2}
+        )
+        # Nodes 0 and 1: distance 5.
+        fibers = network.fibers
+        assert len(fibers) == 1
+        assert math.isclose(fibers[0].length, 5.0)
+
+
+def test_euclidean():
+    assert math.isclose(euclidean((0, 0), (3, 4)), 5.0)

@@ -1,0 +1,176 @@
+"""Tests shared by the three paper topology generators + extras."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.graph import QuantumNetwork
+from repro.topology.base import TopologyConfig
+from repro.topology.extras import (
+    erdos_renyi_network,
+    grid_network,
+    ring_network,
+)
+from repro.topology.registry import GENERATORS, generate
+from repro.topology.volchenkov import volchenkov_network
+from repro.topology.watts_strogatz import watts_strogatz_network
+from repro.topology.waxman import waxman_network
+
+SMALL = TopologyConfig(
+    n_switches=15, n_users=5, avg_degree=4.0, qubits_per_switch=4
+)
+
+PAPER_GENERATORS = [waxman_network, watts_strogatz_network, volchenkov_network]
+ALL_GENERATORS = PAPER_GENERATORS + [erdos_renyi_network]
+
+
+@pytest.mark.parametrize("generator", ALL_GENERATORS)
+class TestCommonProperties:
+    def test_node_counts(self, generator):
+        net = generator(SMALL, rng=0)
+        assert len(net.users) == 5
+        assert len(net.switches) == 15
+
+    def test_connected(self, generator):
+        for seed in range(5):
+            assert generator(SMALL, rng=seed).is_connected()
+
+    def test_deterministic_given_seed(self, generator):
+        a = generator(SMALL, rng=42)
+        b = generator(SMALL, rng=42)
+        assert sorted(f.key for f in a.fibers) == sorted(
+            f.key for f in b.fibers
+        )
+        assert sorted(n.id for n in a.nodes) == sorted(n.id for n in b.nodes)
+
+    def test_different_seeds_differ(self, generator):
+        a = generator(SMALL, rng=1)
+        b = generator(SMALL, rng=2)
+        assert sorted(f.key for f in a.fibers) != sorted(
+            f.key for f in b.fibers
+        )
+
+    def test_positions_inside_area(self, generator):
+        net = generator(SMALL, rng=3)
+        for node in net.nodes:
+            x, y = node.position
+            assert 0 <= x <= SMALL.area
+            assert 0 <= y <= SMALL.area
+
+    def test_switch_qubits_configured(self, generator):
+        config = SMALL.replace(qubits_per_switch=8)
+        net = generator(config, rng=0)
+        assert all(s.qubits == 8 for s in net.switches)
+
+    def test_params_forwarded(self, generator):
+        config = SMALL.replace(alpha=5e-4, swap_prob=0.7)
+        net = generator(config, rng=0)
+        assert net.params.alpha == 5e-4
+        assert net.params.swap_prob == 0.7
+
+    def test_fiber_lengths_match_positions(self, generator):
+        net = generator(SMALL, rng=4)
+        for fiber in net.fibers:
+            pu = net.node(fiber.u).position
+            pv = net.node(fiber.v).position
+            expected = math.hypot(pu[0] - pv[0], pu[1] - pv[1])
+            assert math.isclose(fiber.length, expected, rel_tol=1e-9)
+
+    def test_no_self_loops(self, generator):
+        net = generator(SMALL, rng=5)
+        for fiber in net.fibers:
+            assert fiber.u != fiber.v
+
+
+@pytest.mark.parametrize("generator", [waxman_network, erdos_renyi_network])
+def test_degree_close_to_target(generator):
+    """Edge-count-targeting generators land near the requested degree."""
+    config = TopologyConfig(n_switches=40, n_users=10, avg_degree=6.0)
+    net = generator(config, rng=0)
+    assert abs(net.average_degree() - 6.0) <= 1.0
+
+
+def test_waxman_favors_short_edges():
+    """Waxman wiring is distance-sensitive: mean edge length should be
+    well below the mean distance of uniformly random pairs (~5000 km)."""
+    config = TopologyConfig(n_switches=40, n_users=10, avg_degree=6.0)
+    net = waxman_network(config, rng=7)
+    mean_length = net.total_fiber_length() / net.n_fibers
+    assert mean_length < 4000.0
+
+
+def test_watts_strogatz_rewire_zero_is_ring_lattice():
+    config = TopologyConfig(n_switches=18, n_users=2, avg_degree=4.0)
+    net = watts_strogatz_network(config, rng=0, rewire_prob=0.0)
+    degrees = [net.degree(n.id) for n in net.nodes]
+    # Pure ring lattice: every node has degree k = 4.
+    assert all(d == 4 for d in degrees)
+
+
+def test_volchenkov_has_heavy_tail():
+    """Power-law generator should produce at least one hub well above the
+    mean degree."""
+    config = TopologyConfig(n_switches=45, n_users=5, avg_degree=4.0)
+    net = volchenkov_network(config, rng=11)
+    degrees = sorted(net.degree(n.id) for n in net.nodes)
+    assert degrees[-1] >= 2.0 * (sum(degrees) / len(degrees))
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        for name in ("waxman", "watts_strogatz", "volchenkov"):
+            assert name in GENERATORS
+
+    def test_generate_dispatch(self):
+        net = generate("waxman", SMALL, rng=0)
+        assert isinstance(net, QuantumNetwork)
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="waxman"):
+            generate("nope", SMALL, rng=0)
+
+
+class TestGrid:
+    def test_shape(self):
+        net = grid_network(3, 4)
+        assert len(net) == 12
+        assert net.n_fibers == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_corner_users(self):
+        net = grid_network(3, 3)
+        assert len(net.users) == 4
+        assert net.is_user("n0_0") and net.is_user("n2_2")
+
+    def test_midpoint_users(self):
+        net = grid_network(3, 3, corner_users=False)
+        assert len(net.users) == 2
+
+    def test_connected(self):
+        assert grid_network(4, 5).is_connected()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+
+class TestRing:
+    def test_shape(self):
+        net = ring_network(12, n_users=3)
+        assert len(net) == 12
+        assert net.n_fibers == 12
+        assert len(net.users) == 3
+
+    def test_connected_and_all_degree_two(self):
+        net = ring_network(10)
+        assert net.is_connected()
+        assert all(net.degree(n.id) == 2 for n in net.nodes)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ring_network(2)
+
+    def test_bad_user_count_rejected(self):
+        with pytest.raises(ValueError):
+            ring_network(5, n_users=6)

@@ -1,0 +1,162 @@
+"""Tests for topology perturbation utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.topology.perturb import (
+    degrade_switches,
+    densify,
+    jitter_positions,
+    remove_random_fibers,
+)
+
+
+class TestRemoveRandomFibers:
+    def test_count_removed(self, medium_waxman):
+        result = remove_random_fibers(medium_waxman, 10, rng=0)
+        assert result.n_fibers == medium_waxman.n_fibers - 10
+
+    def test_original_untouched(self, medium_waxman):
+        before = medium_waxman.n_fibers
+        remove_random_fibers(medium_waxman, 10, rng=0)
+        assert medium_waxman.n_fibers == before
+
+    def test_keep_connected(self, medium_waxman):
+        result = remove_random_fibers(
+            medium_waxman, 40, rng=1, keep_connected=True
+        )
+        assert result.is_connected()
+
+    def test_deterministic(self, medium_waxman):
+        a = remove_random_fibers(medium_waxman, 5, rng=3)
+        b = remove_random_fibers(medium_waxman, 5, rng=3)
+        assert sorted(f.key for f in a.fibers) == sorted(
+            f.key for f in b.fibers
+        )
+
+    def test_removing_more_than_available(self, line_network):
+        result = remove_random_fibers(line_network, 100, rng=0)
+        assert result.n_fibers == 0
+
+    def test_negative_rejected(self, line_network):
+        with pytest.raises(ValueError):
+            remove_random_fibers(line_network, -1)
+
+
+class TestDensify:
+    def test_adds_fibers(self, medium_waxman):
+        result = densify(medium_waxman, 15, rng=0)
+        assert result.n_fibers == medium_waxman.n_fibers + 15
+
+    def test_no_duplicates(self, medium_waxman):
+        result = densify(medium_waxman, 20, rng=1)
+        keys = [f.key for f in result.fibers]
+        assert len(set(keys)) == len(keys)
+
+    def test_max_length_respected(self, medium_waxman):
+        before = {f.key for f in medium_waxman.fibers}
+        result = densify(medium_waxman, 10, rng=2, max_length=3000.0)
+        for fiber in result.fibers:
+            if fiber.key not in before:
+                assert fiber.length <= 3000.0
+
+    def test_lengths_are_euclidean(self, medium_waxman):
+        result = densify(medium_waxman, 5, rng=3)
+        before = {f.key for f in medium_waxman.fibers}
+        for fiber in result.fibers:
+            if fiber.key in before:
+                continue
+            expected = result.node(fiber.u).distance_to(result.node(fiber.v))
+            assert math.isclose(fiber.length, expected, rel_tol=1e-9)
+
+    def test_densified_network_routes_at_least_as_well(self, medium_waxman):
+        from repro.core.optimal import solve_optimal
+
+        base = solve_optimal(medium_waxman)
+        result = densify(medium_waxman, 30, rng=4)
+        denser = solve_optimal(result)
+        assert denser.log_rate >= base.log_rate - 1e-9
+
+
+class TestJitter:
+    def test_wiring_preserved(self, medium_waxman):
+        result = jitter_positions(medium_waxman, 50.0, rng=0)
+        assert sorted(f.key for f in result.fibers) == sorted(
+            f.key for f in medium_waxman.fibers
+        )
+
+    def test_positions_moved(self, medium_waxman):
+        result = jitter_positions(medium_waxman, 50.0, rng=0)
+        moved = sum(
+            1
+            for node in medium_waxman.nodes
+            if result.node(node.id).position != node.position
+        )
+        assert moved == len(medium_waxman)
+
+    def test_lengths_recomputed(self, medium_waxman):
+        result = jitter_positions(medium_waxman, 100.0, rng=1)
+        changed = sum(
+            1
+            for fiber in medium_waxman.fibers
+            if not math.isclose(
+                result.fiber_between(fiber.u, fiber.v).length,
+                fiber.length,
+                rel_tol=1e-6,
+            )
+        )
+        assert changed > 0
+
+    def test_zero_sigma_identity_geometry(self, medium_waxman):
+        result = jitter_positions(medium_waxman, 0.0, rng=0)
+        for node in medium_waxman.nodes:
+            assert result.node(node.id).position == node.position
+
+    def test_negative_sigma_rejected(self, medium_waxman):
+        with pytest.raises(ValueError):
+            jitter_positions(medium_waxman, -1.0)
+
+
+class TestDegradeSwitches:
+    def test_fraction_degraded(self, medium_waxman):
+        result, degraded = degrade_switches(medium_waxman, 0.5, rng=0)
+        assert len(degraded) == round(0.5 * len(medium_waxman.switches))
+        for switch in degraded:
+            assert result.qubits_of(switch) == 0
+
+    def test_others_untouched(self, medium_waxman):
+        result, degraded = degrade_switches(medium_waxman, 0.3, rng=1)
+        degraded_set = set(degraded)
+        for switch in medium_waxman.switches:
+            if switch.id not in degraded_set:
+                assert result.qubits_of(switch.id) == switch.qubits
+
+    def test_degradation_hurts_routing(self, medium_waxman):
+        from repro.core.conflict_free import solve_conflict_free
+
+        base = solve_conflict_free(medium_waxman)
+        result, _ = degrade_switches(medium_waxman, 0.8, rng=2)
+        degraded = solve_conflict_free(result)
+        assert degraded.log_rate <= base.log_rate + 1e-9
+
+    def test_zero_fraction_noop(self, medium_waxman):
+        result, degraded = degrade_switches(medium_waxman, 0.0, rng=0)
+        assert degraded == []
+        assert all(
+            result.qubits_of(s.id) == s.qubits
+            for s in medium_waxman.switches
+        )
+
+    def test_bad_fraction_rejected(self, medium_waxman):
+        with pytest.raises(ValueError):
+            degrade_switches(medium_waxman, 1.5)
+
+    def test_partial_degradation_to_two_qubits(self, medium_waxman):
+        result, degraded = degrade_switches(
+            medium_waxman, 0.4, rng=3, to_qubits=2
+        )
+        for switch in degraded:
+            assert result.qubits_of(switch) == 2

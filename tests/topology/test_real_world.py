@@ -1,0 +1,99 @@
+"""Tests for reference real-world topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import solve
+from repro.core.tree import validate_solution
+from repro.network.statistics import topology_stats
+from repro.topology.real_world import TOPOLOGY_DATA, real_world_network
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", ["nsfnet", "abilene"])
+    def test_connected(self, name):
+        net = real_world_network(name, rng=0)
+        assert net.is_connected()
+
+    def test_nsfnet_shape(self):
+        net = real_world_network("nsfnet", rng=0)
+        assert len(net) == 14
+        assert net.n_fibers == 21
+
+    def test_abilene_shape(self):
+        net = real_world_network("abilene", rng=0)
+        assert len(net) == 11
+        assert net.n_fibers == 14
+
+    def test_case_insensitive(self):
+        assert len(real_world_network("NSFNET", rng=0)) == 14
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="nsfnet"):
+            real_world_network("arpanet")
+
+    def test_explicit_user_sites(self):
+        net = real_world_network("nsfnet", user_sites=["WA", "NY", "TX"])
+        assert {u.id for u in net.users} == {"WA", "NY", "TX"}
+        assert net.is_switch("CO")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            real_world_network("nsfnet", user_sites=["WA", "MARS"])
+
+    def test_too_few_sites_rejected(self):
+        with pytest.raises(ValueError):
+            real_world_network("nsfnet", user_sites=["WA"])
+
+    def test_random_users_deterministic(self):
+        a = real_world_network("abilene", n_users=3, rng=5)
+        b = real_world_network("abilene", n_users=3, rng=5)
+        assert {u.id for u in a.users} == {u.id for u in b.users}
+
+    def test_n_users_bounds(self):
+        with pytest.raises(ValueError):
+            real_world_network("abilene", n_users=1)
+        with pytest.raises(ValueError):
+            real_world_network("abilene", n_users=99)
+
+    def test_qubit_budget(self):
+        net = real_world_network("nsfnet", rng=0, qubits_per_switch=10)
+        assert all(s.qubits == 10 for s in net.switches)
+
+    def test_fiber_lengths_positive_and_geographic(self):
+        net = real_world_network("nsfnet", rng=0)
+        for fiber in net.fibers:
+            assert fiber.length > 100.0  # all real links are long-haul
+
+
+class TestRouting:
+    @pytest.mark.parametrize("name", ["nsfnet", "abilene"])
+    @pytest.mark.parametrize("method", ["optimal", "conflict_free", "prim"])
+    def test_routable(self, name, method):
+        net = real_world_network(name, n_users=4, rng=1)
+        solution = solve(method, net, rng=1)
+        assert solution.feasible
+        report = validate_solution(
+            net, solution, enforce_capacity=method != "optimal"
+        )
+        assert report.ok, str(report)
+
+    def test_rates_are_continental_scale(self):
+        """1000-4000 km hops with alpha = 1e-4 → noticeable attenuation."""
+        net = real_world_network("nsfnet", user_sites=["WA", "NY", "GA"])
+        solution = solve("conflict_free", net)
+        assert solution.feasible
+        assert 0.0 < solution.rate < 0.6
+
+    def test_stats_computable(self):
+        stats = topology_stats(real_world_network("nsfnet", rng=0))
+        assert stats.connected
+        assert stats.n_fibers == 21
+
+
+def test_topology_data_registry():
+    assert set(TOPOLOGY_DATA) == {"nsfnet", "abilene"}
+    for sites, links in TOPOLOGY_DATA.values():
+        for u, v in links:
+            assert u in sites and v in sites

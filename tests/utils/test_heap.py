@@ -1,0 +1,120 @@
+"""Unit and property tests for the indexed min-heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedMinHeap
+
+
+class TestBasics:
+    def test_push_pop_single(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        assert heap.pop_min() == ("a", 1.0)
+        assert len(heap) == 0
+
+    def test_pop_order(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert [heap.pop_min()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_decrease_key(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 3.0)
+        heap.push("a", 1.0)
+        assert heap.pop_min() == ("a", 1.0)
+
+    def test_equal_key_decrease_is_noop(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 2.0)
+        heap.push("a", 2.0)
+        assert len(heap) == 1
+
+    def test_increase_key_rejected(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(ValueError):
+            heap.push("a", 2.0)
+
+    def test_membership_and_key_of(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.5)
+        assert "a" in heap
+        assert "b" not in heap
+        assert heap.key_of("a") == 1.5
+
+    def test_key_of_missing_raises(self):
+        heap = IndexedMinHeap()
+        with pytest.raises(KeyError):
+            heap.key_of("missing")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop_min()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek_min()
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        assert heap.peek_min() == ("a", 1.0)
+        assert len(heap) == 1
+
+    def test_membership_updates_after_pop(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.pop_min()
+        assert "a" not in heap
+
+    def test_reinsert_after_pop(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.pop_min()
+        heap.push("a", 9.0)
+        assert heap.pop_min() == ("a", 9.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=60))
+def test_heapsort_equivalence(keys):
+    """Pushing then draining yields keys in sorted order."""
+    heap = IndexedMinHeap()
+    for index, key in enumerate(keys):
+        heap.push(index, key)
+    drained = []
+    while len(heap):
+        drained.append(heap.pop_min()[1])
+    assert drained == sorted(keys)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_decrease_key_keeps_minimum_correct(ops):
+    """Property: after arbitrary pushes/decreases, pop_min returns the
+    true minimum of the surviving keys."""
+    heap = IndexedMinHeap()
+    best = {}
+    for item, key in ops:
+        current = best.get(item)
+        if current is None or key < current:
+            best[item] = key
+            heap.push(item, key)
+    drained = {}
+    while len(heap):
+        item, key = heap.pop_min()
+        drained[item] = key
+    assert drained == best

@@ -1,0 +1,55 @@
+"""Tests for RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeding_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-an-rng")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_deterministic_from_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(99, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(99, 4)]
+        assert first == second
+
+    def test_children_are_mutually_different(self):
+        draws = [g.integers(0, 10**12) for g in spawn_rngs(5, 8)]
+        assert len(set(draws)) == len(draws)

@@ -1,0 +1,137 @@
+"""Unit and property tests for the union-find structure."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_new_elements_are_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.n_components == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_merges(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert uf.n_components == 1
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(["a", "b"])
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+        assert uf.union("b", "a") is False
+
+    def test_lazy_registration_via_find(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert uf.n_components == 1
+
+    def test_union_registers_unknown_elements(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert len(uf) == 2
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert uf.n_components == 1
+
+    def test_transitivity(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert not uf.connected(0, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_groups_partition(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert sorted(len(g) for g in groups) == [1, 2, 2]
+        assert set().union(*groups) == set(range(5))
+
+    def test_component_of(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        assert uf.component_of(0) == {0, 1}
+        assert uf.component_of(2) == {2}
+
+    def test_all_connected(self):
+        uf = UnionFind(range(3))
+        assert uf.all_connected([])
+        assert uf.all_connected([1])
+        assert not uf.all_connected([0, 1, 2])
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.all_connected([0, 1, 2])
+
+    def test_hashable_heterogeneous_elements(self):
+        uf = UnionFind()
+        uf.union(("tuple", 1), "string")
+        assert uf.connected(("tuple", 1), "string")
+
+    def test_iter_and_len(self):
+        uf = UnionFind("abc")
+        assert sorted(uf) == ["a", "b", "c"]
+        assert len(uf) == 3
+
+    def test_deep_chain_no_recursion_error(self):
+        uf = UnionFind()
+        n = 10_000
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.connected(0, n - 1)
+        assert uf.n_components == 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    edges=st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=80
+    ),
+)
+def test_matches_networkx_connectivity(n, edges):
+    """Property: union-find connectivity == graph connectivity."""
+    edges = [(a % n, b % n) for a, b in edges]
+    uf = UnionFind(range(n))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for a, b in edges:
+        uf.union(a, b)
+        graph.add_edge(a, b)
+    components = list(nx.connected_components(graph))
+    assert uf.n_components == len(components)
+    for component in components:
+        assert uf.all_connected(component)
+    for a in range(n):
+        for b in range(n):
+            expected = nx.has_path(graph, a, b)
+            assert uf.connected(a, b) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40
+    )
+)
+def test_n_components_never_increases(ops):
+    uf = UnionFind(range(15))
+    previous = uf.n_components
+    for a, b in ops:
+        uf.union(a, b)
+        assert uf.n_components <= previous
+        previous = uf.n_components

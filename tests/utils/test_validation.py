@@ -1,0 +1,52 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001, math.inf, math.nan])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            require_positive(value, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="alpha"):
+            require_positive(-1, "alpha")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0
+
+    @pytest.mark.parametrize("value", [-1e-9, math.inf, math.nan])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            require_non_negative(value, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts(self, value):
+        assert require_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, math.nan, math.inf])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            require_probability(value, "p")
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
