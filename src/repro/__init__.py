@@ -16,6 +16,12 @@ Quickstart::
     print(solution.rate, [c.path for c in solution.channels])
 """
 
+import logging as _logging
+
+# Library logging convention: every module logs under the "repro.*"
+# hierarchy; applications opt in by configuring handlers/levels on it.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.network import (
     NetworkBuilder,
     NetworkParams,
@@ -68,6 +74,20 @@ from repro.topology import real_world_network
 from repro.network import topology_stats
 from repro.experiments import ExperimentConfig, run_experiment, run_named
 from repro.controller import EntanglementController, PlanningError, ServiceReport
+from repro.resilience import (
+    BudgetedRetryPolicy,
+    ExponentialBackoffPolicy,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FixedRetryPolicy,
+    ResilienceReport,
+    ResilientServiceReport,
+    RetryBudget,
+    RetryPolicy,
+    random_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -120,5 +140,17 @@ __all__ = [
     "EntanglementController",
     "PlanningError",
     "ServiceReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "random_schedule",
+    "ResilienceReport",
+    "ResilientServiceReport",
+    "RetryPolicy",
+    "FixedRetryPolicy",
+    "ExponentialBackoffPolicy",
+    "RetryBudget",
+    "BudgetedRetryPolicy",
     "__version__",
 ]

@@ -84,6 +84,44 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo_parser.add_argument("--trials", type=int, default=100_000)
     montecarlo_parser.add_argument("--seed", type=int, default=7)
 
+    resilience_parser = sub.add_parser(
+        "resilience",
+        help="run a chaos scenario: online service under injected faults",
+    )
+    resilience_parser.add_argument("--topology", default="waxman")
+    resilience_parser.add_argument(
+        "--method", default="prim", choices=("prim", "conflict_free")
+    )
+    resilience_parser.add_argument("--switches", type=int, default=40)
+    resilience_parser.add_argument("--users", type=int, default=10)
+    resilience_parser.add_argument("--qubits", type=int, default=4)
+    resilience_parser.add_argument(
+        "--faults", type=int, default=10, help="fault events to inject"
+    )
+    resilience_parser.add_argument(
+        "--horizon", type=int, default=40, help="arrival/fault horizon (slots)"
+    )
+    resilience_parser.add_argument(
+        "--arrival-rate", type=float, default=0.6, help="requests per slot"
+    )
+    resilience_parser.add_argument(
+        "--retry",
+        default="backoff",
+        choices=("none", "fixed", "backoff"),
+        help="retry policy pacing blocked requests",
+    )
+    resilience_parser.add_argument(
+        "--no-degradation",
+        action="store_true",
+        help="abandon faulted requests instead of serving user subsets",
+    )
+    resilience_parser.add_argument("--seed", type=int, default=7)
+    resilience_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run the scenario twice and fail unless reports are identical",
+    )
+
     return parser
 
 
@@ -162,6 +200,89 @@ def _command_montecarlo(args: argparse.Namespace) -> int:
     return 0 if result.consistent else 1
 
 
+def _command_resilience(args: argparse.Namespace) -> int:
+    from repro.resilience import (
+        ExponentialBackoffPolicy,
+        FaultInjector,
+        FixedRetryPolicy,
+        random_schedule,
+    )
+    from repro.sim.online import OnlineScheduler
+    from repro.sim.workload import WorkloadSpec, generate_workload
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        qubits_per_switch=args.qubits,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    spec = WorkloadSpec(
+        arrival_rate=args.arrival_rate,
+        horizon=args.horizon,
+        mean_hold=6.0,
+        max_wait=5,
+    )
+
+    def one_run():
+        requests = generate_workload(
+            network.user_ids, spec, rng=args.seed + 1
+        )
+        schedule = random_schedule(
+            network, args.faults, args.horizon, rng=args.seed + 2
+        )
+        injector = FaultInjector(schedule, network)
+        if args.retry == "fixed":
+            policy = FixedRetryPolicy(delay=1, max_attempts=8)
+        elif args.retry == "backoff":
+            policy = ExponentialBackoffPolicy(
+                base_delay=1,
+                factor=2.0,
+                max_delay=8,
+                max_attempts=8,
+                jitter=0.25,
+                rng=args.seed + 3,
+            )
+        else:
+            policy = None
+        scheduler = OnlineScheduler(
+            network,
+            method=args.method,
+            rng=args.seed,
+            fault_injector=injector,
+            retry_policy=policy,
+            allow_degradation=not args.no_degradation,
+        )
+        return scheduler.run(requests), requests
+
+    result, requests = one_run()
+    report = result.resilience
+    print(network)
+    print(
+        f"workload: {len(requests)} requests over {args.horizon} slots, "
+        f"{args.faults} faults scheduled"
+    )
+    print(
+        f"acceptance: {result.n_accepted}/{len(result.outcomes)} "
+        f"({result.acceptance_ratio:.1%}), {result.n_degraded} degraded"
+    )
+    print(report.render())
+    overbooked = [
+        s
+        for s, peak in result.peak_qubit_usage.items()
+        if peak > (network.qubits_of(s) or 0)
+    ]
+    print(f"capacity overbooked: {'YES ' + repr(overbooked) if overbooked else 'no'}")
+    if overbooked:
+        return 1
+    if args.verify_determinism:
+        second, _ = one_run()
+        if second.resilience.to_dict() != report.to_dict():
+            print("determinism check: FAILED (reports differ)")
+            return 1
+        print("determinism check: ok (identical reports)")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
     result = run_named(args.name, base)
@@ -206,6 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stats(args)
     if args.command == "montecarlo":
         return _command_montecarlo(args)
+    if args.command == "resilience":
+        return _command_resilience(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -19,8 +19,9 @@ loop over the library's layers:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.localsearch import improve_solution
 from repro.core.problem import MUERPSolution
@@ -30,6 +31,13 @@ from repro.extensions.recovery import RepairReport, apply_failures, repair_solut
 from repro.network.graph import QuantumNetwork
 from repro.sim.engine import SlottedEntanglementSimulator, SlottedRunResult
 from repro.utils.rng import RngLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.retry import RetryPolicy
+    from repro.resilience.runtime import ResilientServiceReport
+
+logger = logging.getLogger("repro.controller")
 
 
 class PlanningError(RuntimeError):
@@ -133,9 +141,57 @@ class EntanglementController:
         run = self.execute(solution, max_slots=max_slots)
         return ServiceReport(solution=solution, run=run)
 
+    def serve_resilient(
+        self,
+        users: Optional[Iterable[Hashable]] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        max_slots: int = 100_000,
+        deadline_slot: Optional[int] = None,
+        request_name: str = "request",
+    ) -> "ResilientServiceReport":
+        """Serve one request under a live fault timeline.
+
+        Like :meth:`serve`, but the protocol runs against *injector*'s
+        fault schedule with *retry_policy* pacing failed attempts:
+        permanent faults on the plan trigger incremental repair (then a
+        full replan, then graceful degradation to the largest user
+        subset), and the full history lands in the returned report's
+        :class:`~repro.resilience.report.ResilienceReport`.
+        """
+        from repro.resilience.runtime import execute_with_resilience
+
+        return execute_with_resilience(
+            self,
+            users=users,
+            injector=injector,
+            retry_policy=retry_policy,
+            max_slots=max_slots,
+            deadline_slot=deadline_slot,
+            request_name=request_name,
+        )
+
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def absorb_failures(
+        self,
+        failed_fibers: Sequence[Tuple[Hashable, Hashable]] = (),
+        failed_switches: Sequence[Hashable] = (),
+    ) -> None:
+        """Fold failures into the controller's network view.
+
+        Subsequent :meth:`plan` calls route around the dead elements.
+        """
+        logger.info(
+            "absorbing failures: %d fibers, %d switches",
+            len(tuple(failed_fibers)),
+            len(tuple(failed_switches)),
+        )
+        self._network = apply_failures(
+            self._network, failed_fibers, failed_switches
+        )
+
     def handle_failure(
         self,
         solution: MUERPSolution,

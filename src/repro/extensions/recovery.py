@@ -16,6 +16,7 @@ infeasible marker when the damage is fatal.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
@@ -26,6 +27,8 @@ from repro.core.problem import Channel, MUERPSolution, infeasible_solution
 from repro.network.graph import QuantumNetwork
 from repro.network.link import fiber_key
 from repro.utils.unionfind import UnionFind
+
+logger = logging.getLogger("repro.extensions.recovery")
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,7 @@ def repair_solution(
     solution: MUERPSolution,
     failed_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
     failed_switches: Iterable[Hashable] = (),
+    residual: Optional[Dict[Hashable, int]] = None,
 ) -> RepairReport:
     """Incrementally repair *solution* after the given failures.
 
@@ -88,6 +92,12 @@ def repair_solution(
         solution: A feasible routed tree.
         failed_fibers: Endpoint pairs of cut fibers.
         failed_switches: Ids of dark switches.
+        residual: Optional capacity budget (switch → free qubits) that
+            *includes* this solution's own reservations.  When given,
+            replacement channels are routed within it — the contract the
+            online scheduler relies on so repairs never overbook
+            switches shared with other in-flight requests.  Defaults to
+            the damaged network's full budget (single-tenant repair).
 
     Returns:
         A :class:`RepairReport`; its solution is infeasible when the
@@ -117,8 +127,19 @@ def repair_solution(
             new_channels=(),
         )
 
+    logger.debug(
+        "repair: %d kept / %d broken channels after %d fiber + %d switch "
+        "failures",
+        len(kept),
+        len(broken),
+        len(dead_fibers),
+        len(dead_switches),
+    )
     users = sorted(solution.users, key=repr)
-    residual = damaged.residual_qubits()
+    if residual is None:
+        residual = damaged.residual_qubits()
+    else:
+        residual = dict(residual)
     for channel in kept:
         for switch in channel.switches:
             residual[switch] -= 2
@@ -141,6 +162,10 @@ def repair_solution(
                 if best is None or channel_sort_key(candidate) < channel_sort_key(best):
                     best = candidate
         if best is None:
+            logger.info(
+                "repair failed: %d user components cannot be reconnected",
+                unions.n_components,
+            )
             return RepairReport(
                 solution=infeasible_solution(users, solution.method + "+repair"),
                 kept_channels=tuple(kept),

@@ -38,3 +38,60 @@ class InfeasibleRoutingError(NetworkError, RuntimeError):
     algorithm cannot span all quantum users — the paper's simulations
     record the entanglement rate as 0 in that case.
     """
+
+
+class ResilienceError(NetworkError):
+    """Base class for runtime fault-handling errors.
+
+    This branch covers *operational* failures — faults injected while a
+    protocol is running, deadlines blown mid-service — as opposed to the
+    structural/configuration errors above.
+    """
+
+
+class TransientFaultError(ResilienceError, RuntimeError):
+    """An injected fault disrupted an in-flight entanglement operation.
+
+    Carries the faulted elements so callers (the resilience runtime,
+    the online scheduler) can attempt a capacity-aware re-route.  The
+    ``partial`` attribute, when set, holds the partial run result
+    accumulated up to the fault.
+    """
+
+    def __init__(
+        self,
+        fibers: tuple = (),
+        switches: tuple = (),
+        partial: object = None,
+    ) -> None:
+        parts = []
+        if fibers:
+            parts.append(f"cut fibers {sorted(fibers, key=repr)!r}")
+        if switches:
+            parts.append(f"dark switches {sorted(switches, key=repr)!r}")
+        detail = " and ".join(parts) or "unspecified fault"
+        super().__init__(f"in-flight operation disrupted by {detail}")
+        self.fibers = tuple(fibers)
+        self.switches = tuple(switches)
+        self.partial = partial
+
+
+class DeadlineExceededError(ResilienceError, RuntimeError):
+    """A request's deadline passed before service completed.
+
+    ``partial`` (when set) holds the run telemetry accumulated up to
+    the deadline so the caller can attribute the abandonment.
+    """
+
+    def __init__(self, deadline: int, slot: int, partial: object = None) -> None:
+        super().__init__(
+            f"deadline slot {deadline} exceeded at slot {slot}"
+        )
+        self.deadline = deadline
+        self.slot = slot
+        self.partial = partial
+
+
+class FaultScheduleError(ResilienceError, ValueError):
+    """A declarative fault schedule is malformed or targets a node or
+    fiber that does not exist in the bound network."""

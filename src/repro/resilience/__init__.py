@@ -1,0 +1,74 @@
+"""Resilience runtime: fault injection, retry policies, degradation.
+
+The paper studies robustness as a *pre-routing* perturbation (Fig. 7b:
+remove edges, re-solve).  This package makes fault handling a runtime
+concern across the whole simulation stack:
+
+* :mod:`repro.resilience.faults` — deterministic, seedable fault
+  injection (fiber cuts, dark switches, transient flaps, decoherence
+  storms) from declarative schedules;
+* :mod:`repro.resilience.retry` — retry/timeout policies (fixed,
+  exponential backoff with jitter, shared budgets) consulted by the
+  slotted engine and the online scheduler instead of blind per-slot
+  re-attempts;
+* :mod:`repro.resilience.report` — the :class:`ResilienceReport`
+  telemetry every fault-aware run accumulates (deterministic under a
+  fixed seed);
+* :mod:`repro.resilience.runtime` — controller-level lifecycle: execute,
+  re-route on permanent faults, degrade to the largest servable user
+  subset, abandon only with attribution.
+
+See ``docs/RESILIENCE.md`` for the fault model and semantics.
+"""
+
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    random_schedule,
+)
+from repro.resilience.report import (
+    ABANDONED,
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    DISPOSITIONS,
+    REJECTED,
+    SERVED,
+    RequestDisposition,
+    ResilienceReport,
+)
+from repro.resilience.retry import (
+    BudgetedRetryPolicy,
+    ExponentialBackoffPolicy,
+    FixedRetryPolicy,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.resilience.runtime import (
+    ResilientServiceReport,
+    execute_with_resilience,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "random_schedule",
+    "ResilienceReport",
+    "RequestDisposition",
+    "DISPOSITIONS",
+    "SERVED",
+    "DEGRADED",
+    "ABANDONED",
+    "REJECTED",
+    "DEADLINE_EXCEEDED",
+    "RetryPolicy",
+    "FixedRetryPolicy",
+    "ExponentialBackoffPolicy",
+    "RetryBudget",
+    "BudgetedRetryPolicy",
+    "ResilientServiceReport",
+    "execute_with_resilience",
+]

@@ -1,0 +1,483 @@
+"""Deterministic, seedable fault injection for the simulation stack.
+
+The paper's robustness study (Fig. 7b) removes edges *before* routing.
+An operational quantum Internet experiences faults *while* requests are
+in flight; this module provides the runtime fault model consumed by
+:mod:`repro.sim.engine` and :mod:`repro.sim.online`:
+
+* :class:`FaultKind` — the fault taxonomy: permanent **fiber cuts**,
+  permanently **dark switches**, **transient flaps** (a fiber drops and
+  is repaired after ``k`` slots), and **decoherence storms** (a
+  network-wide window in which every per-slot success probability is
+  multiplied by ``1 - severity``);
+* :class:`FaultEvent` / :class:`FaultSchedule` — declarative, validated
+  descriptions of *what* fails *when*;
+* :class:`FaultInjector` — the slot-driven state machine that fires and
+  repairs scheduled faults and exposes the currently-failed element
+  sets.  Driven by :meth:`FaultInjector.advance` with a monotone slot
+  clock, it is bit-for-bit deterministic: two injectors over the same
+  schedule report identical histories.
+
+Random schedules for chaos testing come from :func:`random_schedule`,
+which is reproducible from one seed via :mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.network.errors import FaultScheduleError
+from repro.network.graph import QuantumNetwork
+from repro.network.link import fiber_key
+from repro.utils.rng import RngLike, ensure_rng
+
+logger = logging.getLogger("repro.resilience.faults")
+
+
+class FaultKind(str, Enum):
+    """The supported fault classes."""
+
+    FIBER_CUT = "fiber-cut"
+    SWITCH_DARK = "switch-dark"
+    TRANSIENT_FLAP = "transient-flap"
+    DECOHERENCE_STORM = "decoherence-storm"
+
+
+#: Kinds whose target is a fiber endpoint pair.
+_FIBER_KINDS = (FaultKind.FIBER_CUT, FaultKind.TRANSIENT_FLAP)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        slot: Slot index at which the fault fires (>= 0).
+        kind: The fault class.
+        target: Fiber endpoint pair for fiber kinds, switch id for
+            ``SWITCH_DARK``, ``None`` for network-wide storms.
+        duration: Slots until auto-repair; ``None`` means permanent.
+            Transient flaps and storms *must* be bounded.
+        severity: Storm strength in (0, 1]: per-slot success
+            probabilities are multiplied by ``1 - severity``.
+    """
+
+    slot: int
+    kind: FaultKind
+    target: Optional[Hashable] = None
+    duration: Optional[int] = None
+    severity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise FaultScheduleError(f"fault slot must be >= 0, got {self.slot}")
+        if self.duration is not None and self.duration < 1:
+            raise FaultScheduleError(
+                f"fault duration must be >= 1 slot, got {self.duration}"
+            )
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind in _FIBER_KINDS:
+            if (
+                not isinstance(self.target, tuple)
+                or len(self.target) != 2
+            ):
+                raise FaultScheduleError(
+                    f"{kind.value} needs a (u, v) fiber target, "
+                    f"got {self.target!r}"
+                )
+            object.__setattr__(self, "target", fiber_key(*self.target))
+        elif kind is FaultKind.SWITCH_DARK:
+            if self.target is None:
+                raise FaultScheduleError("switch-dark needs a switch target")
+        else:  # DECOHERENCE_STORM
+            if self.target is not None:
+                raise FaultScheduleError(
+                    "decoherence-storm is network-wide; target must be None"
+                )
+            if not (0.0 < self.severity <= 1.0):
+                raise FaultScheduleError(
+                    f"storm severity must be in (0, 1], got {self.severity}"
+                )
+        if kind in (FaultKind.TRANSIENT_FLAP, FaultKind.DECOHERENCE_STORM):
+            if self.duration is None:
+                raise FaultScheduleError(
+                    f"{kind.value} must carry a repair duration"
+                )
+
+    @property
+    def permanent(self) -> bool:
+        """Whether this fault never auto-repairs."""
+        return self.duration is None
+
+    @property
+    def repair_slot(self) -> Optional[int]:
+        """First slot at which the fault is repaired (None = never)."""
+        if self.duration is None:
+            return None
+        return self.slot + self.duration
+
+    def describe(self) -> str:
+        """A stable one-line description (used in resilience logs)."""
+        life = "permanent" if self.permanent else f"for {self.duration} slots"
+        if self.kind is FaultKind.DECOHERENCE_STORM:
+            return (
+                f"slot {self.slot}: decoherence storm "
+                f"(severity {self.severity:g}) {life}"
+            )
+        return f"slot {self.slot}: {self.kind.value} {self.target!r} {life}"
+
+    def to_spec(self) -> Dict[str, object]:
+        """Declarative dict form (inverse of :meth:`FaultSchedule.from_specs`)."""
+        spec: Dict[str, object] = {"slot": self.slot, "kind": self.kind.value}
+        if self.target is not None:
+            spec["target"] = self.target
+        if self.duration is not None:
+            spec["duration"] = self.duration
+        if self.kind is FaultKind.DECOHERENCE_STORM:
+            spec["severity"] = self.severity
+        return spec
+
+
+class FaultSchedule:
+    """An ordered, validated collection of :class:`FaultEvent`.
+
+    Events are kept sorted by (slot, insertion order) so injector
+    behavior is independent of construction order.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        indexed = list(enumerate(events))
+        for _, event in indexed:
+            if not isinstance(event, FaultEvent):
+                raise FaultScheduleError(
+                    f"schedule entries must be FaultEvent, got {event!r}"
+                )
+        indexed.sort(key=lambda pair: (pair[1].slot, pair[0]))
+        self._events: Tuple[FaultEvent, ...] = tuple(e for _, e in indexed)
+
+    @classmethod
+    def from_specs(
+        cls, specs: Iterable[Mapping[str, object]]
+    ) -> "FaultSchedule":
+        """Build a schedule from declarative dicts.
+
+        Each spec needs ``slot`` and ``kind`` plus the kind's fields,
+        e.g. ``{"slot": 3, "kind": "transient-flap", "target": ("a", "s0"),
+        "duration": 4}``.
+        """
+        events = []
+        for spec in specs:
+            unknown = set(spec) - {"slot", "kind", "target", "duration", "severity"}
+            if unknown:
+                raise FaultScheduleError(
+                    f"unknown fault spec fields: {sorted(unknown)}"
+                )
+            try:
+                kind = FaultKind(spec["kind"])
+            except (KeyError, ValueError) as exc:
+                raise FaultScheduleError(f"bad fault kind in {spec!r}") from exc
+            if "slot" not in spec:
+                raise FaultScheduleError(f"fault spec missing slot: {spec!r}")
+            target = spec.get("target")
+            if kind in _FIBER_KINDS and target is not None:
+                target = tuple(target)  # allow lists from JSON/YAML
+            events.append(
+                FaultEvent(
+                    slot=int(spec["slot"]),
+                    kind=kind,
+                    target=target,
+                    duration=(
+                        None
+                        if spec.get("duration") is None
+                        else int(spec["duration"])
+                    ),
+                    severity=float(spec.get("severity", 0.0)),
+                )
+            )
+        return cls(events)
+
+    def to_specs(self) -> List[Dict[str, object]]:
+        """Round-trippable declarative form."""
+        return [event.to_spec() for event in self._events]
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self._events == other._events
+
+    @property
+    def last_slot(self) -> int:
+        """Latest slot at which schedule state can still change."""
+        last = 0
+        for event in self._events:
+            last = max(last, event.slot)
+            if event.repair_slot is not None:
+                last = max(last, event.repair_slot)
+        return last
+
+    def validate_against(self, network: QuantumNetwork) -> None:
+        """Check every fault targets something that exists in *network*.
+
+        Raises:
+            FaultScheduleError: On a missing fiber or non-switch target.
+        """
+        for event in self._events:
+            if event.kind in _FIBER_KINDS:
+                u, v = event.target  # type: ignore[misc]
+                if not network.has_fiber(u, v):
+                    raise FaultScheduleError(
+                        f"fault targets missing fiber {u!r}-{v!r}"
+                    )
+            elif event.kind is FaultKind.SWITCH_DARK:
+                if (
+                    event.target not in network
+                    or not network.is_switch(event.target)
+                ):
+                    raise FaultScheduleError(
+                        f"fault targets non-switch {event.target!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({len(self._events)} events, last_slot={self.last_slot})"
+
+
+class FaultInjector:
+    """Slot-driven fault state machine over one :class:`FaultSchedule`.
+
+    Usage: call :meth:`advance` once per slot with a non-decreasing slot
+    index; it fires due faults, repairs expired ones, and returns the
+    newly-fired events.  The ``active_*`` views then describe the world
+    the simulators must respect for that slot.
+
+    Args:
+        schedule: What fails when.
+        network: Optional network to validate targets against
+            (recommended — catches typo'd fault specs up front).
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        network: Optional[QuantumNetwork] = None,
+    ) -> None:
+        if network is not None:
+            schedule.validate_against(network)
+        self.schedule = schedule
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the pre-slot-0 state (reusable across runs)."""
+        self._cursor = 0
+        self._clock: Optional[int] = None
+        self._active: List[FaultEvent] = []
+        self.faults_injected = 0
+        self.faults_repaired = 0
+
+    def clone(self) -> "FaultInjector":
+        """A fresh injector over the same schedule (for repeat runs)."""
+        return FaultInjector(self.schedule)
+
+    def advance(self, slot: int) -> List[FaultEvent]:
+        """Move the clock to *slot*; fire and repair due faults.
+
+        Returns the events that fired at or before *slot* since the
+        last call, in schedule order.
+
+        Raises:
+            ValueError: When called with a slot earlier than the clock.
+        """
+        if self._clock is not None and slot < self._clock:
+            raise ValueError(
+                f"injector clock cannot rewind: {slot} < {self._clock}"
+            )
+        self._clock = slot
+        # Repair expired transients first so a flap of duration k is
+        # down for exactly k slots.
+        still_active = []
+        for event in self._active:
+            repair = event.repair_slot
+            if repair is not None and repair <= slot:
+                self.faults_repaired += 1
+                logger.info("slot %d: repaired %s", slot, event.describe())
+            else:
+                still_active.append(event)
+        self._active = still_active
+
+        fired: List[FaultEvent] = []
+        events = self.schedule.events
+        while self._cursor < len(events) and events[self._cursor].slot <= slot:
+            event = events[self._cursor]
+            self._cursor += 1
+            self.faults_injected += 1
+            fired.append(event)
+            repair = event.repair_slot
+            if repair is None or repair > slot:
+                self._active.append(event)
+            else:  # fired and already expired within the jump
+                self.faults_repaired += 1
+            logger.info("slot %d: injected %s", slot, event.describe())
+        return fired
+
+    # ------------------------------------------------------------------
+    # Active-fault views
+    # ------------------------------------------------------------------
+    @property
+    def active_faults(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._active)
+
+    @property
+    def active_fiber_cuts(self) -> Set[Tuple[Hashable, Hashable]]:
+        """Canonical fiber keys currently unusable (cuts + flaps)."""
+        return {
+            e.target  # type: ignore[misc]
+            for e in self._active
+            if e.kind in _FIBER_KINDS
+        }
+
+    @property
+    def active_dark_switches(self) -> Set[Hashable]:
+        return {
+            e.target for e in self._active if e.kind is FaultKind.SWITCH_DARK
+        }
+
+    @property
+    def permanent_fiber_cuts(self) -> Set[Tuple[Hashable, Hashable]]:
+        """Active fiber faults that will never auto-repair."""
+        return {
+            e.target  # type: ignore[misc]
+            for e in self._active
+            if e.kind in _FIBER_KINDS and e.permanent
+        }
+
+    @property
+    def permanent_dark_switches(self) -> Set[Hashable]:
+        return {
+            e.target
+            for e in self._active
+            if e.kind is FaultKind.SWITCH_DARK and e.permanent
+        }
+
+    @property
+    def success_multiplier(self) -> float:
+        """Product of ``1 - severity`` over active decoherence storms.
+
+        Simulators multiply every per-slot link/swap success probability
+        by this factor (1.0 when no storm is active).
+        """
+        factor = 1.0
+        for event in self._active:
+            if event.kind is FaultKind.DECOHERENCE_STORM:
+                factor *= 1.0 - event.severity
+        return factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(clock={self._clock}, active={len(self._active)}, "
+            f"injected={self.faults_injected}, repaired={self.faults_repaired})"
+        )
+
+
+def random_schedule(
+    network: QuantumNetwork,
+    n_faults: int,
+    horizon: int,
+    rng: RngLike = None,
+    kinds: Sequence[FaultKind] = (
+        FaultKind.FIBER_CUT,
+        FaultKind.SWITCH_DARK,
+        FaultKind.TRANSIENT_FLAP,
+        FaultKind.DECOHERENCE_STORM,
+    ),
+    mean_duration: float = 4.0,
+    storm_severity: float = 0.5,
+) -> FaultSchedule:
+    """Draw a reproducible random fault schedule for chaos testing.
+
+    Fault slots are uniform on ``[1, horizon]``, fiber targets uniform
+    over the network's fibers, switch targets uniform over switches, and
+    transient durations geometric with the given mean.  Deterministic
+    under a fixed seed.
+
+    Args:
+        network: Topology the faults will hit (targets drawn from it).
+        n_faults: Number of fault events to schedule.
+        horizon: Latest slot at which a fault may fire.
+        rng: Seed / generator for reproducibility.
+        kinds: Fault classes to draw from (uniformly).
+        mean_duration: Mean of the geometric repair time for transients
+            and storms.
+        storm_severity: Severity assigned to decoherence storms.
+    """
+    if n_faults < 0:
+        raise ValueError("n_faults must be >= 0")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    generator = ensure_rng(rng)
+    fibers = network.fibers
+    switches = network.switch_ids
+    usable_kinds = [
+        k
+        for k in kinds
+        if not (k in _FIBER_KINDS and not fibers)
+        and not (k is FaultKind.SWITCH_DARK and not switches)
+    ]
+    if not usable_kinds:
+        raise ValueError("no usable fault kinds for this network")
+
+    events: List[FaultEvent] = []
+    for _ in range(n_faults):
+        kind = usable_kinds[int(generator.integers(0, len(usable_kinds)))]
+        slot = int(generator.integers(1, horizon + 1))
+        duration = int(generator.geometric(1.0 / max(mean_duration, 1.0)))
+        if kind is FaultKind.FIBER_CUT:
+            fiber = fibers[int(generator.integers(0, len(fibers)))]
+            events.append(FaultEvent(slot, kind, (fiber.u, fiber.v)))
+        elif kind is FaultKind.SWITCH_DARK:
+            switch = switches[int(generator.integers(0, len(switches)))]
+            events.append(FaultEvent(slot, kind, switch))
+        elif kind is FaultKind.TRANSIENT_FLAP:
+            fiber = fibers[int(generator.integers(0, len(fibers)))]
+            events.append(
+                FaultEvent(slot, kind, (fiber.u, fiber.v), duration=duration)
+            )
+        else:
+            events.append(
+                FaultEvent(
+                    slot,
+                    kind,
+                    duration=duration,
+                    severity=storm_severity,
+                )
+            )
+    schedule = FaultSchedule(events)
+    logger.debug(
+        "random_schedule: %d faults over horizon %d (%s)",
+        n_faults,
+        horizon,
+        ", ".join(k.value for k in usable_kinds),
+    )
+    return schedule

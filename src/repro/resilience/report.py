@@ -1,0 +1,190 @@
+"""Resilience telemetry: what failed, what was retried, who survived.
+
+A :class:`ResilienceReport` is accumulated by the fault-aware layers
+(:mod:`repro.sim.engine`, :mod:`repro.sim.online`,
+:mod:`repro.resilience.runtime`) and surfaced through
+:class:`repro.controller.EntanglementController` and the ``resilience``
+CLI subcommand.  It answers the operator questions:
+
+* how many faults fired, and how many auto-repaired;
+* how many retries and re-routes the control plane spent;
+* which requests were fully served, served degraded (a user subset),
+  or abandoned — and *why* (every abandonment is attributable);
+* determinism: two runs with the same seed produce equal reports
+  (``report_a == report_b``), the property the chaos suite pins down.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+logger = logging.getLogger("repro.resilience.report")
+
+#: Request dispositions (the terminal states of the resilient lifecycle).
+SERVED = "served"
+DEGRADED = "degraded"
+ABANDONED = "abandoned"
+REJECTED = "rejected"
+DEADLINE_EXCEEDED = "deadline-exceeded"
+
+DISPOSITIONS = (SERVED, DEGRADED, ABANDONED, REJECTED, DEADLINE_EXCEEDED)
+
+
+@dataclass(frozen=True)
+class RequestDisposition:
+    """Terminal record for one request under the resilient runtime.
+
+    Attributes:
+        name: Request id.
+        status: One of :data:`DISPOSITIONS`.
+        reason: Human-readable attribution ("" for clean service).
+        slot: Slot at which the terminal state was reached.
+        retries: Retries spent on this request.
+        reroutes: Successful mid-service re-routes.
+        served_users: Users actually served (may be a strict subset of
+            the requested group when degraded; empty when never served).
+    """
+
+    name: str
+    status: str
+    reason: str = ""
+    slot: Optional[int] = None
+    retries: int = 0
+    reroutes: int = 0
+    served_users: Tuple[Hashable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.status not in DISPOSITIONS:
+            raise ValueError(f"unknown disposition {self.status!r}")
+
+
+@dataclass
+class ResilienceReport:
+    """Mutable accumulator for one resilient run's telemetry.
+
+    Equality is field-wise, so two same-seed runs can be compared
+    directly; ``to_dict()`` gives a stable serializable form.
+    """
+
+    faults_injected: int = 0
+    faults_repaired: int = 0
+    retries_spent: int = 0
+    reroutes: int = 0
+    degradations: int = 0
+    recovered: int = 0
+    abandoned: int = 0
+    fault_log: List[str] = field(default_factory=list)
+    dispositions: Dict[str, RequestDisposition] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_fault(self, description: str) -> None:
+        self.faults_injected += 1
+        self.fault_log.append(description)
+        logger.debug("fault recorded: %s", description)
+
+    def record_repairs(self, count: int = 1) -> None:
+        self.faults_repaired += count
+
+    def record_retries(self, count: int = 1) -> None:
+        self.retries_spent += count
+
+    def record_reroute(self, name: str, description: str = "") -> None:
+        self.reroutes += 1
+        if description:
+            self.fault_log.append(f"reroute[{name}]: {description}")
+        logger.info("request %s re-routed (%s)", name, description or "n/a")
+
+    def record_degradation(self, name: str, description: str = "") -> None:
+        self.degradations += 1
+        if description:
+            self.fault_log.append(f"degrade[{name}]: {description}")
+        logger.info("request %s degraded (%s)", name, description or "n/a")
+
+    def record_recovery(self, name: str) -> None:
+        """A request that survived at least one fault to completion."""
+        self.recovered += 1
+        logger.info("request %s recovered", name)
+
+    def close_request(self, disposition: RequestDisposition) -> None:
+        """Finalize one request's terminal state."""
+        if disposition.name in self.dispositions:
+            raise ValueError(
+                f"request {disposition.name!r} already finalized"
+            )
+        self.dispositions[disposition.name] = disposition
+        if disposition.status in (ABANDONED, DEADLINE_EXCEEDED):
+            self.abandoned += 1
+            if not disposition.reason:
+                raise ValueError(
+                    f"abandoned request {disposition.name!r} must carry a "
+                    "reason (attributability)"
+                )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def disposition_of(self, name: str) -> RequestDisposition:
+        try:
+            return self.dispositions[name]
+        except KeyError:
+            raise KeyError(f"no disposition recorded for {name!r}") from None
+
+    def count(self, status: str) -> int:
+        return sum(
+            1 for d in self.dispositions.values() if d.status == status
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable, serializable summary (sorted by request name)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "faults_repaired": self.faults_repaired,
+            "retries_spent": self.retries_spent,
+            "reroutes": self.reroutes,
+            "degradations": self.degradations,
+            "recovered": self.recovered,
+            "abandoned": self.abandoned,
+            "fault_log": list(self.fault_log),
+            "dispositions": {
+                name: {
+                    "status": d.status,
+                    "reason": d.reason,
+                    "slot": d.slot,
+                    "retries": d.retries,
+                    "reroutes": d.reroutes,
+                    "served_users": sorted(d.served_users, key=repr),
+                }
+                for name, d in sorted(self.dispositions.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A compact operator-facing text summary."""
+        lines = [
+            "resilience report",
+            f"  faults injected : {self.faults_injected}"
+            f" (repaired {self.faults_repaired})",
+            f"  retries spent   : {self.retries_spent}",
+            f"  re-routes       : {self.reroutes}",
+            f"  degradations    : {self.degradations}",
+            f"  recovered       : {self.recovered}",
+            f"  abandoned       : {self.abandoned}",
+        ]
+        if self.dispositions:
+            lines.append("  requests:")
+            for name, d in sorted(self.dispositions.items()):
+                detail = f" ({d.reason})" if d.reason else ""
+                extras = []
+                if d.reroutes:
+                    extras.append(f"{d.reroutes} reroutes")
+                if d.retries:
+                    extras.append(f"{d.retries} retries")
+                if d.status == DEGRADED:
+                    extras.append(f"served {len(d.served_users)} users")
+                suffix = f" [{', '.join(extras)}]" if extras else ""
+                lines.append(f"    {name}: {d.status}{detail}{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Retry and timeout policies for entanglement attempts.
+
+The paper's protocol re-attempts every slot forever (the geometric
+``1/P`` expectation of Sec. II-C).  Real control planes bound that:
+after a failed attempt they wait, back off, and eventually give up.
+This module provides the policy family consulted by
+:class:`repro.sim.engine.SlottedEntanglementSimulator` on failed
+link/swap slots and by :class:`repro.sim.online.OnlineScheduler` when
+pacing blocked requests:
+
+* :class:`FixedRetryPolicy` — constant inter-retry delay, optional
+  attempt cap;
+* :class:`ExponentialBackoffPolicy` — delays grow geometrically up to a
+  cap, with optional deterministic jitter drawn from
+  :mod:`repro.utils.rng`;
+* :class:`RetryBudget` / :class:`BudgetedRetryPolicy` — a shared,
+  finite retry pool so a fleet of requests can never spend more than a
+  configured total number of retries.
+
+The contract is :meth:`RetryPolicy.next_delay`: given the number of
+failures so far (1-based), return how many *extra* slots to wait before
+the next attempt (0 = retry on the very next slot), or ``None`` to give
+up.  Delays never exceed the policy's configured cap — a property the
+test suite checks exhaustively.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import RngLike, ensure_rng
+
+logger = logging.getLogger("repro.resilience.retry")
+
+
+class RetryPolicy(abc.ABC):
+    """Decides whether — and after how many slots — to retry."""
+
+    @abc.abstractmethod
+    def next_delay(self, attempt: int) -> Optional[int]:
+        """Delay (in slots) before the retry following failure *attempt*.
+
+        Args:
+            attempt: Number of failed attempts so far (>= 1).
+
+        Returns:
+            Extra slots to wait (0 = retry next slot), or ``None`` when
+            the policy is exhausted and the caller should give up.
+        """
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a retry is allowed after *attempt* failures."""
+        return self.next_delay(attempt) is not None
+
+
+@dataclass(frozen=True)
+class FixedRetryPolicy(RetryPolicy):
+    """Retry after a constant delay, at most ``max_attempts`` tries.
+
+    Attributes:
+        delay: Extra slots between attempts (>= 0).
+        max_attempts: Total attempts allowed; ``None`` = unbounded.
+    """
+
+    delay: int = 0
+    max_attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
+
+    def next_delay(self, attempt: int) -> Optional[int]:
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            logger.debug(
+                "fixed policy exhausted after %d attempts", attempt
+            )
+            return None
+        return self.delay
+
+
+class ExponentialBackoffPolicy(RetryPolicy):
+    """Exponential backoff with a hard delay cap and optional jitter.
+
+    The deterministic delay after the ``k``-th failure is
+    ``min(max_delay, base_delay * factor**(k-1))``; jitter multiplies it
+    by a uniform factor in ``[1 - jitter, 1 + jitter]`` drawn from the
+    policy's own seeded generator (so two policies with the same seed
+    produce identical delay sequences).  The returned delay is always an
+    integer in ``[0, max_delay]`` — it never exceeds the cap, jitter or
+    not.
+
+    Args:
+        base_delay: Delay after the first failure (>= 0 slots).
+        factor: Geometric growth factor (>= 1).
+        max_delay: Hard per-retry cap in slots (>= base_delay).
+        max_attempts: Total attempts allowed; ``None`` = unbounded.
+        jitter: Relative jitter amplitude in [0, 1).
+        rng: Seed / generator for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        base_delay: int = 1,
+        factor: float = 2.0,
+        max_delay: int = 64,
+        max_attempts: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        if base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if max_delay < base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not (0.0 <= jitter < 1.0):
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.max_attempts = max_attempts
+        self.jitter = jitter
+        self.rng = ensure_rng(rng)
+
+    def next_delay(self, attempt: int) -> Optional[int]:
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            logger.debug(
+                "backoff policy exhausted after %d attempts", attempt
+            )
+            return None
+        delay = min(
+            float(self.max_delay),
+            self.base_delay * self.factor ** (attempt - 1),
+        )
+        if self.jitter > 0.0:
+            spread = float(self.rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+            delay *= spread
+        bounded = max(0, min(self.max_delay, int(round(delay))))
+        logger.debug("backoff attempt %d -> delay %d", attempt, bounded)
+        return bounded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExponentialBackoffPolicy(base={self.base_delay}, "
+            f"factor={self.factor}, cap={self.max_delay}, "
+            f"max_attempts={self.max_attempts}, jitter={self.jitter})"
+        )
+
+
+class RetryBudget:
+    """A shared, finite pool of retries.
+
+    Several policies (or several requests sharing one policy) can draw
+    from the same budget; once drained no caller retries again.
+    """
+
+    def __init__(self, total: int) -> None:
+        if total < 0:
+            raise ValueError(f"budget must be >= 0, got {total}")
+        self.total = total
+        self.spent = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.spent
+
+    def try_spend(self) -> bool:
+        """Consume one retry if available; report whether it was."""
+        if self.spent >= self.total:
+            return False
+        self.spent += 1
+        return True
+
+    def reset(self) -> None:
+        self.spent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RetryBudget(spent={self.spent}/{self.total})"
+
+
+class BudgetedRetryPolicy(RetryPolicy):
+    """Wrap *inner* so total retries can never exceed *budget*.
+
+    The wrapped policy is consulted first; if it would retry, one unit
+    is drawn from the (possibly shared) budget.  When the budget is
+    drained the policy reports exhaustion regardless of *inner*.
+    """
+
+    def __init__(self, inner: RetryPolicy, budget: RetryBudget) -> None:
+        self.inner = inner
+        self.budget = budget
+
+    def next_delay(self, attempt: int) -> Optional[int]:
+        delay = self.inner.next_delay(attempt)
+        if delay is None:
+            return None
+        if not self.budget.try_spend():
+            logger.debug(
+                "retry budget drained (%d total); giving up", self.budget.total
+            )
+            return None
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BudgetedRetryPolicy({self.inner!r}, {self.budget!r})"

@@ -1,0 +1,300 @@
+"""Controller-level resilient execution: plan, run, re-route, degrade.
+
+:func:`execute_with_resilience` drives one request's whole lifecycle
+against a live fault timeline: it executes the plan slot by slot with
+the fault-aware :class:`~repro.sim.engine.SlottedEntanglementSimulator`,
+and whenever a *permanent* injected fault kills a planned fiber or
+switch (signalled by :class:`TransientFaultError`), it repairs the tree
+incrementally, falls back to a full replan, and as a last resort
+degrades to the largest user subset the surviving channels still span.
+The whole history — faults, retries, re-routes, degradations — lands in
+a deterministic :class:`ResilienceReport`.
+
+This is what :meth:`repro.controller.EntanglementController.serve_resilient`
+delegates to; the ``repro resilience`` CLI subcommand builds on the
+online-scheduler variant in :mod:`repro.sim.online`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.problem import MUERPSolution
+from repro.extensions.recovery import repair_solution
+from repro.network.errors import DeadlineExceededError, TransientFaultError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.report import (
+    ABANDONED,
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    SERVED,
+    RequestDisposition,
+    ResilienceReport,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.sim.engine import SlottedEntanglementSimulator, SlottedRunResult
+
+logger = logging.getLogger("repro.resilience.runtime")
+
+
+@dataclass(frozen=True)
+class ResilientServiceReport:
+    """Outcome of one fault-exposed request lifecycle.
+
+    Attributes:
+        solution: The initial (pre-fault) plan.
+        final_solution: The plan in force when the run ended (repaired
+            or degraded version of the initial one, or the initial plan
+            itself).
+        runs: Telemetry of every execution segment (one per re-route).
+        report: The accumulated resilience telemetry.
+        served_users: Users actually entangled (empty when abandoned).
+    """
+
+    solution: MUERPSolution
+    final_solution: MUERPSolution
+    runs: Tuple[SlottedRunResult, ...]
+    report: ResilienceReport
+    served_users: Tuple[Hashable, ...]
+
+    @property
+    def entangled(self) -> bool:
+        return bool(self.runs) and self.runs[-1].succeeded
+
+    @property
+    def degraded(self) -> bool:
+        return self.entangled and set(self.served_users) < set(
+            self.solution.users
+        )
+
+    @property
+    def windows_used(self) -> int:
+        return sum(run.slots_used for run in self.runs)
+
+
+def _degrade_to_subset(
+    solution: MUERPSolution, kept_channels
+) -> Optional[MUERPSolution]:
+    """Largest-subset degraded tree from surviving channels (or None)."""
+    from repro.sim.online import _largest_served_component
+
+    subset = _largest_served_component(solution.users, kept_channels)
+    if len(subset) < 2:
+        return None
+    members = set(subset)
+    channels = tuple(
+        c for c in kept_channels if c.endpoints[0] in members
+    )
+    return MUERPSolution(
+        channels=channels,
+        users=frozenset(subset),
+        method=solution.method + "+degraded",
+        feasible=True,
+    )
+
+
+def execute_with_resilience(
+    controller,
+    users: Optional[Iterable[Hashable]] = None,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_slots: int = 100_000,
+    deadline_slot: Optional[int] = None,
+    request_name: str = "request",
+) -> ResilientServiceReport:
+    """Serve one request end to end under a fault timeline.
+
+    Args:
+        controller: An :class:`~repro.controller.EntanglementController`
+            (duck-typed: needs ``plan``, ``absorb_failures``,
+            ``network``, ``rng``).
+        users: The user group to entangle (default: all users).
+        injector: Fault timeline; ``None`` degenerates to plain serve.
+        retry_policy: Per-slot retry pacing for the protocol engine.
+        max_slots: Total slot budget across all re-route segments.
+        deadline_slot: Absolute slot by which entanglement must be
+            reached; blowing it abandons the request with a
+            ``deadline-exceeded`` disposition.
+        request_name: Id used in the report's disposition table.
+    """
+    report = ResilienceReport()
+    if injector is not None:
+        injector.reset()
+
+    initial = controller.plan(users)
+    if not initial.feasible:
+        report.close_request(
+            RequestDisposition(
+                name=request_name,
+                status=ABANDONED,
+                reason="initial plan infeasible",
+                slot=0,
+            )
+        )
+        return ResilientServiceReport(
+            solution=initial,
+            final_solution=initial,
+            runs=(),
+            report=report,
+            served_users=(),
+        )
+
+    current = initial
+    runs: List[SlottedRunResult] = []
+    slot_offset = 0
+    handled_fibers: set = set()
+    handled_switches: set = set()
+    reroutes_here = 0
+    retries_here = 0
+    faulted = False
+
+    def _finish(status: str, reason: str) -> ResilientServiceReport:
+        served: Tuple[Hashable, ...] = ()
+        if status in (SERVED, DEGRADED):
+            served = tuple(sorted(current.users, key=repr))
+        report.close_request(
+            RequestDisposition(
+                name=request_name,
+                status=status,
+                reason=reason,
+                slot=slot_offset,
+                retries=retries_here,
+                reroutes=reroutes_here,
+                served_users=served,
+            )
+        )
+        if status == SERVED and faulted:
+            report.record_recovery(request_name)
+        return ResilientServiceReport(
+            solution=initial,
+            final_solution=current,
+            runs=tuple(runs),
+            report=report,
+            served_users=served,
+        )
+
+    while slot_offset < max_slots:
+        simulator = SlottedEntanglementSimulator(
+            controller.network,
+            current,
+            rng=controller.rng,
+            retry_policy=retry_policy,
+            fault_injector=injector,
+            start_slot=slot_offset,
+        )
+        try:
+            run = simulator.run(
+                max_slots=max_slots - slot_offset,
+                deadline_slot=deadline_slot,
+            )
+        except TransientFaultError as fault:
+            faulted = True
+            partial = fault.partial
+            if partial is not None:
+                runs.append(partial)
+                slot_offset += partial.slots_used
+                retries_here += partial.retries_spent
+                report.record_retries(partial.retries_spent)
+            if injector is not None:
+                report.faults_injected = injector.faults_injected
+                report.faults_repaired = injector.faults_repaired
+            new_fibers = [
+                f for f in fault.fibers if f not in handled_fibers
+            ]
+            new_switches = [
+                s for s in fault.switches if s not in handled_switches
+            ]
+            handled_fibers.update(new_fibers)
+            handled_switches.update(new_switches)
+            for key in new_fibers:
+                report.fault_log.append(
+                    f"slot {slot_offset}: plan lost fiber {key!r}"
+                )
+            for switch in new_switches:
+                report.fault_log.append(
+                    f"slot {slot_offset}: plan lost switch {switch!r}"
+                )
+            rep = repair_solution(
+                controller.network, current, new_fibers, new_switches
+            )
+            controller.absorb_failures(new_fibers, new_switches)
+            if rep.repaired:
+                current = rep.solution
+                reroutes_here += 1
+                report.record_reroute(
+                    request_name,
+                    f"slot {slot_offset}: incremental repair "
+                    f"({len(rep.new_channels)} new channels)",
+                )
+                continue
+            fresh = controller.plan(sorted(current.users, key=repr))
+            if fresh.feasible:
+                current = fresh
+                reroutes_here += 1
+                report.record_reroute(
+                    request_name,
+                    f"slot {slot_offset}: full replan after "
+                    "unrepairable fault",
+                )
+                continue
+            degraded = _degrade_to_subset(current, rep.kept_channels)
+            if degraded is not None:
+                current = degraded
+                report.record_degradation(
+                    request_name,
+                    f"slot {slot_offset}: continuing with "
+                    f"{len(degraded.users)} of {len(initial.users)} users",
+                )
+                continue
+            return _finish(
+                ABANDONED,
+                f"fault at slot {slot_offset} unrepairable; no feasible "
+                "replan or >=2-user subset",
+            )
+        except DeadlineExceededError as exc:
+            partial = exc.partial
+            if partial is not None:
+                runs.append(partial)
+                slot_offset += partial.slots_used
+                retries_here += partial.retries_spent
+                report.record_retries(partial.retries_spent)
+            if injector is not None:
+                report.faults_injected = injector.faults_injected
+                report.faults_repaired = injector.faults_repaired
+            return _finish(
+                DEADLINE_EXCEEDED,
+                f"deadline slot {exc.deadline} passed before entanglement",
+            )
+
+        runs.append(run)
+        slot_offset += run.slots_used
+        retries_here += run.retries_spent
+        report.record_retries(run.retries_spent)
+        if injector is not None:
+            report.faults_injected = injector.faults_injected
+            report.faults_repaired = injector.faults_repaired
+        if run.succeeded:
+            status = (
+                DEGRADED
+                if set(current.users) < set(initial.users)
+                else SERVED
+            )
+            reason = (
+                f"degraded to {len(current.users)}/{len(initial.users)} users"
+                if status == DEGRADED
+                else ""
+            )
+            return _finish(status, reason)
+        if run.abort_reason == "retry-budget-exhausted":
+            return _finish(
+                ABANDONED,
+                f"retry policy exhausted at slot {slot_offset}",
+            )
+        # max-slots within the segment: global budget is spent.
+        break
+
+    return _finish(
+        ABANDONED, f"slot budget {max_slots} exhausted without entanglement"
+    )

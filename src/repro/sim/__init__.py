@@ -22,6 +22,7 @@ from repro.sim.protocol import (
 from repro.sim.engine import (
     Event,
     EventQueue,
+    SlotsToSuccessSummary,
     SlottedEntanglementSimulator,
     SlottedRunResult,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "simulate_solution",
     "Event",
     "EventQueue",
+    "SlotsToSuccessSummary",
     "SlottedEntanglementSimulator",
     "SlottedRunResult",
     "MemoryProtocolSimulator",

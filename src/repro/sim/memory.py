@@ -27,9 +27,10 @@ quantum memory buys at the network level.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,16 +38,27 @@ from repro.core.problem import MUERPSolution
 from repro.network.graph import QuantumNetwork
 from repro.utils.rng import RngLike, ensure_rng
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.retry import RetryPolicy
+
+logger = logging.getLogger("repro.sim.memory")
+
 
 @dataclass(frozen=True)
 class MemoryRunResult:
-    """Outcome of one memory-assisted protocol run."""
+    """Outcome of one memory-assisted protocol run.
+
+    ``aborted`` is set when a retry policy gave up on a channel before
+    the slot cap was reached (the run then also has
+    ``succeeded=False``).
+    """
 
     slots_used: int
     succeeded: bool
     window: int
     link_attempts: int
     swap_rounds: int
+    aborted: bool = False
 
 
 @dataclass(frozen=True)
@@ -72,6 +84,13 @@ class MemoryProtocolSimulator:
         solution: A feasible routed entanglement tree.
         window: Link time-to-live in slots (1 = the paper's model).
         rng: Random source.
+        retry_policy: Optional
+            :class:`~repro.resilience.retry.RetryPolicy` pacing each
+            channel's recovery after a failed swap round: the channel
+            waits the policy's delay (its links idle) before
+            regenerating, and the run aborts when the policy is
+            exhausted.  ``None`` keeps the paper's
+            re-attempt-every-slot behavior.
     """
 
     def __init__(
@@ -80,6 +99,7 @@ class MemoryProtocolSimulator:
         solution: MUERPSolution,
         window: int = 1,
         rng: RngLike = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ) -> None:
         if not solution.feasible:
             raise ValueError("cannot execute an infeasible solution")
@@ -87,6 +107,7 @@ class MemoryProtocolSimulator:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
         self.rng = ensure_rng(rng)
+        self.retry_policy = retry_policy
         self._channels: List[Tuple[np.ndarray, int]] = []
         for channel in solution.channels:
             probabilities = []
@@ -110,14 +131,17 @@ class MemoryProtocolSimulator:
         link_attempts = 0
         swap_rounds = 0
 
-        # Per channel: remaining lifetime per link (0 = not alive), and
-        # a completed flag.
+        # Per channel: remaining lifetime per link (0 = not alive), a
+        # completed flag, plus retry pacing (failed swap rounds so far
+        # and the slot before which the channel must stay idle).
         lifetimes = [np.zeros(len(p), dtype=int) for p, _ in self._channels]
         completed = [False] * len(self._channels)
+        swap_failures = [0] * len(self._channels)
+        resume_slot = [0] * len(self._channels)
 
         for slot in range(1, max_slots + 1):
             for index, (probabilities, n_swaps) in enumerate(self._channels):
-                if completed[index]:
+                if completed[index] or slot < resume_slot[index]:
                     continue
                 life = lifetimes[index]
                 dead = life == 0
@@ -136,6 +160,27 @@ class MemoryProtocolSimulator:
                         completed[index] = True
                     else:
                         life[:] = 0  # failed swap consumes the links
+                        if self.retry_policy is not None:
+                            swap_failures[index] += 1
+                            delay = self.retry_policy.next_delay(
+                                swap_failures[index]
+                            )
+                            if delay is None:
+                                logger.info(
+                                    "channel %d: retry policy exhausted "
+                                    "after %d failed swap rounds",
+                                    index,
+                                    swap_failures[index],
+                                )
+                                return MemoryRunResult(
+                                    slots_used=slot,
+                                    succeeded=False,
+                                    window=window,
+                                    link_attempts=link_attempts,
+                                    swap_rounds=swap_rounds,
+                                    aborted=True,
+                                )
+                            resume_slot[index] = slot + 1 + delay
                         continue
                 # Age the surviving links.
                 if not completed[index]:

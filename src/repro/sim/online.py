@@ -6,8 +6,8 @@ groups arrive over time, hold their switch qubits while the application
 runs, and release them on departure.  This module adds that operational
 layer on top of the routing algorithms:
 
-* :class:`EntanglementRequest` — a user group with an arrival slot and a
-  holding time;
+* :class:`EntanglementRequest` — a user group with an arrival slot, a
+  holding time, and (optionally) an absolute service deadline;
 * :class:`OnlineScheduler` — slot-driven loss system: on each slot it
   releases expired reservations, then tries to route that slot's
   arrivals with the current residual capacity (optionally retrying
@@ -16,19 +16,47 @@ layer on top of the routing algorithms:
 * :class:`OnlineResult` — acceptance ratio, rates, and qubit-utilization
   telemetry, the metrics an operator dimensioning switch memory cares
   about.
+
+**Resilient mode** (the robustness layer): give the scheduler a
+:class:`~repro.resilience.faults.FaultInjector` and/or a
+:class:`~repro.resilience.retry.RetryPolicy` and the run loop becomes
+fault-aware:
+
+* injected faults fire *mid-service*; reservations whose tree loses a
+  fiber or switch are re-routed in place via capacity-aware incremental
+  repair (:func:`repro.extensions.recovery.repair_solution`), keeping
+  their surviving channels' qubits reserved;
+* when no full repair exists, the scheduler **degrades gracefully**: it
+  keeps serving the largest user subset still spanned by the surviving
+  channels instead of hard-failing the whole group;
+* blocked requests are paced by the retry policy (backoff instead of
+  hammering every slot) and abandoned when their deadline passes;
+* everything is accounted in a deterministic
+  :class:`~repro.resilience.report.ResilienceReport` attached to the
+  result — every abandoned request is attributable to a cause.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.conflict_free import solve_conflict_free
 from repro.core.prim_based import solve_prim
-from repro.core.problem import MUERPSolution
+from repro.core.problem import Channel, MUERPSolution
 from repro.network.graph import QuantumNetwork
+from repro.network.link import fiber_key
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.unionfind import UnionFind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.report import ResilienceReport
+    from repro.resilience.retry import RetryPolicy
+
+logger = logging.getLogger("repro.sim.online")
 
 
 @dataclass(frozen=True)
@@ -42,6 +70,9 @@ class EntanglementRequest:
         hold: Number of slots the reservation is held once routed.
         max_wait: Slots the request may wait when blocked (0 = pure
             loss system).
+        deadline: Optional absolute slot by which service must have
+            *started*; supersedes ``arrival + max_wait`` as the give-up
+            point when set.  Must be ``>= arrival``.
     """
 
     name: str
@@ -49,6 +80,7 @@ class EntanglementRequest:
     arrival: int
     hold: int = 1
     max_wait: int = 0
+    deadline: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.users) < 2:
@@ -61,17 +93,44 @@ class EntanglementRequest:
             raise ValueError("hold must be >= 1")
         if self.max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if self.deadline is not None:
+            if self.deadline < 0:
+                raise ValueError(
+                    f"request {self.name!r}: deadline must be >= 0"
+                )
+            if self.deadline < self.arrival:
+                raise ValueError(
+                    f"request {self.name!r}: deadline {self.deadline} "
+                    f"precedes arrival {self.arrival}"
+                )
+
+    @property
+    def last_start_slot(self) -> int:
+        """Latest slot at which service may still start."""
+        if self.deadline is not None:
+            return self.deadline
+        return self.arrival + self.max_wait
 
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """What happened to one request."""
+    """What happened to one request.
+
+    ``accepted`` means the request ended *served* (possibly degraded to
+    a user subset); a request that was admitted but abandoned after a
+    mid-service fault counts as not accepted, with the attribution in
+    the run's resilience report.
+    """
 
     request: EntanglementRequest
     accepted: bool
     solution: Optional[MUERPSolution]
     start_slot: Optional[int]
     release_slot: Optional[int]
+    disposition: str = "served"
+    degraded: bool = False
+    served_users: Tuple[Hashable, ...] = ()
+    reroutes: int = 0
 
     @property
     def waited(self) -> int:
@@ -87,10 +146,15 @@ class OnlineResult:
     outcomes: Tuple[RequestOutcome, ...]
     slots_simulated: int
     peak_qubit_usage: Dict[Hashable, int]
+    resilience: Optional["ResilienceReport"] = None
 
     @property
     def n_accepted(self) -> int:
         return sum(1 for o in self.outcomes if o.accepted)
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
 
     @property
     def acceptance_ratio(self) -> float:
@@ -100,7 +164,11 @@ class OnlineResult:
 
     @property
     def mean_accepted_rate(self) -> float:
-        rates = [o.solution.rate for o in self.outcomes if o.accepted]
+        rates = [
+            o.solution.rate
+            for o in self.outcomes
+            if o.accepted and o.solution is not None
+        ]
         if not rates:
             return 0.0
         return sum(rates) / len(rates)
@@ -112,6 +180,70 @@ class OnlineResult:
         raise KeyError(f"no outcome for request {name!r}")
 
 
+@dataclass
+class _Reservation:
+    """Mutable in-flight service record (resilient loop only)."""
+
+    request: EntanglementRequest
+    solution: MUERPSolution
+    usage: Dict[Hashable, int]
+    start_slot: int
+    release_slot: int
+    retries: int = 0
+    reroutes: int = 0
+    degraded: bool = False
+    hit_by_fault: bool = False
+
+
+@dataclass
+class _Waiter:
+    """A blocked request waiting for its next admission attempt."""
+
+    request: EntanglementRequest
+    next_slot: int
+    attempts: int = 0
+    retries: int = 0
+
+
+def _solution_broken(
+    solution: MUERPSolution,
+    cuts: Set[Tuple[Hashable, Hashable]],
+    darks: Set[Hashable],
+) -> bool:
+    """Whether any channel of *solution* uses a failed element."""
+    for channel in solution.channels:
+        if any(s in darks for s in channel.switches):
+            return True
+        if any(
+            fiber_key(u, v) in cuts
+            for u, v in zip(channel.path, channel.path[1:])
+        ):
+            return True
+    return False
+
+
+def _largest_served_component(
+    users, channels: Sequence[Channel]
+) -> Tuple[Hashable, ...]:
+    """Largest user subset still spanned by *channels* (deterministic).
+
+    Ties break toward the lexicographically-smallest member set so two
+    same-seed runs always degrade identically.
+    """
+    unions = UnionFind(sorted(users, key=repr))
+    for channel in channels:
+        unions.union(*channel.endpoints)
+    best: Tuple[Hashable, ...] = ()
+    for group in unions.groups():
+        members = tuple(sorted(group, key=repr))
+        if (len(members), [repr(m) for m in members]) > (
+            len(best),
+            [repr(m) for m in best],
+        ) and len(members) >= 2:
+            best = members
+    return best
+
+
 class OnlineScheduler:
     """Slot-driven online admission and routing.
 
@@ -120,6 +252,15 @@ class OnlineScheduler:
         method: Per-request solver: ``"prim"`` (default) or
             ``"conflict_free"``.
         rng: Random source forwarded to the solver.
+        fault_injector: Optional
+            :class:`~repro.resilience.faults.FaultInjector`; enables the
+            fault-aware run loop (mid-service repair + degradation).
+        retry_policy: Optional
+            :class:`~repro.resilience.retry.RetryPolicy` pacing blocked
+            requests' re-admission attempts.
+        allow_degradation: Serve the largest surviving user subset when
+            a mid-service fault makes a full repair impossible (instead
+            of abandoning the whole group).
     """
 
     def __init__(
@@ -127,19 +268,38 @@ class OnlineScheduler:
         network: QuantumNetwork,
         method: str = "prim",
         rng: RngLike = None,
+        fault_injector: Optional["FaultInjector"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        allow_degradation: bool = True,
     ) -> None:
         if method not in ("prim", "conflict_free"):
             raise ValueError(f"unsupported method {method!r}")
         self.network = network
         self.method = method
         self.rng = ensure_rng(rng)
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.allow_degradation = allow_degradation
 
     def run(self, requests: Sequence[EntanglementRequest]) -> OnlineResult:
         """Simulate the whole arrival stream; returns the telemetry."""
         names = [r.name for r in requests]
         if len(set(names)) != len(names):
             raise ValueError("request names must be unique")
+        if (
+            self.fault_injector is not None
+            or self.retry_policy is not None
+            or any(r.deadline is not None for r in requests)
+        ):
+            return self._run_resilient(requests)
+        return self._run_legacy(requests)
 
+    # ------------------------------------------------------------------
+    # Legacy (fault-free) loop — the paper-faithful loss system.
+    # ------------------------------------------------------------------
+    def _run_legacy(
+        self, requests: Sequence[EntanglementRequest]
+    ) -> OnlineResult:
         residual = self.network.residual_qubits()
         budgets = dict(residual)
         peak_usage: Dict[Hashable, int] = {s: 0 for s in residual}
@@ -193,6 +353,8 @@ class OnlineScheduler:
                         solution=solution,
                         start_slot=slot,
                         release_slot=release_slot,
+                        disposition="served",
+                        served_users=tuple(sorted(request.users, key=repr)),
                     )
                     last_activity = max(last_activity, release_slot)
                 elif slot < request.arrival + request.max_wait:
@@ -204,6 +366,7 @@ class OnlineScheduler:
                         solution=None,
                         start_slot=None,
                         release_slot=None,
+                        disposition="rejected",
                     )
             waiting = retained
 
@@ -214,19 +377,371 @@ class OnlineScheduler:
             peak_qubit_usage=peak_usage,
         )
 
+    # ------------------------------------------------------------------
+    # Resilient loop — faults, retries, deadlines, degradation.
+    # ------------------------------------------------------------------
+    def _run_resilient(
+        self, requests: Sequence[EntanglementRequest]
+    ) -> OnlineResult:
+        from repro.extensions.recovery import apply_failures, repair_solution
+        from repro.resilience import report as report_mod
+        from repro.resilience.report import (
+            RequestDisposition,
+            ResilienceReport,
+        )
+
+        injector = self.fault_injector
+        if injector is not None:
+            injector.reset()
+        report = ResilienceReport()
+
+        base = self.network
+        residual = base.residual_qubits()
+        budgets = dict(residual)
+        peak_usage: Dict[Hashable, int] = {s: 0 for s in residual}
+
+        def _charge(usage: Dict[Hashable, int]) -> None:
+            for switch, qubits in usage.items():
+                residual[switch] -= qubits
+                if residual[switch] < 0:
+                    raise AssertionError(
+                        f"scheduler overbooked switch {switch!r} "
+                        f"({-residual[switch]} qubits over budget)"
+                    )
+                used_now = budgets[switch] - residual[switch]
+                peak_usage[switch] = max(peak_usage[switch], used_now)
+
+        def _release(usage: Dict[Hashable, int]) -> None:
+            for switch, qubits in usage.items():
+                residual[switch] += qubits
+
+        reservations: List[_Reservation] = []
+        waiting: List[_Waiter] = []
+        outcomes: Dict[str, RequestOutcome] = {}
+
+        by_arrival: Dict[int, List[EntanglementRequest]] = {}
+        for request in requests:
+            by_arrival.setdefault(request.arrival, []).append(request)
+        if not requests:
+            return OnlineResult((), 0, peak_usage, report)
+        horizon = max(r.last_start_slot for r in requests) + 1
+        if injector is not None:
+            horizon = max(horizon, injector.schedule.last_slot)
+
+        def _close_served(res: _Reservation, slot: int) -> None:
+            served = tuple(sorted(res.solution.users, key=repr))
+            status = report_mod.DEGRADED if res.degraded else report_mod.SERVED
+            reason = (
+                f"degraded to {len(served)}/{len(res.request.users)} users"
+                if res.degraded
+                else ""
+            )
+            outcomes[res.request.name] = RequestOutcome(
+                request=res.request,
+                accepted=True,
+                solution=res.solution,
+                start_slot=res.start_slot,
+                release_slot=res.release_slot,
+                disposition=status,
+                degraded=res.degraded,
+                served_users=served,
+                reroutes=res.reroutes,
+            )
+            report.close_request(
+                RequestDisposition(
+                    name=res.request.name,
+                    status=status,
+                    reason=reason,
+                    slot=slot,
+                    retries=res.retries,
+                    reroutes=res.reroutes,
+                    served_users=served,
+                )
+            )
+            if res.hit_by_fault and not res.degraded:
+                report.record_recovery(res.request.name)
+
+        def _close_lost(
+            request: EntanglementRequest,
+            status: str,
+            reason: str,
+            slot: int,
+            retries: int = 0,
+            reroutes: int = 0,
+            start_slot: Optional[int] = None,
+        ) -> None:
+            outcomes[request.name] = RequestOutcome(
+                request=request,
+                accepted=False,
+                solution=None,
+                start_slot=start_slot,
+                release_slot=None,
+                disposition=status,
+                reroutes=reroutes,
+            )
+            report.close_request(
+                RequestDisposition(
+                    name=request.name,
+                    status=status,
+                    reason=reason,
+                    slot=slot,
+                    retries=retries,
+                    reroutes=reroutes,
+                )
+            )
+            logger.info(
+                "request %s lost at slot %d: %s (%s)",
+                request.name,
+                slot,
+                status,
+                reason,
+            )
+
+        damaged = base
+        active_sig: Tuple[frozenset, frozenset] = (frozenset(), frozenset())
+        slot = 0
+        while True:
+            end = horizon
+            if reservations:
+                end = max(end, max(r.release_slot for r in reservations))
+            if waiting:
+                end = max(end, max(w.next_slot for w in waiting))
+            if slot > end:
+                break
+
+            # 0. Advance the fault clock; refresh the damaged view.
+            fired = []
+            if injector is not None:
+                repaired_before = injector.faults_repaired
+                fired = injector.advance(slot)
+                for event in fired:
+                    report.record_fault(event.describe())
+                report.record_repairs(
+                    injector.faults_repaired - repaired_before
+                )
+                sig = (
+                    frozenset(injector.active_fiber_cuts),
+                    frozenset(injector.active_dark_switches),
+                )
+                if sig != active_sig:
+                    active_sig = sig
+                    damaged = (
+                        apply_failures(base, sig[0], sig[1])
+                        if (sig[0] or sig[1])
+                        else base
+                    )
+
+            # 1. Release expired reservations (service completed).
+            still: List[_Reservation] = []
+            for res in reservations:
+                if res.release_slot <= slot:
+                    _release(res.usage)
+                    _close_served(res, slot)
+                else:
+                    still.append(res)
+            reservations = still
+
+            # 2. Mid-service faults: repair, degrade, or abandon.
+            if injector is not None and fired:
+                cuts, darks = active_sig
+                surviving: List[_Reservation] = []
+                for res in reservations:
+                    if not _solution_broken(res.solution, cuts, darks):
+                        surviving.append(res)
+                        continue
+                    res.hit_by_fault = True
+                    # Capacity-aware repair: the reservation's own
+                    # qubits plus the global residual are available.
+                    avail = dict(residual)
+                    for switch, qubits in res.usage.items():
+                        avail[switch] = avail.get(switch, 0) + qubits
+                    rep = repair_solution(
+                        base,
+                        res.solution,
+                        cuts,
+                        darks,
+                        residual=avail,
+                    )
+                    if rep.repaired:
+                        new_usage = rep.solution.switch_usage()
+                        _release(res.usage)
+                        _charge(new_usage)
+                        res.solution = rep.solution
+                        res.usage = new_usage
+                        res.reroutes += 1
+                        report.record_reroute(
+                            res.request.name,
+                            f"slot {slot}: "
+                            f"{len(rep.broken_channels)} broken channels "
+                            f"re-routed",
+                        )
+                        surviving.append(res)
+                        continue
+                    served_subset: Tuple[Hashable, ...] = ()
+                    if self.allow_degradation:
+                        served_subset = _largest_served_component(
+                            res.solution.users, rep.kept_channels
+                        )
+                    if len(served_subset) >= 2:
+                        members = set(served_subset)
+                        channels = tuple(
+                            c
+                            for c in rep.kept_channels
+                            if c.endpoints[0] in members
+                        )
+                        degraded_solution = MUERPSolution(
+                            channels=channels,
+                            users=frozenset(served_subset),
+                            method=res.solution.method + "+degraded",
+                            feasible=True,
+                        )
+                        new_usage = degraded_solution.switch_usage()
+                        _release(res.usage)
+                        _charge(new_usage)
+                        res.solution = degraded_solution
+                        res.usage = new_usage
+                        res.degraded = True
+                        report.record_degradation(
+                            res.request.name,
+                            f"slot {slot}: serving "
+                            f"{len(served_subset)}/{len(res.request.users)} "
+                            f"users after unrepairable fault",
+                        )
+                        surviving.append(res)
+                        continue
+                    # Abandon: no repair, no viable subset.
+                    _release(res.usage)
+                    detail_parts = []
+                    if cuts:
+                        detail_parts.append(
+                            f"cut fibers {sorted(cuts, key=repr)!r}"
+                        )
+                    if darks:
+                        detail_parts.append(
+                            f"dark switches {sorted(darks, key=repr)!r}"
+                        )
+                    _close_lost(
+                        res.request,
+                        report_mod.ABANDONED,
+                        f"mid-service fault at slot {slot} "
+                        f"({' and '.join(detail_parts)}); repair infeasible "
+                        "and no >=2-user subset survives",
+                        slot,
+                        retries=res.retries,
+                        reroutes=res.reroutes,
+                        start_slot=res.start_slot,
+                    )
+                reservations = surviving
+
+            # 3. Admission: new arrivals + waiters whose retry is due.
+            candidates = [
+                _Waiter(request=r, next_slot=slot)
+                for r in by_arrival.get(slot, [])
+            ]
+            due = [w for w in waiting if w.next_slot <= slot]
+            waiting = [w for w in waiting if w.next_slot > slot]
+            candidates.extend(due)
+
+            for waiter in candidates:
+                request = waiter.request
+                if slot > request.last_start_slot:
+                    status = (
+                        report_mod.DEADLINE_EXCEEDED
+                        if request.deadline is not None
+                        else report_mod.REJECTED
+                    )
+                    _close_lost(
+                        request,
+                        status,
+                        f"not started by slot {request.last_start_slot}",
+                        slot,
+                        retries=waiter.retries,
+                    )
+                    continue
+                solution = self._route(request, residual, network=damaged)
+                if solution is not None:
+                    usage = solution.switch_usage()
+                    _charge(usage)
+                    release_slot = slot + request.hold
+                    reservations.append(
+                        _Reservation(
+                            request=request,
+                            solution=solution,
+                            usage=usage,
+                            start_slot=slot,
+                            release_slot=release_slot,
+                            retries=waiter.retries,
+                        )
+                    )
+                    logger.debug(
+                        "request %s admitted at slot %d (release %d)",
+                        request.name,
+                        slot,
+                        release_slot,
+                    )
+                    continue
+                # Blocked: consult the retry policy (or retry next slot).
+                waiter.attempts += 1
+                if self.retry_policy is not None:
+                    delay = self.retry_policy.next_delay(waiter.attempts)
+                    if delay is None:
+                        _close_lost(
+                            request,
+                            report_mod.REJECTED,
+                            f"retry policy exhausted after "
+                            f"{waiter.attempts} attempts",
+                            slot,
+                            retries=waiter.retries,
+                        )
+                        continue
+                else:
+                    delay = 0
+                next_slot = slot + 1 + delay
+                if next_slot > request.last_start_slot:
+                    status = (
+                        report_mod.DEADLINE_EXCEEDED
+                        if request.deadline is not None
+                        else report_mod.REJECTED
+                    )
+                    _close_lost(
+                        request,
+                        status,
+                        "blocked until give-up slot "
+                        f"{request.last_start_slot}",
+                        slot,
+                        retries=waiter.retries,
+                    )
+                    continue
+                if self.retry_policy is not None:
+                    waiter.retries += 1
+                    report.record_retries()
+                waiter.next_slot = next_slot
+                waiting.append(waiter)
+            slot += 1
+
+        ordered = tuple(outcomes[r.name] for r in requests)
+        return OnlineResult(
+            outcomes=ordered,
+            slots_simulated=slot - 1,
+            peak_qubit_usage=peak_usage,
+            resilience=report,
+        )
+
     def _route(
         self,
         request: EntanglementRequest,
         residual: Dict[Hashable, int],
+        network: Optional[QuantumNetwork] = None,
     ) -> Optional[MUERPSolution]:
         """Route one request against *residual* without mutating it."""
+        net = self.network if network is None else network
         budget = dict(residual)
         if self.method == "prim":
             solution = solve_prim(
-                self.network, request.users, rng=self.rng, residual=budget
+                net, request.users, rng=self.rng, residual=budget
             )
         else:
             solution = solve_conflict_free(
-                self.network, request.users, rng=self.rng, residual=budget
+                net, request.users, rng=self.rng, residual=budget
             )
         return solution if solution.feasible else None

@@ -67,20 +67,34 @@ class MonteCarloResult:
         return low <= self.analytic_rate <= high
 
 
+def _check_penalty(value: float, name: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
 def _channel_success_matrix(
     network: QuantumNetwork,
     channel: Channel,
     trials: int,
     rng: np.random.Generator,
+    link_penalty: float = 1.0,
+    swap_penalty: float = 1.0,
 ) -> np.ndarray:
-    """Boolean vector: did *channel* succeed in each trial?"""
+    """Boolean vector: did *channel* succeed in each trial?
+
+    The penalties scale the per-attempt success probabilities; they
+    model degraded operating conditions (a decoherence storm from the
+    resilience layer multiplies every probability by ``1 - severity``).
+    """
     lengths = []
     for u, v in zip(channel.path, channel.path[1:]):
         fiber = network.fiber_between(u, v)
         if fiber is None:
             raise ValueError(f"channel uses missing fiber {u!r}-{v!r}")
         lengths.append(fiber.length)
-    link_probs = np.exp(-network.params.alpha * np.asarray(lengths))
+    link_probs = (
+        np.exp(-network.params.alpha * np.asarray(lengths)) * link_penalty
+    )
     links_ok = (
         rng.uniform(size=(trials, len(lengths))) < link_probs[None, :]
     ).all(axis=1)
@@ -88,7 +102,8 @@ def _channel_success_matrix(
     if n_swaps == 0:
         return links_ok
     swaps_ok = (
-        rng.uniform(size=(trials, n_swaps)) < network.params.swap_prob
+        rng.uniform(size=(trials, n_swaps))
+        < network.params.swap_prob * swap_penalty
     ).all(axis=1)
     return links_ok & swaps_ok
 
@@ -98,12 +113,23 @@ def simulate_channel(
     channel: Channel,
     trials: int = 10_000,
     rng: RngLike = None,
+    link_penalty: float = 1.0,
+    swap_penalty: float = 1.0,
 ) -> MonteCarloResult:
-    """Monte-Carlo estimate of one channel's entanglement rate (Eq. 1)."""
+    """Monte-Carlo estimate of one channel's entanglement rate (Eq. 1).
+
+    ``link_penalty`` / ``swap_penalty`` scale the success probabilities
+    to model storm-degraded conditions (see :mod:`repro.resilience`);
+    note the analytic rate still refers to the *nominal* Eq. (1).
+    """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
+    _check_penalty(link_penalty, "link_penalty")
+    _check_penalty(swap_penalty, "swap_penalty")
     generator = ensure_rng(rng)
-    ok = _channel_success_matrix(network, channel, trials, generator)
+    ok = _channel_success_matrix(
+        network, channel, trials, generator, link_penalty, swap_penalty
+    )
     return MonteCarloResult(
         trials=trials,
         successes=int(ok.sum()),
@@ -117,14 +143,21 @@ def simulate_solution(
     trials: int = 10_000,
     rng: RngLike = None,
     batch_size: int = 100_000,
+    link_penalty: float = 1.0,
+    swap_penalty: float = 1.0,
 ) -> MonteCarloResult:
     """Monte-Carlo estimate of a tree's entanglement rate (Eq. 2).
 
     Infeasible solutions yield 0 successes by definition.  Large trial
-    counts are processed in batches to bound memory.
+    counts are processed in batches to bound memory.  The penalties
+    scale every per-attempt success probability, modelling degraded
+    operating conditions (decoherence storms); the analytic rate keeps
+    referring to the nominal Eq. (2).
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
+    _check_penalty(link_penalty, "link_penalty")
+    _check_penalty(swap_penalty, "swap_penalty")
     if not solution.feasible or not solution.channels:
         feasible_empty = solution.feasible and not solution.channels
         return MonteCarloResult(
@@ -140,7 +173,9 @@ def simulate_solution(
         batch = min(remaining, batch_size)
         ok = np.ones(batch, dtype=bool)
         for channel in solution.channels:
-            ok &= _channel_success_matrix(network, channel, batch, generator)
+            ok &= _channel_success_matrix(
+                network, channel, batch, generator, link_penalty, swap_penalty
+            )
             if not ok.any():
                 break
         if extra_prob < 1.0 and ok.any():

@@ -1,0 +1,285 @@
+"""Fault schedule / injector tests: validation, lifecycle, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.errors import FaultScheduleError
+from repro.network.link import fiber_key
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    random_schedule,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultEvent validation
+# ----------------------------------------------------------------------
+class TestFaultEvent:
+    def test_negative_slot_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(-1, FaultKind.FIBER_CUT, ("a", "b"))
+
+    def test_fiber_kind_needs_pair_target(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.FIBER_CUT, "not-a-pair")
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.TRANSIENT_FLAP, None, duration=2)
+
+    def test_fiber_target_canonicalized(self):
+        event = FaultEvent(0, FaultKind.FIBER_CUT, ("zeta", "alpha"))
+        assert event.target == fiber_key("alpha", "zeta")
+
+    def test_flap_requires_duration(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.TRANSIENT_FLAP, ("a", "b"))
+
+    def test_storm_requires_duration_and_severity(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.DECOHERENCE_STORM, severity=0.5)
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.DECOHERENCE_STORM, duration=3, severity=0.0)
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.DECOHERENCE_STORM, duration=3, severity=1.5)
+
+    def test_storm_must_be_network_wide(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(
+                0,
+                FaultKind.DECOHERENCE_STORM,
+                target="s0",
+                duration=3,
+                severity=0.5,
+            )
+
+    def test_switch_dark_needs_target(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.SWITCH_DARK)
+
+    def test_duration_below_one_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(0, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=0)
+
+    def test_permanent_and_repair_slot(self):
+        cut = FaultEvent(3, FaultKind.FIBER_CUT, ("a", "b"))
+        flap = FaultEvent(3, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=4)
+        assert cut.permanent and cut.repair_slot is None
+        assert not flap.permanent and flap.repair_slot == 7
+
+
+# ----------------------------------------------------------------------
+# FaultSchedule
+# ----------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_events_sorted_by_slot(self):
+        late = FaultEvent(9, FaultKind.FIBER_CUT, ("a", "b"))
+        early = FaultEvent(1, FaultKind.SWITCH_DARK, "s0")
+        schedule = FaultSchedule([late, early])
+        assert schedule.events == (early, late)
+
+    def test_spec_round_trip(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1, FaultKind.TRANSIENT_FLAP, ("a", "s0"), duration=4),
+                FaultEvent(2, FaultKind.SWITCH_DARK, "s0"),
+                FaultEvent(
+                    3, FaultKind.DECOHERENCE_STORM, duration=2, severity=0.25
+                ),
+            ]
+        )
+        assert FaultSchedule.from_specs(schedule.to_specs()) == schedule
+
+    def test_from_specs_accepts_lists_as_fiber_targets(self):
+        schedule = FaultSchedule.from_specs(
+            [{"slot": 0, "kind": "fiber-cut", "target": ["b", "a"]}]
+        )
+        assert schedule.events[0].target == fiber_key("a", "b")
+
+    def test_from_specs_rejects_unknown_fields(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.from_specs(
+                [{"slot": 0, "kind": "fiber-cut", "target": ("a", "b"), "oops": 1}]
+            )
+
+    def test_from_specs_rejects_bad_kind(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.from_specs([{"slot": 0, "kind": "meteor-strike"}])
+
+    def test_last_slot_includes_repairs(self):
+        schedule = FaultSchedule(
+            [FaultEvent(2, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=5)]
+        )
+        assert schedule.last_slot == 7
+
+    def test_validate_against_missing_fiber(self, line_network):
+        schedule = FaultSchedule(
+            [FaultEvent(0, FaultKind.FIBER_CUT, ("alice", "bob"))]
+        )
+        with pytest.raises(FaultScheduleError):
+            schedule.validate_against(line_network)
+
+    def test_validate_against_non_switch(self, line_network):
+        schedule = FaultSchedule(
+            [FaultEvent(0, FaultKind.SWITCH_DARK, "alice")]
+        )
+        with pytest.raises(FaultScheduleError):
+            schedule.validate_against(line_network)
+
+    def test_validate_against_accepts_real_targets(self, line_network):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(0, FaultKind.FIBER_CUT, ("alice", "s0")),
+                FaultEvent(1, FaultKind.SWITCH_DARK, "s1"),
+            ]
+        )
+        schedule.validate_against(line_network)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# FaultInjector lifecycle
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_flap_down_for_exactly_duration_slots(self):
+        key = fiber_key("a", "b")
+        injector = FaultInjector(
+            FaultSchedule(
+                [FaultEvent(2, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=3)]
+            )
+        )
+        down_slots = []
+        for slot in range(8):
+            injector.advance(slot)
+            if key in injector.active_fiber_cuts:
+                down_slots.append(slot)
+        assert down_slots == [2, 3, 4]
+        assert injector.faults_injected == 1
+        assert injector.faults_repaired == 1
+
+    def test_permanent_cut_never_repairs(self):
+        key = fiber_key("a", "b")
+        injector = FaultInjector(
+            FaultSchedule([FaultEvent(1, FaultKind.FIBER_CUT, ("a", "b"))])
+        )
+        injector.advance(0)
+        assert key not in injector.active_fiber_cuts
+        injector.advance(100)
+        assert key in injector.active_fiber_cuts
+        assert key in injector.permanent_fiber_cuts
+        assert injector.faults_repaired == 0
+
+    def test_clock_cannot_rewind(self):
+        injector = FaultInjector(FaultSchedule())
+        injector.advance(5)
+        with pytest.raises(ValueError):
+            injector.advance(4)
+
+    def test_jump_past_repair_counts_both(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                [FaultEvent(1, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=2)]
+            )
+        )
+        fired = injector.advance(10)  # fired at 1, repaired at 3 — both inside
+        assert len(fired) == 1
+        assert injector.active_fiber_cuts == set()
+        assert injector.faults_injected == 1
+        assert injector.faults_repaired == 1
+
+    def test_dark_switch_view(self):
+        injector = FaultInjector(
+            FaultSchedule([FaultEvent(0, FaultKind.SWITCH_DARK, "s3")])
+        )
+        injector.advance(0)
+        assert injector.active_dark_switches == {"s3"}
+        assert injector.permanent_dark_switches == {"s3"}
+
+    def test_storm_multiplier_compounds(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                [
+                    FaultEvent(
+                        0, FaultKind.DECOHERENCE_STORM, duration=4, severity=0.5
+                    ),
+                    FaultEvent(
+                        1, FaultKind.DECOHERENCE_STORM, duration=2, severity=0.2
+                    ),
+                ]
+            )
+        )
+        injector.advance(0)
+        assert injector.success_multiplier == pytest.approx(0.5)
+        injector.advance(1)
+        assert injector.success_multiplier == pytest.approx(0.5 * 0.8)
+        injector.advance(3)  # second storm repaired at slot 3
+        assert injector.success_multiplier == pytest.approx(0.5)
+        injector.advance(4)
+        assert injector.success_multiplier == pytest.approx(1.0)
+
+    def test_reset_restores_initial_state(self):
+        injector = FaultInjector(
+            FaultSchedule([FaultEvent(0, FaultKind.FIBER_CUT, ("a", "b"))])
+        )
+        injector.advance(3)
+        injector.reset()
+        assert injector.faults_injected == 0
+        assert injector.active_faults == ()
+        injector.advance(0)  # clock reset too — no rewind error
+        assert injector.faults_injected == 1
+
+    def test_injector_validates_schedule_against_network(self, line_network):
+        schedule = FaultSchedule(
+            [FaultEvent(0, FaultKind.FIBER_CUT, ("alice", "bob"))]
+        )
+        with pytest.raises(FaultScheduleError):
+            FaultInjector(schedule, line_network)
+
+    def test_same_schedule_identical_histories(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1, FaultKind.TRANSIENT_FLAP, ("a", "b"), duration=2),
+                FaultEvent(2, FaultKind.SWITCH_DARK, "s0"),
+            ]
+        )
+        first = FaultInjector(schedule)
+        second = first.clone()
+        for slot in range(6):
+            assert first.advance(slot) == second.advance(slot)
+            assert first.active_fiber_cuts == second.active_fiber_cuts
+            assert first.active_dark_switches == second.active_dark_switches
+
+
+# ----------------------------------------------------------------------
+# random_schedule determinism
+# ----------------------------------------------------------------------
+class TestRandomSchedule:
+    def test_same_seed_same_schedule(self, small_waxman):
+        one = random_schedule(small_waxman, 12, 20, rng=99)
+        two = random_schedule(small_waxman, 12, 20, rng=99)
+        assert one == two
+        assert one.to_specs() == two.to_specs()
+
+    def test_different_seed_differs(self, small_waxman):
+        one = random_schedule(small_waxman, 12, 20, rng=1)
+        two = random_schedule(small_waxman, 12, 20, rng=2)
+        assert one != two
+
+    def test_targets_exist_in_network(self, small_waxman):
+        schedule = random_schedule(small_waxman, 30, 15, rng=5)
+        assert len(schedule) == 30
+        schedule.validate_against(small_waxman)  # must not raise
+        assert all(1 <= e.slot <= 15 for e in schedule)
+
+    def test_kind_restriction(self, small_waxman):
+        schedule = random_schedule(
+            small_waxman, 10, 10, rng=3, kinds=(FaultKind.SWITCH_DARK,)
+        )
+        assert all(e.kind is FaultKind.SWITCH_DARK for e in schedule)
+
+    def test_rejects_bad_arguments(self, small_waxman):
+        with pytest.raises(ValueError):
+            random_schedule(small_waxman, -1, 10)
+        with pytest.raises(ValueError):
+            random_schedule(small_waxman, 1, 0)

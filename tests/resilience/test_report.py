@@ -1,0 +1,110 @@
+"""ResilienceReport tests: attribution invariants and stable equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.report import (
+    ABANDONED,
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    SERVED,
+    RequestDisposition,
+    ResilienceReport,
+)
+
+
+def _served(name: str) -> RequestDisposition:
+    return RequestDisposition(name=name, status=SERVED, slot=5)
+
+
+class TestRequestDisposition:
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            RequestDisposition(name="r", status="vaporized")
+
+
+class TestResilienceReport:
+    def test_duplicate_close_rejected(self):
+        report = ResilienceReport()
+        report.close_request(_served("req-0"))
+        with pytest.raises(ValueError):
+            report.close_request(_served("req-0"))
+
+    def test_abandonment_must_be_attributable(self):
+        report = ResilienceReport()
+        with pytest.raises(ValueError):
+            report.close_request(
+                RequestDisposition(name="r", status=ABANDONED, reason="")
+            )
+        with pytest.raises(ValueError):
+            report.close_request(
+                RequestDisposition(name="r2", status=DEADLINE_EXCEEDED)
+            )
+
+    def test_abandoned_counter_tracks_both_lost_statuses(self):
+        report = ResilienceReport()
+        report.close_request(
+            RequestDisposition(name="a", status=ABANDONED, reason="fault")
+        )
+        report.close_request(
+            RequestDisposition(
+                name="b", status=DEADLINE_EXCEEDED, reason="too late"
+            )
+        )
+        report.close_request(_served("c"))
+        assert report.abandoned == 2
+        assert report.count(SERVED) == 1
+        assert report.count(ABANDONED) == 1
+
+    def test_disposition_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ResilienceReport().disposition_of("ghost")
+
+    def test_counters(self):
+        report = ResilienceReport()
+        report.record_fault("slot 1: fiber-cut ('a', 'b') permanent")
+        report.record_repairs(2)
+        report.record_retries(3)
+        report.record_reroute("r", "repaired")
+        report.record_degradation("r", "2/3 users")
+        report.record_recovery("r")
+        assert report.faults_injected == 1
+        assert report.faults_repaired == 2
+        assert report.retries_spent == 3
+        assert report.reroutes == 1
+        assert report.degradations == 1
+        assert report.recovered == 1
+        # reroute/degradation descriptions land in the fault log
+        assert len(report.fault_log) == 3
+
+    def _populate(self) -> ResilienceReport:
+        report = ResilienceReport()
+        report.record_fault("slot 1: switch-dark 's0' permanent")
+        report.record_reroute("req-1", "repaired")
+        report.close_request(
+            RequestDisposition(
+                name="req-1",
+                status=DEGRADED,
+                reason="degraded to 2/3 users",
+                slot=7,
+                reroutes=1,
+                served_users=("alice", "bob"),
+            )
+        )
+        report.close_request(_served("req-0"))
+        return report
+
+    def test_equality_and_to_dict_stability(self):
+        one = self._populate()
+        two = self._populate()
+        assert one == two
+        assert one.to_dict() == two.to_dict()
+        # Insertion order must not leak into the serialized form.
+        assert list(one.to_dict()["dispositions"]) == ["req-0", "req-1"]
+
+    def test_render_mentions_every_request(self):
+        text = self._populate().render()
+        assert "req-0: served" in text
+        assert "req-1: degraded" in text
+        assert "faults injected : 1" in text

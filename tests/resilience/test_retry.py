@@ -1,0 +1,143 @@
+"""Retry-policy tests: delay contracts, caps, budgets, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.retry import (
+    BudgetedRetryPolicy,
+    ExponentialBackoffPolicy,
+    FixedRetryPolicy,
+    RetryBudget,
+)
+
+
+class TestFixedRetryPolicy:
+    def test_constant_delay(self):
+        policy = FixedRetryPolicy(delay=3)
+        assert [policy.next_delay(k) for k in (1, 2, 50)] == [3, 3, 3]
+
+    def test_max_attempts_exhaustion(self):
+        policy = FixedRetryPolicy(delay=0, max_attempts=3)
+        assert policy.next_delay(1) == 0
+        assert policy.next_delay(2) == 0
+        assert policy.next_delay(3) is None
+        assert not policy.should_retry(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRetryPolicy(delay=-1)
+        with pytest.raises(ValueError):
+            FixedRetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            FixedRetryPolicy().next_delay(0)
+
+
+class TestExponentialBackoffPolicy:
+    def test_geometric_growth_without_jitter(self):
+        policy = ExponentialBackoffPolicy(base_delay=1, factor=2.0, max_delay=64)
+        assert [policy.next_delay(k) for k in range(1, 6)] == [1, 2, 4, 8, 16]
+
+    def test_delay_saturates_at_cap(self):
+        policy = ExponentialBackoffPolicy(base_delay=1, factor=3.0, max_delay=10)
+        assert policy.next_delay(50) == 10
+
+    def test_max_attempts_exhaustion(self):
+        policy = ExponentialBackoffPolicy(max_attempts=2)
+        assert policy.next_delay(1) is not None
+        assert policy.next_delay(2) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        base=st.integers(0, 8),
+        factor=st.floats(1.0, 4.0),
+        cap=st.integers(0, 64),
+        jitter=st.floats(0.0, 0.99),
+        seed=st.integers(0, 1000),
+        attempt=st.integers(1, 60),
+    )
+    def test_delay_never_exceeds_cap(
+        self, base, factor, cap, jitter, seed, attempt
+    ):
+        """The headline property: jitter or not, delays stay in [0, cap]."""
+        cap = max(cap, base)  # policy requires max_delay >= base_delay
+        policy = ExponentialBackoffPolicy(
+            base_delay=base,
+            factor=factor,
+            max_delay=cap,
+            jitter=jitter,
+            rng=seed,
+        )
+        delay = policy.next_delay(attempt)
+        assert isinstance(delay, int)
+        assert 0 <= delay <= cap
+
+    def test_jitter_sequences_deterministic_per_seed(self):
+        kwargs = dict(base_delay=1, factor=2.0, max_delay=32, jitter=0.5)
+        one = ExponentialBackoffPolicy(rng=42, **kwargs)
+        two = ExponentialBackoffPolicy(rng=42, **kwargs)
+        other = ExponentialBackoffPolicy(rng=43, **kwargs)
+        seq_one = [one.next_delay(k) for k in range(1, 20)]
+        seq_two = [two.next_delay(k) for k in range(1, 20)]
+        seq_other = [other.next_delay(k) for k in range(1, 20)]
+        assert seq_one == seq_two
+        assert seq_one != seq_other  # jitter actually applied
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(base_delay=4, max_delay=2)
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy().next_delay(0)
+
+
+class TestRetryBudget:
+    def test_spend_down_to_zero(self):
+        budget = RetryBudget(2)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.remaining == 0
+        budget.reset()
+        assert budget.remaining == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(total=st.integers(0, 20), attempts=st.integers(1, 60))
+    def test_budgeted_policy_never_exceeds_budget(self, total, attempts):
+        budget = RetryBudget(total)
+        policy = BudgetedRetryPolicy(FixedRetryPolicy(delay=1), budget)
+        granted = sum(
+            1 for k in range(1, attempts + 1) if policy.next_delay(k) is not None
+        )
+        assert granted == min(total, attempts)
+        assert budget.spent <= total
+
+    def test_budget_shared_across_policies(self):
+        budget = RetryBudget(3)
+        a = BudgetedRetryPolicy(FixedRetryPolicy(), budget)
+        b = BudgetedRetryPolicy(FixedRetryPolicy(), budget)
+        assert a.next_delay(1) is not None
+        assert b.next_delay(1) is not None
+        assert a.next_delay(2) is not None
+        assert b.next_delay(2) is None  # pool drained
+
+    def test_inner_exhaustion_spends_nothing(self):
+        budget = RetryBudget(5)
+        policy = BudgetedRetryPolicy(
+            FixedRetryPolicy(max_attempts=1), budget
+        )
+        assert policy.next_delay(1) is None
+        assert budget.spent == 0
