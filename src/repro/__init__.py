@@ -56,7 +56,23 @@ from repro.core import (
 )
 import repro.baselines  # noqa: F401 - populate the solver registry
 from repro.baselines import solve_eqcast, solve_nfusion, solve_random_tree
-from repro.core.registry import SOLVERS, solve
+from repro.core.ledger import CapacityError, CapacityLedger
+from repro.core.registry import (
+    SOLVERS,
+    RobustSolveResult,
+    SolveAudit,
+    SolveTimeout,
+    UnknownSolverError,
+    solve,
+    solve_robust,
+)
+from repro.verify import (
+    InvariantViolation,
+    SolutionVerifier,
+    VerificationCertificate,
+    VerificationError,
+    verify_solution,
+)
 from repro.sim import (
     MonteCarloResult,
     SlottedEntanglementSimulator,
@@ -121,6 +137,18 @@ __all__ = [
     "solve_random_tree",
     "SOLVERS",
     "solve",
+    "solve_robust",
+    "RobustSolveResult",
+    "SolveAudit",
+    "SolveTimeout",
+    "UnknownSolverError",
+    "CapacityError",
+    "CapacityLedger",
+    "InvariantViolation",
+    "SolutionVerifier",
+    "VerificationCertificate",
+    "VerificationError",
+    "verify_solution",
     "MonteCarloResult",
     "SlottedEntanglementSimulator",
     "simulate_solution",

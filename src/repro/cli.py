@@ -5,7 +5,13 @@ Examples::
     repro list
     repro solve --topology waxman --method conflict_free --seed 42
     repro experiment fig5 --networks 5 --seed 7
-    repro experiment headline --networks 3
+    repro experiment headline --networks 3 --checkpoint out.jsonl --resume
+
+Exit codes are distinct per failure class so scripts can branch on
+them: ``0`` success, ``1`` generic failure, ``2`` invalid input
+(:class:`~repro.utils.validation.ValidationError` / bad arguments),
+``3`` solver failure (unknown solver, solver crash or timeout), ``4``
+verification failure (a produced solution violated a MUERP invariant).
 """
 
 from __future__ import annotations
@@ -15,12 +21,27 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.ascii_plot import log_bar_chart
-from repro.core.registry import SOLVERS, solve
+from repro.core.registry import (
+    CAPACITY_EXEMPT_METHODS,
+    SOLVERS,
+    SolveTimeout,
+    UnknownSolverError,
+    solve,
+    solve_robust,
+)
 from repro.core.tree import validate_solution
 from repro.experiments.catalog import EXPERIMENTS, run_named
 from repro.experiments.config import ExperimentConfig
 from repro.topology.base import TopologyConfig
 from repro.topology.registry import GENERATORS, generate
+from repro.utils.validation import ValidationError
+
+#: Process exit codes, one per failure class (see module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_VALIDATION_ERROR = 2
+EXIT_SOLVER_ERROR = 3
+EXIT_VERIFICATION_ERROR = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument(
         "--show-channels", action="store_true", help="print channel paths"
     )
+    solve_parser.add_argument(
+        "--robust",
+        action="store_true",
+        help=(
+            "solve through the verified fallback chain "
+            "(watchdog + independent verifier) and print the audit"
+        ),
+    )
+    solve_parser.add_argument(
+        "--fallback",
+        action="append",
+        default=None,
+        metavar="METHOD",
+        help="extra solver tried when --method fails (repeatable; "
+        "implies --robust semantics only when --robust is given)",
+    )
 
     experiment_parser = sub.add_parser(
         "experiment", help="run a named experiment (fig5, fig6a, …)"
@@ -63,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         action="store_true",
         help="emit a Markdown section instead of a text table",
+    )
+    experiment_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSONL file receiving one atomic record per finished trial",
+    )
+    experiment_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already recorded in --checkpoint "
+        "(losslessly continues a killed run)",
     )
 
     stats_parser = sub.add_parser(
@@ -141,19 +190,40 @@ def _command_solve(args: argparse.Namespace) -> int:
         swap_prob=args.swap_prob,
     )
     network = generate(args.topology, config, rng=args.seed)
+    if args.robust:
+        chain = (args.method,) + tuple(
+            m for m in (args.fallback or ()) if m != args.method
+        )
+        result = solve_robust(
+            network, rng=args.seed, chain=chain, timeout_s=60.0
+        )
+        solution = result.solution
+        print(network)
+        print(solution)
+        print(result.audit.render())
+        if not result.audit.succeeded and any(
+            a.status == "invalid" for a in result.audit.attempts
+        ):
+            return EXIT_VERIFICATION_ERROR
+        if solution.feasible and args.show_channels:
+            for channel in solution.channels:
+                print(f"  {channel}")
+        return EXIT_OK
     solution = solve(args.method, network, rng=args.seed)
     report = validate_solution(
-        network, solution, enforce_capacity=args.method not in ("optimal", "alg2")
+        network,
+        solution,
+        enforce_capacity=args.method not in CAPACITY_EXEMPT_METHODS,
     )
     print(network)
     print(solution)
     if not report.ok:
         print(report)
-        return 1
+        return EXIT_VERIFICATION_ERROR
     if solution.feasible and args.show_channels:
         for channel in solution.channels:
             print(f"  {channel}")
-    return 0
+    return EXIT_OK
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -284,8 +354,28 @@ def _command_resilience(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.experiments.checkpoint import CheckpointStore, checkpointing
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return EXIT_VALIDATION_ERROR
+    scope = nullcontext()
+    if args.checkpoint:
+        import os
+
+        if not args.resume and os.path.exists(args.checkpoint):
+            # A fresh (non-resume) run must not silently blend with a
+            # previous run's records.
+            os.unlink(args.checkpoint)
+        store = CheckpointStore(args.checkpoint)
+        if args.resume and len(store):
+            print(f"resuming: {len(store)} trial(s) already checkpointed")
+        scope = checkpointing(store)
     base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
-    result = run_named(args.name, base)
+    with scope:
+        result = run_named(args.name, base)
     if args.markdown:
         from repro.analysis import report
         from repro.experiments.sweeps import SweepResult
@@ -314,9 +404,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "solve":
@@ -330,6 +418,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "resilience":
         return _command_resilience(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Failure classes map to distinct exit codes (module docstring):
+    validation → 2, solver → 3, verification → 4.
+    """
+    from repro.verify.invariants import InvariantViolation
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ValidationError as exc:
+        print(f"validation error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION_ERROR
+    except (UnknownSolverError, SolveTimeout) as exc:
+        print(f"solver error: {exc}", file=sys.stderr)
+        return EXIT_SOLVER_ERROR
+    except InvariantViolation as exc:
+        print(f"verification error: {exc}", file=sys.stderr)
+        return EXIT_VERIFICATION_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,7 +25,13 @@ from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Sequence, 
 
 from repro.core.localsearch import improve_solution
 from repro.core.problem import MUERPSolution
-from repro.core.registry import solve
+from repro.core.registry import (
+    CAPACITY_EXEMPT_METHODS,
+    CircuitBreaker,
+    SolveAudit,
+    solve,
+    solve_robust,
+)
 from repro.core.tree import ValidationReport, validate_solution
 from repro.extensions.recovery import RepairReport, apply_failures, repair_solution
 from repro.network.graph import QuantumNetwork
@@ -74,6 +80,18 @@ class EntanglementController:
             (default Algorithm 3).
         use_local_search: Post-optimize plans with the hill climber.
         rng: Random source shared by planning and protocol execution.
+        verify: Plan through the hardened
+            :func:`~repro.core.registry.solve_robust` path: every
+            candidate is independently re-checked by the
+            :class:`~repro.verify.verifier.SolutionVerifier` and the
+            attempt history lands in :attr:`last_audit`.  Default on.
+        fallback_chain: Solver names tried after *method* when it times
+            out, crashes or emits an invalid plan (only consulted when
+            *verify* is on).  Default: no fallbacks — the configured
+            method solves or the plan is rejected, exactly the classic
+            behaviour.
+        solve_timeout_s: Optional per-solver wall-clock watchdog for
+            the verified path.
     """
 
     def __init__(
@@ -82,11 +100,22 @@ class EntanglementController:
         method: str = "conflict_free",
         use_local_search: bool = True,
         rng: RngLike = None,
+        verify: bool = True,
+        fallback_chain: Optional[Sequence[str]] = None,
+        solve_timeout_s: Optional[float] = None,
     ) -> None:
         self._network = network.copy()
         self.method = method
         self.use_local_search = use_local_search
         self.rng = ensure_rng(rng)
+        self.verify = verify
+        self.fallback_chain: Tuple[str, ...] = (method,) + tuple(
+            m for m in (fallback_chain or ()) if m != method
+        )
+        self.solve_timeout_s = solve_timeout_s
+        #: Audit trail of the most recent verified planning call.
+        self.last_audit: Optional[SolveAudit] = None
+        self._breaker = CircuitBreaker()
 
     @property
     def network(self) -> QuantumNetwork:
@@ -97,21 +126,65 @@ class EntanglementController:
     # Planning
     # ------------------------------------------------------------------
     def plan(
-        self, users: Optional[Iterable[Hashable]] = None
+        self,
+        users: Optional[Iterable[Hashable]] = None,
+        verify: Optional[bool] = None,
     ) -> MUERPSolution:
         """Formulate a validated entanglement route for *users*.
 
+        With verification on (the default) the request runs through the
+        hardened :func:`~repro.core.registry.solve_robust` chain — the
+        configured method plus any :attr:`fallback_chain` entries, each
+        watchdog-guarded and independently verified — and the attempt
+        history is kept in :attr:`last_audit`.
+
         Returns an infeasible solution (rate 0) when the request cannot
-        be served; raises :class:`PlanningError` if the solver ever
-        emits a structurally invalid plan.
+        be served; raises :class:`PlanningError` if the solver(s) only
+        ever emit structurally invalid plans.
         """
-        solution = solve(self.method, self._network, users=users, rng=self.rng)
+        use_verify = self.verify if verify is None else verify
+        planned_method = self.method
+        if use_verify:
+            result = solve_robust(
+                self._network,
+                users=users,
+                rng=self.rng,
+                chain=self.fallback_chain,
+                timeout_s=self.solve_timeout_s,
+                breaker=self._breaker,
+            )
+            self.last_audit = result.audit
+            solution = result.solution
+            if result.audit.winner is not None:
+                planned_method = result.audit.winner
+            elif any(
+                a.status == "invalid" for a in result.audit.attempts
+            ):
+                # The whole chain failed and at least one solver emitted
+                # a structurally broken plan: that is a library bug, not
+                # a legitimate infeasible instance.
+                report = ValidationReport()
+                for attempt in result.audit.attempts:
+                    if attempt.status != "invalid":
+                        continue
+                    for code in attempt.violations:
+                        report.add(
+                            f"solver {attempt.method!r} violated "
+                            f"invariant {code!r}"
+                        )
+                    if attempt.detail:
+                        report.add(f"{attempt.method}: {attempt.detail}")
+                raise PlanningError(report)
+        else:
+            solution = solve(
+                self.method, self._network, users=users, rng=self.rng
+            )
         if solution.feasible and self.use_local_search:
             solution = improve_solution(self._network, solution)
         report = validate_solution(
             self._network,
             solution,
-            enforce_capacity=self.method not in ("optimal", "alg2"),
+            enforce_capacity=planned_method not in CAPACITY_EXEMPT_METHODS,
         )
         if not report.ok:
             raise PlanningError(report)

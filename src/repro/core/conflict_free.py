@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.channel import best_channels_from
+from repro.core.ledger import CapacityLedger
 from repro.core.optimal import channel_sort_key, solve_optimal
 from repro.core.problem import (
     Channel,
@@ -33,17 +34,8 @@ from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.unionfind import UnionFind
 
 
-def _admit(
-    channel: Channel,
-    residual: Dict[Hashable, int],
-) -> bool:
-    """Whether *channel* fits in *residual*; deducts qubits when it does."""
-    switches = channel.switches
-    if any(residual.get(s, 0) < 2 for s in switches):
-        return False
-    for switch in switches:
-        residual[switch] -= 2
-    return True
+class _Infeasible(Exception):
+    """Internal control flow: abort the solve and roll back reservations."""
 
 
 def solve_conflict_free(
@@ -65,9 +57,13 @@ def solve_conflict_free(
             descending rate order; ``"random"`` shuffles them — the
             ablation documented in DESIGN.md §4.
         rng: Random source for ``retention="random"``.
-        residual: Optional shared residual-qubit map (switch → qubits);
-            mutated in place so several routing requests can share one
-            budget (the multi-group extension).
+        residual: Optional shared residual-qubit map (switch → qubits)
+            or :class:`~repro.core.ledger.CapacityLedger`, so several
+            routing requests can share one budget (the multi-group
+            extension).  The account is transactional: reservations are
+            published to a caller-supplied dict only when this call
+            returns a *feasible* tree; a mid-solve exception or an
+            infeasible outcome leaves it untouched.
 
     Returns:
         A capacity-feasible :class:`MUERPSolution`, infeasible (rate 0)
@@ -86,42 +82,52 @@ def solve_conflict_free(
     else:
         raise ValueError(f"unknown retention policy {retention!r}")
 
-    if residual is None:
-        residual = network.residual_qubits()
+    ledger = CapacityLedger.adopt(residual, network)
     unions = UnionFind(user_list)
     selected: List[Channel] = []
 
-    # Phase 1: keep what fits, in retention order.
-    for channel in ordered:
-        a, b = channel.endpoints
-        if unions.connected(a, b):
-            continue
-        if _admit(channel, residual):
-            unions.union(a, b)
-            selected.append(channel)
+    try:
+        with ledger.transaction():
+            # Phase 1: keep what fits, in retention order.
+            for channel in ordered:
+                a, b = channel.endpoints
+                if unions.connected(a, b):
+                    continue
+                if ledger.try_reserve_channel(channel):
+                    unions.union(a, b)
+                    selected.append(channel)
 
-    # Phase 2: reconnect the remaining unions with capacity-aware routing.
-    while unions.n_components > 1:
-        best: Optional[Channel] = None
-        for index, source in enumerate(user_list):
-            targets = [
-                t
-                for t in user_list[index + 1 :]
-                if not unions.connected(source, t)
-            ]
-            if not targets:
-                continue
-            found = best_channels_from(network, source, targets, residual)
-            for channel in found.values():
-                if best is None or channel_sort_key(channel) < channel_sort_key(best):
-                    best = channel
-        if best is None:
-            return infeasible_solution(user_list, "conflict_free")
-        admitted = _admit(best, residual)
-        assert admitted, "capacity-aware search returned an unroutable channel"
-        unions.union(*best.endpoints)
-        selected.append(best)
+            # Phase 2: reconnect remaining unions with capacity-aware
+            # routing.
+            while unions.n_components > 1:
+                best: Optional[Channel] = None
+                for index, source in enumerate(user_list):
+                    targets = [
+                        t
+                        for t in user_list[index + 1 :]
+                        if not unions.connected(source, t)
+                    ]
+                    if not targets:
+                        continue
+                    found = best_channels_from(
+                        network, source, targets, ledger
+                    )
+                    for channel in found.values():
+                        if best is None or channel_sort_key(channel) < channel_sort_key(best):
+                            best = channel
+                if best is None:
+                    raise _Infeasible()
+                admitted = ledger.try_reserve_channel(best)
+                assert admitted, (
+                    "capacity-aware search returned an unroutable channel"
+                )
+                unions.union(*best.endpoints)
+                selected.append(best)
+    except _Infeasible:
+        return infeasible_solution(user_list, "conflict_free")
 
+    if residual is not None and not isinstance(residual, CapacityLedger):
+        ledger.write_back(residual)
     return MUERPSolution(
         channels=tuple(selected),
         users=frozenset(user_list),

@@ -1,0 +1,352 @@
+"""Transactional residual-capacity accounting for switch qubits.
+
+Algorithms 3 and 4, the online scheduler and the multi-group extension
+all track "free qubits per switch" while they build trees.  Before this
+module each did so with a bare mutable dict, so an exception thrown
+mid-solve left phantom reservations behind.  :class:`CapacityLedger`
+centralizes the bookkeeping with transaction semantics:
+
+* **reserve / release** are all-or-nothing and raise
+  :class:`CapacityError` before any partial mutation;
+* **transaction()** scopes a group of reservations: leaving the block
+  through an exception rolls every change inside it back, leaving the
+  account bit-identical to the entry snapshot;
+* **adopt / write_back** bridge to the legacy shared-dict protocol the
+  solvers expose (``residual=`` maps mutated in place): a solver runs
+  against a private ledger and publishes the deltas to the caller's
+  dict only when it actually produced a feasible tree.
+
+The ledger also keeps a high-water mark per switch (peak usage
+telemetry) and can report the tightest switches via an indexed heap —
+the operator-facing "which switch will exhaust first" question.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Tuple,
+)
+
+from repro.utils.heap import IndexedMinHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import Channel
+    from repro.network.graph import QuantumNetwork
+
+#: Qubits one transit channel pins at a switch (Def. 3 of the paper).
+QUBITS_PER_CHANNEL = 2
+
+
+class CapacityError(RuntimeError):
+    """A reservation or release that the ledger cannot honour.
+
+    Attributes:
+        switch: The offending switch id.
+        requested: Qubits the operation asked for.
+        available: Qubits actually available (or releasable headroom).
+    """
+
+    def __init__(
+        self, message: str, switch: Hashable, requested: int, available: int
+    ) -> None:
+        super().__init__(message)
+        self.switch = switch
+        self.requested = requested
+        self.available = available
+
+
+class CapacityLedger:
+    """Transactional account of residual switch qubits.
+
+    The read side is a ``Mapping``-compatible subset (``get``,
+    ``__getitem__``, ``in``, ``len``) so a ledger can be handed directly
+    to the channel search (:func:`repro.core.channel.best_channels_from`)
+    wherever a plain residual dict was accepted before.
+
+    Args:
+        available: Initial free qubits per switch.
+        budgets: Full per-switch budgets for peak/utilization telemetry;
+            defaults to *available* (i.e. the ledger assumes it starts
+            from an idle network).
+    """
+
+    def __init__(
+        self,
+        available: Mapping[Hashable, int],
+        budgets: Optional[Mapping[Hashable, int]] = None,
+    ) -> None:
+        self._avail: Dict[Hashable, int] = dict(available)
+        for switch, qubits in self._avail.items():
+            if qubits < 0:
+                raise ValueError(
+                    f"negative initial capacity {qubits} for {switch!r}"
+                )
+        self._budgets: Dict[Hashable, int] = (
+            dict(budgets) if budgets is not None else dict(self._avail)
+        )
+        #: Per-switch high-water mark of (budget - available).
+        self._peak: Dict[Hashable, int] = {
+            s: max(0, self._budgets.get(s, q) - q)
+            for s, q in self._avail.items()
+        }
+        #: Stack of journals: (switch, delta-applied) entries, innermost last.
+        self._journals: List[List[Tuple[Hashable, int]]] = []
+        #: Switches whose availability changed since construction.
+        self._dirty: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, network: "QuantumNetwork") -> "CapacityLedger":
+        """A ledger over *network*'s full idle budgets."""
+        budgets = network.residual_qubits()
+        return cls(budgets, budgets)
+
+    @classmethod
+    def adopt(
+        cls,
+        residual: Optional[Mapping[Hashable, int]],
+        network: "QuantumNetwork",
+    ) -> "CapacityLedger":
+        """Normalize a legacy ``residual=`` argument into a ledger.
+
+        ``None`` means the network's idle budgets; an existing ledger is
+        returned as-is; a plain mapping is copied (the caller's dict is
+        only touched again through :meth:`write_back`).
+        """
+        if residual is None:
+            return cls.from_network(network)
+        if isinstance(residual, CapacityLedger):
+            return residual
+        return cls(residual, network.residual_qubits())
+
+    # ------------------------------------------------------------------
+    # Read side (Mapping-compatible subset)
+    # ------------------------------------------------------------------
+    def get(self, switch: Hashable, default: int = 0) -> int:
+        return self._avail.get(switch, default)
+
+    def __getitem__(self, switch: Hashable) -> int:
+        return self._avail[switch]
+
+    def __contains__(self, switch: Hashable) -> bool:
+        return switch in self._avail
+
+    def __len__(self) -> int:
+        return len(self._avail)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._avail)
+
+    def keys(self):
+        return self._avail.keys()
+
+    def values(self):
+        return self._avail.values()
+
+    def items(self):
+        return self._avail.items()
+
+    def available(self, switch: Hashable) -> int:
+        """Free qubits at *switch* (0 for unknown switches)."""
+        return self._avail.get(switch, 0)
+
+    def budget(self, switch: Hashable) -> int:
+        """Full budget of *switch* (0 for unknown switches)."""
+        return self._budgets.get(switch, 0)
+
+    def used(self, switch: Hashable) -> int:
+        """Qubits currently reserved at *switch*."""
+        return self.budget(switch) - self.available(switch)
+
+    def as_dict(self) -> Dict[Hashable, int]:
+        """Copy of the current availability map."""
+        return dict(self._avail)
+
+    def snapshot(self) -> Dict[Hashable, int]:
+        """Alias of :meth:`as_dict`, named for test assertions."""
+        return dict(self._avail)
+
+    def peak_usage(self) -> Dict[Hashable, int]:
+        """High-water qubit usage per switch since construction."""
+        return dict(self._peak)
+
+    def tightest(self, k: int = 3) -> List[Tuple[Hashable, int]]:
+        """The *k* switches with the least remaining capacity.
+
+        Uses the indexed heap so repeated telemetry pulls stay cheap on
+        large networks; ties break deterministically by switch repr.
+        """
+        heap = IndexedMinHeap()
+        order = {s: i for i, s in enumerate(sorted(self._avail, key=repr))}
+        for switch, free in self._avail.items():
+            heap.push(switch, free * (len(order) + 1) + order[switch])
+        out: List[Tuple[Hashable, int]] = []
+        while len(heap) and len(out) < k:
+            switch, _ = heap.pop_min()
+            out.append((switch, self._avail[switch]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def _apply(self, switch: Hashable, delta: int) -> None:
+        """Apply a signed availability delta, journalled for rollback."""
+        new = self._avail.get(switch, 0) + delta
+        self._avail[switch] = new
+        self._dirty.add(switch)
+        if self._journals:
+            self._journals[-1].append((switch, delta))
+        used = self._budgets.get(switch, 0) - new
+        if used > self._peak.get(switch, 0):
+            self._peak[switch] = used
+
+    def can_reserve(self, usage: Mapping[Hashable, int]) -> bool:
+        """Whether every switch in *usage* has the requested headroom."""
+        return all(
+            self._avail.get(switch, 0) >= qubits
+            for switch, qubits in usage.items()
+        )
+
+    def reserve(self, usage: Mapping[Hashable, int]) -> None:
+        """Atomically reserve *usage* qubits; all-or-nothing.
+
+        Raises :class:`CapacityError` (before mutating anything) when
+        any switch lacks the headroom.
+        """
+        for switch in sorted(usage, key=repr):
+            qubits = usage[switch]
+            if qubits < 0:
+                raise ValueError(
+                    f"cannot reserve negative qubits ({qubits}) at {switch!r}"
+                )
+            free = self._avail.get(switch, 0)
+            if free < qubits:
+                raise CapacityError(
+                    f"switch {switch!r} has {free} free qubits, "
+                    f"cannot reserve {qubits}",
+                    switch,
+                    qubits,
+                    free,
+                )
+        for switch, qubits in usage.items():
+            if qubits:
+                self._apply(switch, -qubits)
+
+    def release(self, usage: Mapping[Hashable, int]) -> None:
+        """Atomically return *usage* qubits to the account.
+
+        Releasing above a switch's known budget is a double-release bug
+        and raises :class:`CapacityError` before mutating anything.
+        """
+        for switch in sorted(usage, key=repr):
+            qubits = usage[switch]
+            if qubits < 0:
+                raise ValueError(
+                    f"cannot release negative qubits ({qubits}) at {switch!r}"
+                )
+            budget = self._budgets.get(switch)
+            if budget is not None:
+                headroom = budget - self._avail.get(switch, 0)
+                if qubits > headroom:
+                    raise CapacityError(
+                        f"release of {qubits} qubits at {switch!r} exceeds "
+                        f"its outstanding reservation ({headroom})",
+                        switch,
+                        qubits,
+                        headroom,
+                    )
+        for switch, qubits in usage.items():
+            if qubits:
+                self._apply(switch, qubits)
+
+    # Channel conveniences ------------------------------------------------
+    def can_host(self, channel: "Channel") -> bool:
+        """Whether every transit switch can fund one more channel."""
+        return all(
+            self._avail.get(s, 0) >= QUBITS_PER_CHANNEL
+            for s in channel.switches
+        )
+
+    def reserve_channel(self, channel: "Channel") -> None:
+        """Reserve ``2`` qubits at each of *channel*'s transit switches."""
+        usage: Dict[Hashable, int] = {}
+        for switch in channel.switches:
+            usage[switch] = usage.get(switch, 0) + QUBITS_PER_CHANNEL
+        self.reserve(usage)
+
+    def release_channel(self, channel: "Channel") -> None:
+        """Return the qubits :meth:`reserve_channel` pinned."""
+        usage: Dict[Hashable, int] = {}
+        for switch in channel.switches:
+            usage[switch] = usage.get(switch, 0) + QUBITS_PER_CHANNEL
+        self.release(usage)
+
+    def try_reserve_channel(self, channel: "Channel") -> bool:
+        """Reserve *channel*'s qubits if possible; ``False`` otherwise."""
+        if not self.can_host(channel):
+            return False
+        self.reserve_channel(channel)
+        return True
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @contextmanager
+    def transaction(self) -> Iterator["CapacityLedger"]:
+        """Scope a group of reservations; roll back on exception.
+
+        Nested transactions compose: an inner rollback undoes only the
+        inner block's changes; an inner commit folds them into the
+        enclosing transaction (so an outer rollback still undoes them).
+        """
+        journal: List[Tuple[Hashable, int]] = []
+        self._journals.append(journal)
+        try:
+            yield self
+        except BaseException:
+            self._rollback(journal)
+            raise
+        finally:
+            popped = self._journals.pop()
+            assert popped is journal, "transaction stack corrupted"
+            if self._journals:
+                # Fold surviving entries into the enclosing transaction.
+                self._journals[-1].extend(journal)
+
+    def _rollback(self, journal: List[Tuple[Hashable, int]]) -> None:
+        for switch, delta in reversed(journal):
+            self._avail[switch] = self._avail.get(switch, 0) - delta
+        journal.clear()
+
+    # ------------------------------------------------------------------
+    # Legacy shared-dict bridge
+    # ------------------------------------------------------------------
+    def write_back(self, target: MutableMapping[Hashable, int]) -> None:
+        """Publish changed availability values into *target* in place.
+
+        Only switches the ledger actually touched are written, so a
+        caller-owned dict keeps any extra keys it carries.
+        """
+        for switch in self._dirty:
+            target[switch] = self._avail[switch]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        reserved = sum(
+            max(0, self._budgets.get(s, 0) - q)
+            for s, q in self._avail.items()
+        )
+        return (
+            f"CapacityLedger(switches={len(self._avail)}, "
+            f"reserved={reserved}, open_txns={len(self._journals)})"
+        )

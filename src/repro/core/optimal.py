@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.channel import all_pairs_best_channels
+from repro.core.ledger import CapacityLedger
 from repro.core.problem import (
     Channel,
     MUERPSolution,
@@ -65,7 +66,7 @@ def solve_optimal(
         fiber graph cannot connect the users at all.
     """
     user_list = resolve_users(network, users)
-    residual = None if ignore_capacity else network.residual_qubits()
+    residual = None if ignore_capacity else CapacityLedger.from_network(network)
     pairwise = all_pairs_best_channels(network, user_list, residual)
     candidates = sorted(pairwise.values(), key=channel_sort_key)
 

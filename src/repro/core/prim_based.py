@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Optional, Set
 
 from repro.core.channel import best_channels_from
+from repro.core.ledger import CapacityLedger
 from repro.core.optimal import channel_sort_key
 from repro.core.problem import (
     Channel,
@@ -24,6 +25,10 @@ from repro.core.problem import (
 )
 from repro.network.graph import QuantumNetwork
 from repro.utils.rng import RngLike, ensure_rng
+
+
+class _Infeasible(Exception):
+    """Internal control flow: abort the solve and roll back reservations."""
 
 
 def solve_prim(
@@ -42,10 +47,14 @@ def solve_prim(
             (the paper picks it uniformly at random).
         rng: Random source for the seed choice; an int seed, a numpy
             Generator, or ``None``.
-        residual: Optional shared residual-qubit map (switch → qubits);
-            mutated in place so several routing requests can share one
-            budget (the multi-group extension).  Defaults to each
-            switch's full budget.
+        residual: Optional shared residual-qubit map (switch → qubits)
+            or :class:`~repro.core.ledger.CapacityLedger`, so several
+            routing requests can share one budget (the multi-group
+            extension).  Defaults to each switch's full budget.  The
+            account is transactional: reservations are published to a
+            caller-supplied dict only when this call returns a
+            *feasible* tree; a mid-solve exception or an infeasible
+            outcome leaves it untouched.
 
     Returns:
         A capacity-feasible :class:`MUERPSolution`, infeasible (rate 0)
@@ -60,26 +69,32 @@ def solve_prim(
 
     connected: List[Hashable] = [start]
     remaining: Set[Hashable] = set(user_list) - {start}
-    if residual is None:
-        residual = network.residual_qubits()
+    ledger = CapacityLedger.adopt(residual, network)
     selected: List[Channel] = []
 
-    while remaining:
-        best: Optional[Channel] = None
-        for source in connected:
-            found = best_channels_from(network, source, remaining, residual)
-            for channel in found.values():
-                if best is None or channel_sort_key(channel) < channel_sort_key(best):
-                    best = channel
-        if best is None:
-            return infeasible_solution(user_list, "prim")
-        for switch in best.switches:
-            residual[switch] -= 2
-        newcomer = best.endpoints[1]
-        remaining.discard(newcomer)
-        connected.append(newcomer)
-        selected.append(best)
+    try:
+        with ledger.transaction():
+            while remaining:
+                best: Optional[Channel] = None
+                for source in connected:
+                    found = best_channels_from(
+                        network, source, remaining, ledger
+                    )
+                    for channel in found.values():
+                        if best is None or channel_sort_key(channel) < channel_sort_key(best):
+                            best = channel
+                if best is None:
+                    raise _Infeasible()
+                ledger.reserve_channel(best)
+                newcomer = best.endpoints[1]
+                remaining.discard(newcomer)
+                connected.append(newcomer)
+                selected.append(best)
+    except _Infeasible:
+        return infeasible_solution(user_list, "prim")
 
+    if residual is not None and not isinstance(residual, CapacityLedger):
+        ledger.write_back(residual)
     return MUERPSolution(
         channels=tuple(selected),
         users=frozenset(user_list),

@@ -1,0 +1,232 @@
+"""Crash-safe experiment checkpointing.
+
+The paper's sweeps average hundreds of (config, network) trials; a
+killed process used to forfeit all of them.  :class:`CheckpointStore`
+persists one JSONL record per completed trial so an interrupted sweep
+resumes losslessly:
+
+* **atomic**: every flush writes the whole file to a temp sibling,
+  ``fsync``\\ s it, and ``os.replace``\\ s it over the store — a crash
+  mid-write leaves either the old file or the new one, never a blend;
+* **integrity-checked**: each line carries a sha256 over its canonical
+  payload.  A truncated final line (torn write from a kill) is dropped
+  silently on load; a *decodable* line whose hash mismatches means the
+  file was edited and raises :class:`CheckpointCorruption`;
+* **keyed deterministically**: trials are identified by
+  ``(config_key(config), trial_index)``.  :func:`config_key` hashes the
+  canonical JSON of the config's fields, so the same sweep point maps
+  to the same key across runs while any parameter change invalidates
+  old entries.
+
+Because :func:`repro.utils.rng.spawn_rngs` derives per-trial generators
+independently of execution order, replaying only the missing trial
+indices reproduces exactly the rates a straight-through run would have
+produced — resumed aggregates are byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.experiments.config import ExperimentConfig
+
+
+class CheckpointCorruption(RuntimeError):
+    """A checkpoint line decoded but failed its integrity hash.
+
+    Torn trailing writes are expected after a kill and are silently
+    dropped; a *valid* JSON line with a wrong hash means the file was
+    modified outside this module, which is never safe to resume from.
+    """
+
+    def __init__(self, path: Union[str, Path], line_no: int, reason: str) -> None:
+        super().__init__(
+            f"checkpoint {path}: line {line_no}: {reason}"
+        )
+        self.path = str(path)
+        self.line_no = line_no
+        self.reason = reason
+
+
+def _canonical(payload: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Deterministic identity of one experiment configuration.
+
+    A sha256 over the canonical JSON of every dataclass field, so two
+    equal configs share a key across processes and any changed
+    parameter (seed, methods, topology, …) yields a fresh one.
+    """
+    fields = dataclasses.asdict(config)
+    return hashlib.sha256(_canonical(fields).encode("utf-8")).hexdigest()[:16]
+
+
+def _line_hash(entry_payload: str) -> str:
+    return hashlib.sha256(entry_payload.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Append-oriented JSONL store of completed experiment trials.
+
+    One record per ``(config_key, trial_index)``; re-recording an
+    existing key overwrites it (last write wins).  The on-disk file is
+    rewritten atomically on every :meth:`record` — sweeps are dominated
+    by solver time, so the O(file) rewrite is noise, and it buys the
+    guarantee that the store on disk is always a self-consistent
+    prefix-complete history.
+
+    Args:
+        path: The JSONL file; created (with parents) on first record.
+            An existing file is loaded — and verified — eagerly.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: (config_key, trial_index) → trial payload dict.
+        self._entries: Dict[Tuple[str, int], Dict[str, object]] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Load / integrity
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        for i, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) or all(
+                    not rest.strip() for rest in lines[i:]
+                ):
+                    # Torn final write from a kill — drop and move on.
+                    continue
+                raise CheckpointCorruption(
+                    self.path, i, "undecodable line before end of file"
+                )
+            if (
+                not isinstance(record, dict)
+                or "sha256" not in record
+                or "entry" not in record
+            ):
+                raise CheckpointCorruption(
+                    self.path, i, "record missing sha256/entry envelope"
+                )
+            payload = _canonical(record["entry"])
+            if _line_hash(payload) != record["sha256"]:
+                raise CheckpointCorruption(
+                    self.path, i, "integrity hash mismatch (file was modified)"
+                )
+            entry = record["entry"]
+            key = (str(entry["config_key"]), int(entry["trial"]))
+            self._entries[key] = entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has(self, config: ExperimentConfig, trial: int) -> bool:
+        """Whether *trial* of *config* already completed."""
+        return (config_key(config), trial) in self._entries
+
+    def get(
+        self, config: ExperimentConfig, trial: int
+    ) -> Optional[Dict[str, float]]:
+        """The recorded method → rate map, or ``None`` if absent."""
+        entry = self._entries.get((config_key(config), trial))
+        if entry is None:
+            return None
+        rates = entry["rates"]
+        assert isinstance(rates, dict)
+        return {str(m): float(r) for m, r in rates.items()}
+
+    def completed_trials(self, config: ExperimentConfig) -> List[int]:
+        """Sorted trial indices already recorded for *config*."""
+        key = config_key(config)
+        return sorted(t for (k, t) in self._entries if k == key)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        config: ExperimentConfig,
+        trial: int,
+        rates: Dict[str, float],
+    ) -> None:
+        """Persist one completed trial, atomically, before returning."""
+        entry: Dict[str, object] = {
+            "config_key": config_key(config),
+            "trial": int(trial),
+            "rates": {str(m): float(r) for m, r in rates.items()},
+        }
+        self._entries[(str(entry["config_key"]), int(trial))] = entry
+        self._flush()
+
+    def _flush(self) -> None:
+        """Rewrite the store via temp-file + fsync + atomic rename."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        body_lines = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            payload = _canonical(entry)
+            envelope = {"entry": entry, "sha256": _line_hash(payload)}
+            body_lines.append(_canonical(envelope))
+        body = "\n".join(body_lines) + ("\n" if body_lines else "")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+#: Stack of stores activated via :func:`checkpointing` (innermost last).
+_ACTIVE_STORES: List[CheckpointStore] = []
+
+
+def active_store() -> Optional[CheckpointStore]:
+    """The innermost store activated by :func:`checkpointing`, if any."""
+    return _ACTIVE_STORES[-1] if _ACTIVE_STORES else None
+
+
+@contextmanager
+def checkpointing(store: CheckpointStore) -> Iterator[CheckpointStore]:
+    """Make *store* ambient for every ``run_experiment`` in the block.
+
+    Sweeps (:mod:`repro.experiments.sweeps`, the experiment catalogue)
+    call :func:`repro.experiments.runner.run_experiment` internally with
+    no checkpoint parameter; wrapping the sweep in ``checkpointing``
+    checkpoints every trial they run without threading the store through
+    each call signature.
+    """
+    _ACTIVE_STORES.append(store)
+    try:
+        yield store
+    finally:
+        popped = _ACTIVE_STORES.pop()
+        assert popped is store, "checkpointing stack corrupted"

@@ -21,16 +21,13 @@ import numpy as np
 import repro.baselines  # noqa: F401 - registers baseline solvers
 from repro.analysis.stats import SummaryStats, summarize
 from repro.analysis.tables import Table
-from repro.core.registry import DISPLAY_NAMES, solve
+from repro.core.registry import CAPACITY_EXEMPT_METHODS, DISPLAY_NAMES, solve
 from repro.core.tree import validate_solution
+from repro.experiments.checkpoint import CheckpointStore, active_store
 from repro.experiments.config import ExperimentConfig
 from repro.network.graph import QuantumNetwork
 from repro.topology.registry import generate
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
-
-#: Solvers whose output is allowed to exceed per-switch budgets because
-#: they model the sufficient-capacity special case.
-CAPACITY_EXEMPT_METHODS = frozenset({"optimal", "alg2"})
 
 
 @dataclass(frozen=True)
@@ -116,16 +113,41 @@ def run_on_network(
     return rates
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run the full averaged experiment described by *config*."""
+def run_experiment(
+    config: ExperimentConfig,
+    checkpoint: Optional[CheckpointStore] = None,
+) -> ExperimentResult:
+    """Run the full averaged experiment described by *config*.
+
+    With a *checkpoint* store (passed explicitly or made ambient via
+    :func:`repro.experiments.checkpoint.checkpointing`), every completed
+    trial is persisted atomically and previously recorded trials are
+    skipped — a killed sweep resumes losslessly.  Because the per-trial
+    RNGs come from :func:`~repro.utils.rng.spawn_rngs` (index-seeded,
+    order-independent), resumed aggregates equal a straight-through run.
+    """
+    store = checkpoint if checkpoint is not None else active_store()
     topology_config = config.topology_config()
     network_rngs = spawn_rngs(config.seed, config.n_networks)
     per_method: Dict[str, List[float]] = {m: [] for m in config.methods}
-    for network_rng in network_rngs:
-        network = generate(config.topology, topology_config, network_rng)
-        rates = run_on_network(network, config.methods, network_rng)
-        for method, rate in rates.items():
-            per_method[method].append(rate)
+    for trial, network_rng in enumerate(network_rngs):
+        rates: Optional[Dict[str, float]] = None
+        if store is not None:
+            recorded = store.get(config, trial)
+            # A resumable record must cover every requested method;
+            # partial records (e.g. from a sweep with fewer methods)
+            # are recomputed rather than trusted.
+            if recorded is not None and all(
+                m in recorded for m in config.methods
+            ):
+                rates = {m: recorded[m] for m in config.methods}
+        if rates is None:
+            network = generate(config.topology, topology_config, network_rng)
+            rates = run_on_network(network, config.methods, network_rng)
+            if store is not None:
+                store.record(config, trial, rates)
+        for method in config.methods:
+            per_method[method].append(rates[method])
     outcomes = tuple(
         MethodOutcome(method, tuple(per_method[method]))
         for method in config.methods

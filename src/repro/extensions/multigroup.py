@@ -118,19 +118,17 @@ def route_groups(
     residual = network.residual_qubits()
     solutions: Dict[str, MUERPSolution] = {}
     for group in scheduled:
-        # Snapshot: a failed group must not leak partial deductions.
-        budget = dict(residual)
+        # The solvers are transactional (CapacityLedger): an infeasible
+        # group — or a mid-solve exception — publishes nothing into the
+        # shared residual map, so no snapshot/restore dance is needed.
         if method == "prim":
             solution = solve_prim(
-                network, group.users, rng=generator, residual=budget
+                network, group.users, rng=generator, residual=residual
             )
         else:
             solution = solve_conflict_free(
-                network, group.users, rng=generator, residual=budget
+                network, group.users, rng=generator, residual=residual
             )
-        if solution.feasible:
-            residual.clear()
-            residual.update(budget)
         solutions[group.name] = solution
     return GroupRoutingResult(
         solutions=solutions, order=tuple(g.name for g in scheduled)

@@ -75,6 +75,8 @@ class ResilienceReport:
     degradations: int = 0
     recovered: int = 0
     abandoned: int = 0
+    verifications: int = 0
+    verification_failures: int = 0
     fault_log: List[str] = field(default_factory=list)
     dispositions: Dict[str, RequestDisposition] = field(default_factory=dict)
 
@@ -108,6 +110,20 @@ class ResilienceReport:
         """A request that survived at least one fault to completion."""
         self.recovered += 1
         logger.info("request %s recovered", name)
+
+    def record_verification(self, name: str, ok: bool, detail: str = "") -> None:
+        """An independent solution-verifier check of a repaired tree."""
+        self.verifications += 1
+        if not ok:
+            self.verification_failures += 1
+            self.fault_log.append(
+                f"verify[{name}]: REJECTED {detail}".rstrip()
+            )
+            logger.warning(
+                "request %s: repaired solution failed verification (%s)",
+                name,
+                detail or "n/a",
+            )
 
     def close_request(self, disposition: RequestDisposition) -> None:
         """Finalize one request's terminal state."""
@@ -148,6 +164,8 @@ class ResilienceReport:
             "degradations": self.degradations,
             "recovered": self.recovered,
             "abandoned": self.abandoned,
+            "verifications": self.verifications,
+            "verification_failures": self.verification_failures,
             "fault_log": list(self.fault_log),
             "dispositions": {
                 name: {
@@ -173,6 +191,8 @@ class ResilienceReport:
             f"  degradations    : {self.degradations}",
             f"  recovered       : {self.recovered}",
             f"  abandoned       : {self.abandoned}",
+            f"  verifications   : {self.verifications}"
+            f" ({self.verification_failures} failed)",
         ]
         if self.dispositions:
             lines.append("  requests:")

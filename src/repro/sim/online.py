@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.conflict_free import solve_conflict_free
+from repro.core.ledger import CapacityError, CapacityLedger
 from repro.core.prim_based import solve_prim
 from repro.core.problem import Channel, MUERPSolution
 from repro.network.graph import QuantumNetwork
@@ -261,6 +262,11 @@ class OnlineScheduler:
         allow_degradation: Serve the largest surviving user subset when
             a mid-service fault makes a full repair impossible (instead
             of abandoning the whole group).
+        verify: Independently re-check repaired and degraded trees with
+            the :class:`~repro.verify.verifier.SolutionVerifier` before
+            they go back into service; a tree that fails verification is
+            treated as unrepairable (checks are counted in the run's
+            resilience report).
     """
 
     def __init__(
@@ -271,6 +277,7 @@ class OnlineScheduler:
         fault_injector: Optional["FaultInjector"] = None,
         retry_policy: Optional["RetryPolicy"] = None,
         allow_degradation: bool = True,
+        verify: bool = True,
     ) -> None:
         if method not in ("prim", "conflict_free"):
             raise ValueError(f"unsupported method {method!r}")
@@ -280,6 +287,7 @@ class OnlineScheduler:
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self.allow_degradation = allow_degradation
+        self.verify = verify
 
     def run(self, requests: Sequence[EntanglementRequest]) -> OnlineResult:
         """Simulate the whole arrival stream; returns the telemetry."""
@@ -396,24 +404,15 @@ class OnlineScheduler:
         report = ResilienceReport()
 
         base = self.network
-        residual = base.residual_qubits()
-        budgets = dict(residual)
-        peak_usage: Dict[Hashable, int] = {s: 0 for s in residual}
+        # The transactional capacity account: reserve on admission,
+        # release on completion; the repair path swaps reservations
+        # inside a transaction so an exception can never leak qubits.
+        ledger = CapacityLedger.from_network(base)
+        verifier = None
+        if self.verify:
+            from repro.verify.verifier import SolutionVerifier
 
-        def _charge(usage: Dict[Hashable, int]) -> None:
-            for switch, qubits in usage.items():
-                residual[switch] -= qubits
-                if residual[switch] < 0:
-                    raise AssertionError(
-                        f"scheduler overbooked switch {switch!r} "
-                        f"({-residual[switch]} qubits over budget)"
-                    )
-                used_now = budgets[switch] - residual[switch]
-                peak_usage[switch] = max(peak_usage[switch], used_now)
-
-        def _release(usage: Dict[Hashable, int]) -> None:
-            for switch, qubits in usage.items():
-                residual[switch] += qubits
+            verifier = SolutionVerifier()
 
         reservations: List[_Reservation] = []
         waiting: List[_Waiter] = []
@@ -423,7 +422,7 @@ class OnlineScheduler:
         for request in requests:
             by_arrival.setdefault(request.arrival, []).append(request)
         if not requests:
-            return OnlineResult((), 0, peak_usage, report)
+            return OnlineResult((), 0, ledger.peak_usage(), report)
         horizon = max(r.last_start_slot for r in requests) + 1
         if injector is not None:
             horizon = max(horizon, injector.schedule.last_slot)
@@ -535,7 +534,7 @@ class OnlineScheduler:
             still: List[_Reservation] = []
             for res in reservations:
                 if res.release_slot <= slot:
-                    _release(res.usage)
+                    ledger.release(res.usage)
                     _close_served(res, slot)
                 else:
                     still.append(res)
@@ -552,7 +551,7 @@ class OnlineScheduler:
                     res.hit_by_fault = True
                     # Capacity-aware repair: the reservation's own
                     # qubits plus the global residual are available.
-                    avail = dict(residual)
+                    avail = ledger.as_dict()
                     for switch, qubits in res.usage.items():
                         avail[switch] = avail.get(switch, 0) + qubits
                     rep = repair_solution(
@@ -562,10 +561,27 @@ class OnlineScheduler:
                         darks,
                         residual=avail,
                     )
-                    if rep.repaired:
+                    repaired_ok = rep.repaired
+                    if repaired_ok and verifier is not None:
+                        # Trust-but-verify: a hand-stitched repair must
+                        # pass the same independent audit as any solver
+                        # output before it re-enters service.
+                        issues = verifier.audit(
+                            base, rep.solution, users=res.solution.users
+                        )
+                        report.record_verification(
+                            res.request.name,
+                            not issues,
+                            "; ".join(v.code for v in issues),
+                        )
+                        repaired_ok = not issues
+                    if repaired_ok:
                         new_usage = rep.solution.switch_usage()
-                        _release(res.usage)
-                        _charge(new_usage)
+                        # Swap reservations atomically: an exception
+                        # between release and reserve can never leak.
+                        with ledger.transaction():
+                            ledger.release(res.usage)
+                            ledger.reserve(new_usage)
                         res.solution = rep.solution
                         res.usage = new_usage
                         res.reroutes += 1
@@ -582,6 +598,7 @@ class OnlineScheduler:
                         served_subset = _largest_served_component(
                             res.solution.users, rep.kept_channels
                         )
+                    degraded_solution: Optional[MUERPSolution] = None
                     if len(served_subset) >= 2:
                         members = set(served_subset)
                         channels = tuple(
@@ -595,9 +612,24 @@ class OnlineScheduler:
                             method=res.solution.method + "+degraded",
                             feasible=True,
                         )
+                        if verifier is not None:
+                            issues = verifier.audit(
+                                base,
+                                degraded_solution,
+                                users=served_subset,
+                            )
+                            report.record_verification(
+                                res.request.name,
+                                not issues,
+                                "; ".join(v.code for v in issues),
+                            )
+                            if issues:
+                                degraded_solution = None
+                    if degraded_solution is not None:
                         new_usage = degraded_solution.switch_usage()
-                        _release(res.usage)
-                        _charge(new_usage)
+                        with ledger.transaction():
+                            ledger.release(res.usage)
+                            ledger.reserve(new_usage)
                         res.solution = degraded_solution
                         res.usage = new_usage
                         res.degraded = True
@@ -610,7 +642,7 @@ class OnlineScheduler:
                         surviving.append(res)
                         continue
                     # Abandon: no repair, no viable subset.
-                    _release(res.usage)
+                    ledger.release(res.usage)
                     detail_parts = []
                     if cuts:
                         detail_parts.append(
@@ -658,10 +690,10 @@ class OnlineScheduler:
                         retries=waiter.retries,
                     )
                     continue
-                solution = self._route(request, residual, network=damaged)
+                solution = self._route(request, ledger, network=damaged)
                 if solution is not None:
                     usage = solution.switch_usage()
-                    _charge(usage)
+                    ledger.reserve(usage)
                     release_slot = slot + request.hold
                     reservations.append(
                         _Reservation(
@@ -723,19 +755,23 @@ class OnlineScheduler:
         return OnlineResult(
             outcomes=ordered,
             slots_simulated=slot - 1,
-            peak_qubit_usage=peak_usage,
+            peak_qubit_usage=ledger.peak_usage(),
             resilience=report,
         )
 
     def _route(
         self,
         request: EntanglementRequest,
-        residual: Dict[Hashable, int],
+        residual: "Dict[Hashable, int] | CapacityLedger",
         network: Optional[QuantumNetwork] = None,
     ) -> Optional[MUERPSolution]:
         """Route one request against *residual* without mutating it."""
         net = self.network if network is None else network
-        budget = dict(residual)
+        budget = (
+            residual.as_dict()
+            if isinstance(residual, CapacityLedger)
+            else dict(residual)
+        )
         if self.method == "prim":
             solution = solve_prim(
                 net, request.users, rng=self.rng, residual=budget

@@ -10,6 +10,7 @@ from repro.utils.unionfind import UnionFind
 from repro.utils.heap import IndexedMinHeap
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
+    require_finite,
     require_positive,
     require_non_negative,
     require_probability,
@@ -21,6 +22,7 @@ __all__ = [
     "IndexedMinHeap",
     "ensure_rng",
     "spawn_rngs",
+    "require_finite",
     "require_positive",
     "require_non_negative",
     "require_probability",

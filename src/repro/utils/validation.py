@@ -1,4 +1,11 @@
-"""Argument validation helpers shared across the library."""
+"""Argument validation helpers shared across the library.
+
+Non-finite inputs are rejected *explicitly*: NaN and ±inf each get
+their own message naming the offending parameter and value, so a
+mis-propagated ``float("nan")`` (the classic silent poison — it fails
+every comparison, so range checks alone let it through) surfaces at
+the boundary rather than as a downstream rate of ``nan``.
+"""
 
 from __future__ import annotations
 
@@ -9,25 +16,62 @@ Number = Union[int, float]
 
 
 class ValidationError(ValueError):
-    """Raised when a model parameter fails validation."""
+    """Raised when a model parameter fails validation.
+
+    Attributes:
+        name: The parameter that failed.
+        value: The offending value, verbatim.
+    """
+
+    def __init__(self, message: str, name: str = "", value: object = None) -> None:
+        super().__init__(message)
+        self.name = name
+        self.value = value
+
+
+def require_finite(value: Number, name: str) -> Number:
+    """Validate that *value* is neither NaN nor ±inf and return it."""
+    if isinstance(value, float) and math.isnan(value):
+        raise ValidationError(
+            f"{name} is NaN (not-a-number); NaN propagates silently through "
+            "comparisons, so it is rejected at the boundary",
+            name,
+            value,
+        )
+    if math.isinf(value):
+        raise ValidationError(
+            f"{name} is {value!r} (infinite); expected a finite number",
+            name,
+            value,
+        )
+    return value
 
 
 def require_positive(value: Number, name: str) -> Number:
-    """Validate ``value > 0`` and return it."""
-    if not math.isfinite(value) or value <= 0:
-        raise ValidationError(f"{name} must be positive and finite, got {value!r}")
+    """Validate ``value > 0`` (and finite) and return it."""
+    require_finite(value, name)
+    if value <= 0:
+        raise ValidationError(
+            f"{name} must be positive, got {value!r}", name, value
+        )
     return value
 
 
 def require_non_negative(value: Number, name: str) -> Number:
-    """Validate ``value >= 0`` and return it."""
-    if not math.isfinite(value) or value < 0:
-        raise ValidationError(f"{name} must be non-negative and finite, got {value!r}")
+    """Validate ``value >= 0`` (and finite) and return it."""
+    require_finite(value, name)
+    if value < 0:
+        raise ValidationError(
+            f"{name} must be non-negative, got {value!r}", name, value
+        )
     return value
 
 
 def require_probability(value: Number, name: str) -> Number:
-    """Validate ``0 <= value <= 1`` and return it."""
-    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
-        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    """Validate ``0 <= value <= 1`` (and finite) and return it."""
+    require_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(
+            f"{name} must lie in [0, 1], got {value!r}", name, value
+        )
     return value

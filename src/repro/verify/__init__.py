@@ -1,0 +1,43 @@
+"""Trust-but-verify auditing of solver output.
+
+The solvers in :mod:`repro.core` each do their own bookkeeping; this
+package re-checks their claims independently from the raw network graph
+(spanning-tree structure, switch capacity, Eq. 1/2 rate honesty) and
+raises structured, machine-readable
+:class:`~repro.verify.invariants.InvariantViolation` errors when a
+claim does not hold.  See ``docs/VERIFICATION.md``.
+"""
+
+from repro.verify.invariants import (
+    CapacityViolation,
+    ChannelCountViolation,
+    CycleViolation,
+    InvariantViolation,
+    PathViolation,
+    RateViolation,
+    SpanningViolation,
+    UserSetViolation,
+    VerificationError,
+)
+from repro.verify.verifier import (
+    QUBITS_PER_TRANSIT,
+    SolutionVerifier,
+    VerificationCertificate,
+    verify_solution,
+)
+
+__all__ = [
+    "CapacityViolation",
+    "ChannelCountViolation",
+    "CycleViolation",
+    "InvariantViolation",
+    "PathViolation",
+    "RateViolation",
+    "SpanningViolation",
+    "UserSetViolation",
+    "VerificationError",
+    "QUBITS_PER_TRANSIT",
+    "SolutionVerifier",
+    "VerificationCertificate",
+    "verify_solution",
+]

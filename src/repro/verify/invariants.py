@@ -1,0 +1,134 @@
+"""Structured invariant violations raised by the solution verifier.
+
+Every violation is a typed exception carrying a machine-readable diff:
+which invariant broke, on which subject (a switch, a channel path, the
+tree as a whole), what was expected and what was actually observed.
+``to_dict()`` serializes the diff for audits, logs and CLI output.
+
+The class hierarchy lets callers catch at the granularity they need:
+
+* :class:`InvariantViolation` — any verifier failure;
+* :class:`SpanningViolation` / :class:`CycleViolation` /
+  :class:`ChannelCountViolation` — tree-structure invariants;
+* :class:`CapacityViolation` — a switch over its qubit budget ``Q_r``;
+* :class:`RateViolation` — a claimed rate inconsistent with Eq. 1/2;
+* :class:`PathViolation` — a channel path that does not exist in the
+  raw fiber graph (missing fiber, non-switch intermediate, non-user
+  endpoint);
+* :class:`UserSetViolation` — the solution's user set differs from the
+  requested one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """A verified MUERP invariant does not hold for a solution.
+
+    Attributes:
+        code: Stable machine-readable identifier of the invariant.
+        subject: What the violation is about (switch id, channel path,
+            ``"tree"``, …); repr-able.
+        expected: The value the invariant requires.
+        actual: The value independently recomputed from the raw graph.
+        detail: Optional free-form human context.
+    """
+
+    code: str = "invariant"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        subject: Any = None,
+        expected: Any = None,
+        actual: Any = None,
+        detail: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.subject = subject
+        self.expected = expected
+        self.actual = actual
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable diff of the violated invariant."""
+        return {
+            "code": self.code,
+            "message": str(self),
+            "subject": repr(self.subject),
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+class SpanningViolation(InvariantViolation):
+    """The channel set does not connect every user transitively."""
+
+    code = "spanning"
+
+
+class CycleViolation(InvariantViolation):
+    """A channel closes a cycle in the user-level tree."""
+
+    code = "cycle"
+
+
+class ChannelCountViolation(InvariantViolation):
+    """A spanning tree over ``U`` needs exactly ``|U| - 1`` channels."""
+
+    code = "channel-count"
+
+
+class CapacityViolation(InvariantViolation):
+    """A switch carries more than its qubit budget ``Q_r`` (Def. 3)."""
+
+    code = "capacity"
+
+
+class RateViolation(InvariantViolation):
+    """A claimed rate disagrees with the Eq. 1/2 recomputation."""
+
+    code = "rate"
+
+
+class PathViolation(InvariantViolation):
+    """A channel path is not realizable in the raw fiber graph."""
+
+    code = "path"
+
+
+class UserSetViolation(InvariantViolation):
+    """The solution serves a different user set than requested."""
+
+    code = "user-set"
+
+
+class VerificationError(InvariantViolation):
+    """Aggregate of several violations found in one verification pass.
+
+    Raised by :meth:`SolutionVerifier.verify` when more than one
+    invariant fails; ``violations`` holds the individual typed
+    exceptions in discovery order.
+    """
+
+    code = "multiple"
+
+    def __init__(self, violations: Tuple[InvariantViolation, ...]) -> None:
+        codes = ", ".join(v.code for v in violations)
+        super().__init__(
+            f"{len(violations)} invariant violations: {codes}",
+            subject="solution",
+        )
+        self.violations = violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        base = super().to_dict()
+        base["violations"] = [v.to_dict() for v in self.violations]
+        return base

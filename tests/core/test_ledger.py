@@ -1,0 +1,272 @@
+"""Tests for the transactional capacity ledger.
+
+The contract under test: no code path — success, infeasibility, or a
+mid-solve crash — may leak reserved qubits into a caller's residual
+map unless the solve actually committed a feasible tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import best_channels_from
+from repro.core.conflict_free import solve_conflict_free
+from repro.core.ledger import CapacityError, CapacityLedger
+from repro.core.prim_based import solve_prim
+from repro.core.problem import Channel
+from repro.utils.rng import ensure_rng
+
+
+class TestBasicAccounting:
+    def test_from_network(self, star_network):
+        ledger = CapacityLedger.from_network(star_network)
+        assert ledger.available("hub") == 4
+        assert ledger.budget("hub") == 4
+        assert ledger.used("hub") == 0
+
+    def test_reserve_and_release(self):
+        ledger = CapacityLedger({"a": 4, "b": 2})
+        ledger.reserve({"a": 2, "b": 2})
+        assert ledger.available("a") == 2
+        assert ledger.available("b") == 0
+        assert ledger.used("b") == 2
+        ledger.release({"b": 2})
+        assert ledger.available("b") == 2
+
+    def test_reserve_is_all_or_nothing(self):
+        ledger = CapacityLedger({"a": 4, "b": 1})
+        with pytest.raises(CapacityError) as excinfo:
+            ledger.reserve({"a": 2, "b": 2})
+        # b lacked headroom, so a must be untouched too.
+        assert ledger.snapshot() == {"a": 4, "b": 1}
+        assert excinfo.value.switch == "b"
+        assert excinfo.value.requested == 2
+        assert excinfo.value.available == 1
+
+    def test_negative_amounts_rejected(self):
+        ledger = CapacityLedger({"a": 4})
+        with pytest.raises(ValueError):
+            ledger.reserve({"a": -1})
+        with pytest.raises(ValueError):
+            ledger.release({"a": -1})
+
+    def test_double_release_detected(self):
+        ledger = CapacityLedger({"a": 4})
+        ledger.reserve({"a": 2})
+        ledger.release({"a": 2})
+        with pytest.raises(CapacityError):
+            ledger.release({"a": 2})
+
+    def test_negative_initial_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityLedger({"a": -1})
+
+    def test_mapping_read_side(self):
+        ledger = CapacityLedger({"a": 4, "b": 2})
+        assert ledger["a"] == 4
+        assert ledger.get("missing", 0) == 0
+        assert "b" in ledger and "missing" not in ledger
+        assert len(ledger) == 2
+        assert dict(ledger) == {"a": 4, "b": 2}
+        assert sorted(ledger.keys()) == ["a", "b"]
+
+    def test_peak_usage_high_water(self):
+        ledger = CapacityLedger({"a": 4})
+        ledger.reserve({"a": 4})
+        ledger.release({"a": 4})
+        ledger.reserve({"a": 2})
+        assert ledger.peak_usage()["a"] == 4
+
+    def test_tightest_orders_by_headroom(self):
+        ledger = CapacityLedger({"a": 4, "b": 1, "c": 2})
+        assert ledger.tightest(2) == [("b", 1), ("c", 2)]
+
+
+class TestChannelConveniences:
+    def test_reserve_channel_pins_two_per_switch(self, line_network):
+        ledger = CapacityLedger.from_network(line_network)
+        channel = Channel.from_path(
+            line_network, ("alice", "s0", "s1", "bob")
+        )
+        assert ledger.can_host(channel)
+        ledger.reserve_channel(channel)
+        assert ledger.available("s0") == 2
+        assert ledger.available("s1") == 2
+        ledger.release_channel(channel)
+        assert ledger.snapshot() == {"s0": 4, "s1": 4}
+
+    def test_try_reserve_channel(self, tight_star_network):
+        ledger = CapacityLedger.from_network(tight_star_network)
+        channel = Channel.from_path(
+            tight_star_network, ("alice", "hub", "bob")
+        )
+        assert ledger.try_reserve_channel(channel)
+        assert not ledger.try_reserve_channel(channel)
+        assert ledger.available("hub") == 0
+
+
+class TestTransactions:
+    def test_rollback_on_exception(self):
+        ledger = CapacityLedger({"a": 4, "b": 4})
+        with pytest.raises(RuntimeError, match="boom"):
+            with ledger.transaction():
+                ledger.reserve({"a": 2})
+                ledger.reserve({"b": 4})
+                raise RuntimeError("boom")
+        assert ledger.snapshot() == {"a": 4, "b": 4}
+
+    def test_commit_keeps_changes(self):
+        ledger = CapacityLedger({"a": 4})
+        with ledger.transaction():
+            ledger.reserve({"a": 2})
+        assert ledger.available("a") == 2
+
+    def test_nested_inner_rollback_preserves_outer(self):
+        ledger = CapacityLedger({"a": 8})
+        with ledger.transaction():
+            ledger.reserve({"a": 2})
+            with pytest.raises(RuntimeError):
+                with ledger.transaction():
+                    ledger.reserve({"a": 4})
+                    raise RuntimeError("inner")
+            assert ledger.available("a") == 6
+        assert ledger.available("a") == 6
+
+    def test_nested_commit_undone_by_outer_rollback(self):
+        ledger = CapacityLedger({"a": 8})
+        with pytest.raises(RuntimeError):
+            with ledger.transaction():
+                with ledger.transaction():
+                    ledger.reserve({"a": 4})
+                raise RuntimeError("outer")
+        assert ledger.available("a") == 8
+
+    def test_rollback_restores_release_too(self):
+        ledger = CapacityLedger({"a": 4})
+        ledger.reserve({"a": 4})
+        with pytest.raises(RuntimeError):
+            with ledger.transaction():
+                ledger.release({"a": 2})
+                raise RuntimeError("boom")
+        assert ledger.available("a") == 0
+
+
+class TestAdoptAndWriteBack:
+    def test_adopt_none_uses_network_budgets(self, star_network):
+        ledger = CapacityLedger.adopt(None, star_network)
+        assert ledger.available("hub") == 4
+
+    def test_adopt_ledger_is_identity(self, star_network):
+        original = CapacityLedger.from_network(star_network)
+        assert CapacityLedger.adopt(original, star_network) is original
+
+    def test_adopt_copies_mapping(self, star_network):
+        shared = {"hub": 2}
+        ledger = CapacityLedger.adopt(shared, star_network)
+        ledger.reserve({"hub": 2})
+        assert shared == {"hub": 2}  # untouched until write_back
+        ledger.write_back(shared)
+        assert shared == {"hub": 0}
+
+    def test_write_back_only_touches_dirty_keys(self, star_network):
+        shared = {"hub": 4, "unrelated": 99}
+        ledger = CapacityLedger.adopt(shared, star_network)
+        ledger.reserve({"hub": 2})
+        ledger.write_back(shared)
+        assert shared == {"hub": 2, "unrelated": 99}
+
+
+class TestSolversNeverLeak:
+    """End-to-end: solver exceptions and failures leak no reservations."""
+
+    # conflict_free only reaches its capacity-aware channel search in
+    # Phase 2, i.e. when Phase 1's greedy retention leaves the users
+    # split — which the 2-qubit hub guarantees.  prim searches from the
+    # very first iteration, so the roomy star suffices.
+    CRASH_CASES = (
+        (solve_conflict_free, "tight_star_network"),
+        (solve_prim, "star_network"),
+    )
+
+    @pytest.mark.parametrize("solver,fixture", CRASH_CASES)
+    def test_mid_solve_crash_leaves_residual_untouched(
+        self, solver, fixture, request, monkeypatch
+    ):
+        network = request.getfixturevalue(fixture)
+        calls = {"n": 0}
+
+        def exploding(net, source, targets, residual=None):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("simulated mid-solve crash")
+            return best_channels_from(net, source, targets, residual)
+
+        module = (
+            "repro.core.conflict_free"
+            if solver is solve_conflict_free
+            else "repro.core.prim_based"
+        )
+        monkeypatch.setattr(f"{module}.best_channels_from", exploding)
+        shared = network.residual_qubits()
+        before = dict(shared)
+        with pytest.raises(RuntimeError, match="mid-solve"):
+            solver(
+                network,
+                network.user_ids,
+                rng=ensure_rng(1),
+                residual=shared,
+            )
+        assert shared == before
+
+    @pytest.mark.parametrize("solver,fixture", CRASH_CASES)
+    def test_crash_on_shared_ledger_rolls_back(
+        self, solver, fixture, request, monkeypatch
+    ):
+        network = request.getfixturevalue(fixture)
+
+        def exploding(net, source, targets, residual=None):
+            raise RuntimeError("simulated crash")
+
+        module = (
+            "repro.core.conflict_free"
+            if solver is solve_conflict_free
+            else "repro.core.prim_based"
+        )
+        monkeypatch.setattr(f"{module}.best_channels_from", exploding)
+        ledger = CapacityLedger.from_network(network)
+        before = ledger.snapshot()
+        with pytest.raises(RuntimeError):
+            solver(
+                network,
+                network.user_ids,
+                rng=ensure_rng(1),
+                residual=ledger,
+            )
+        assert ledger.snapshot() == before
+
+    @pytest.mark.parametrize("solver", [solve_conflict_free, solve_prim])
+    def test_infeasible_solve_reserves_nothing(
+        self, tight_star_network, solver
+    ):
+        shared = tight_star_network.residual_qubits()
+        before = dict(shared)
+        solution = solver(
+            tight_star_network,
+            tight_star_network.user_ids,
+            rng=ensure_rng(1),
+            residual=shared,
+        )
+        assert not solution.feasible
+        assert shared == before
+
+    @pytest.mark.parametrize("solver", [solve_conflict_free, solve_prim])
+    def test_feasible_solve_publishes_exact_usage(self, star_network, solver):
+        shared = star_network.residual_qubits()
+        solution = solver(
+            star_network,
+            star_network.user_ids,
+            rng=ensure_rng(1),
+            residual=shared,
+        )
+        assert solution.feasible
+        assert shared["hub"] == 4 - solution.switch_usage()["hub"]

@@ -1,0 +1,215 @@
+"""Tests for the watchdog-guarded, verifying fallback chain."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.problem import Channel, MUERPSolution, infeasible_solution
+from repro.core.registry import (
+    ACCEPTED,
+    BREAKER_OPEN,
+    ERROR,
+    INFEASIBLE,
+    INVALID,
+    SOLVERS,
+    TIMEOUT,
+    CircuitBreaker,
+    SolveTimeout,
+    UnknownSolverError,
+    register_solver,
+    solve,
+    solve_robust,
+)
+
+
+@pytest.fixture
+def temp_solver():
+    """Register throwaway solvers, restoring the registry afterwards."""
+    added = []
+
+    def _register(name, fn):
+        assert name not in SOLVERS
+        register_solver(name, fn)
+        added.append(name)
+        return name
+
+    yield _register
+    for name in added:
+        SOLVERS.pop(name, None)
+
+
+def _fake_tree(network):
+    """A structurally broken 'solution': a channel over a phantom fiber."""
+    users = sorted(network.user_ids, key=repr)
+    return MUERPSolution(
+        channels=tuple(
+            Channel(path=(users[i], users[i + 1]), log_rate=0.0)
+            for i in range(len(users) - 1)
+        ),
+        users=frozenset(users),
+        method="corrupt",
+    )
+
+
+class TestUnknownSolver:
+    def test_solve_raises_with_menu_and_suggestion(self):
+        with pytest.raises(UnknownSolverError) as excinfo:
+            solve("prmi", None)
+        message = str(excinfo.value)
+        assert "prim" in message  # did-you-mean
+        assert "conflict_free" in message  # full menu
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_chain_validated_upfront(self, star_network):
+        with pytest.raises(UnknownSolverError):
+            solve_robust(star_network, chain=("prim", "nonsense"))
+
+    def test_empty_chain_rejected(self, star_network):
+        with pytest.raises(ValueError):
+            solve_robust(star_network, chain=())
+
+
+class TestHappyPath:
+    def test_first_solver_wins(self, star_network):
+        result = solve_robust(star_network, chain=("conflict_free", "prim"))
+        assert result.feasible
+        assert result.audit.winner == "conflict_free"
+        assert result.audit.verified
+        assert [a.status for a in result.audit.attempts] == [ACCEPTED]
+
+    def test_audit_serializes(self, star_network):
+        result = solve_robust(star_network, chain=("prim",))
+        payload = result.audit.to_dict()
+        assert payload["winner"] == "prim"
+        assert payload["attempts"][0]["status"] == ACCEPTED
+        assert "prim" in result.audit.render()
+
+    def test_infeasible_network_exhausts_chain(self, tight_star_network):
+        result = solve_robust(
+            tight_star_network, chain=("conflict_free", "prim")
+        )
+        assert not result.feasible
+        assert result.solution.method == "robust-chain"
+        assert result.audit.winner is None
+        assert all(
+            a.status == INFEASIBLE for a in result.audit.attempts
+        )
+
+
+class TestFallthrough:
+    def test_crashing_solver_falls_through(self, star_network, temp_solver):
+        def crashes(network, users=None, rng=None):
+            raise RuntimeError("kaboom")
+
+        name = temp_solver("crash-test-solver", crashes)
+        result = solve_robust(star_network, chain=(name, "prim"))
+        assert result.feasible
+        assert result.audit.winner == "prim"
+        attempt = result.audit.attempt_for(name)
+        assert attempt.status == ERROR
+        assert "kaboom" in attempt.detail
+
+    def test_invalid_solver_falls_through(self, star_network, temp_solver):
+        def lies(network, users=None, rng=None):
+            return _fake_tree(network)
+
+        name = temp_solver("lying-test-solver", lies)
+        result = solve_robust(star_network, chain=(name, "prim"))
+        assert result.audit.winner == "prim"
+        attempt = result.audit.attempt_for(name)
+        assert attempt.status == INVALID
+        assert "path" in attempt.violations
+
+    def test_timeout_falls_through(self, star_network, temp_solver):
+        def sleeps(network, users=None, rng=None):
+            time.sleep(5.0)
+            return infeasible_solution(network.user_ids, "slow")
+
+        name = temp_solver("slow-test-solver", sleeps)
+        started = time.perf_counter()
+        result = solve_robust(
+            star_network, chain=(name, "prim"), timeout_s=0.2
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 4.0  # the watchdog, not the sleep, bounded us
+        assert result.audit.winner == "prim"
+        attempt = result.audit.attempt_for(name)
+        assert attempt.status == TIMEOUT
+        assert "watchdog" in attempt.detail
+
+    def test_verify_off_accepts_unchecked(self, star_network, temp_solver):
+        def lies(network, users=None, rng=None):
+            return _fake_tree(network)
+
+        name = temp_solver("unchecked-test-solver", lies)
+        result = solve_robust(star_network, chain=(name,), verify=False)
+        assert result.audit.winner == name
+        assert not result.audit.verified
+
+    def test_every_attempt_attributable(self, star_network, temp_solver):
+        """The acceptance scenario: chain of fail modes, full audit."""
+
+        def crashes(network, users=None, rng=None):
+            raise ValueError("bad math")
+
+        def lies(network, users=None, rng=None):
+            return _fake_tree(network)
+
+        crash = temp_solver("audit-crash-solver", crashes)
+        lie = temp_solver("audit-lie-solver", lies)
+        result = solve_robust(star_network, chain=(crash, lie, "prim"))
+        assert result.feasible
+        assert result.audit.chain == (crash, lie, "prim")
+        statuses = {a.method: a.status for a in result.audit.attempts}
+        assert statuses == {
+            crash: ERROR,
+            lie: INVALID,
+            "prim": ACCEPTED,
+        }
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2)
+        breaker.record_failure("x")
+        assert not breaker.is_open("x")
+        breaker.record_failure("x")
+        assert breaker.is_open("x")
+        assert not breaker.allow("x")  # consumes one cooldown
+        assert not breaker.allow("x")
+        assert breaker.allow("x")  # half-open probe
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+        breaker.record_failure("x")
+        assert breaker.is_open("x")
+        breaker.record_success("x")
+        assert breaker.allow("x")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+    def test_open_breaker_skips_solver(self, star_network, temp_solver):
+        calls = {"n": 0}
+
+        def crashes(network, users=None, rng=None):
+            calls["n"] += 1
+            raise RuntimeError("kaboom")
+
+        name = temp_solver("breaker-test-solver", crashes)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5)
+        chain = (name, "prim")
+        for _ in range(2):
+            solve_robust(star_network, chain=chain, breaker=breaker)
+        assert calls["n"] == 2
+        assert breaker.is_open(name)
+        result = solve_robust(star_network, chain=chain, breaker=breaker)
+        assert calls["n"] == 2  # skipped, not re-run
+        attempt = result.audit.attempt_for(name)
+        assert attempt.status == BREAKER_OPEN
+        assert result.audit.winner == "prim"

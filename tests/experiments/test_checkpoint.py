@@ -1,0 +1,201 @@
+"""Tests for crash-safe experiment checkpointing.
+
+The headline guarantee: kill a sweep after k trials, resume it, and the
+final aggregates are byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    CheckpointCorruption,
+    CheckpointStore,
+    active_store,
+    checkpointing,
+    config_key,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+SMALL = ExperimentConfig(
+    topology="waxman",
+    n_switches=12,
+    n_users=4,
+    avg_degree=4.0,
+    n_networks=4,
+    seed=11,
+    methods=("conflict_free", "prim"),
+)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "trials.jsonl"
+
+
+class TestConfigKey:
+    def test_deterministic(self):
+        assert config_key(SMALL) == config_key(SMALL)
+
+    def test_any_parameter_change_invalidates(self):
+        assert config_key(SMALL) != config_key(SMALL.replace(seed=12))
+        assert config_key(SMALL) != config_key(SMALL.replace(n_users=5))
+        assert config_key(SMALL) != config_key(
+            SMALL.replace(methods=("prim",))
+        )
+
+
+class TestStoreBasics:
+    def test_record_and_reload(self, store_path):
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        store.record(SMALL, 2, {"prim": 0.25})
+        reloaded = CheckpointStore(store_path)
+        assert len(reloaded) == 2
+        assert reloaded.has(SMALL, 0)
+        assert not reloaded.has(SMALL, 1)
+        assert reloaded.get(SMALL, 2) == {"prim": 0.25}
+        assert reloaded.completed_trials(SMALL) == [0, 2]
+
+    def test_float_round_trip_is_exact(self, store_path):
+        rate = 0.1234567890123456789e-7
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": rate})
+        assert CheckpointStore(store_path).get(SMALL, 0)["prim"] == rate
+
+    def test_rerecord_overwrites(self, store_path):
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        store.record(SMALL, 0, {"prim": 0.75})
+        assert CheckpointStore(store_path).get(SMALL, 0) == {"prim": 0.75}
+
+    def test_configs_do_not_collide(self, store_path):
+        other = SMALL.replace(seed=99)
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        assert not store.has(other, 0)
+        assert store.completed_trials(other) == []
+
+
+class TestIntegrity:
+    def test_torn_final_line_is_dropped(self, store_path):
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        store.record(SMALL, 1, {"prim": 0.25})
+        with open(store_path, "a", encoding="utf-8") as handle:
+            handle.write('{"entry": {"config_key": "abc", "tri')  # torn
+        reloaded = CheckpointStore(store_path)
+        assert len(reloaded) == 2  # torn tail dropped, prefix kept
+
+    def test_tampered_line_raises(self, store_path):
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        text = store_path.read_text()
+        store_path.write_text(text.replace("0.5", "0.9"))
+        with pytest.raises(CheckpointCorruption, match="hash mismatch"):
+            CheckpointStore(store_path)
+
+    def test_undecodable_middle_line_raises(self, store_path):
+        store = CheckpointStore(store_path)
+        store.record(SMALL, 0, {"prim": 0.5})
+        good_line = store_path.read_text()
+        store_path.write_text("not json at all\n" + good_line)
+        with pytest.raises(CheckpointCorruption, match="undecodable"):
+            CheckpointStore(store_path)
+
+    def test_missing_envelope_raises(self, store_path):
+        store_path.write_text('{"rates": {"prim": 0.5}}\n')
+        with pytest.raises(CheckpointCorruption, match="envelope"):
+            CheckpointStore(store_path)
+
+
+class _KilledMidRun(BaseException):
+    """Stand-in for SIGKILL: aborts the run outside ``except Exception``."""
+
+
+class TestKillAndResume:
+    def _result_fingerprint(self, result):
+        return json.dumps(
+            {o.method: list(o.rates) for o in result.outcomes},
+            sort_keys=True,
+        )
+
+    def test_resume_is_byte_identical(self, store_path, monkeypatch):
+        baseline = run_experiment(SMALL)
+
+        # "Kill" the process after 2 trials have committed.
+        store = CheckpointStore(store_path)
+        original_record = CheckpointStore.record
+        committed = {"n": 0}
+
+        def record_then_die(self, config, trial, rates):
+            original_record(self, config, trial, rates)
+            committed["n"] += 1
+            if committed["n"] == 2:
+                raise _KilledMidRun()
+
+        monkeypatch.setattr(CheckpointStore, "record", record_then_die)
+        with pytest.raises(_KilledMidRun):
+            run_experiment(SMALL, checkpoint=store)
+        monkeypatch.setattr(CheckpointStore, "record", original_record)
+
+        # Fresh process: reload the store from disk and resume.
+        resumed_store = CheckpointStore(store_path)
+        assert resumed_store.completed_trials(SMALL) == [0, 1]
+        resumed = run_experiment(SMALL, checkpoint=resumed_store)
+
+        assert self._result_fingerprint(resumed) == self._result_fingerprint(
+            baseline
+        )
+        assert resumed_store.completed_trials(SMALL) == [0, 1, 2, 3]
+
+    def test_fully_checkpointed_run_regenerates_nothing(
+        self, store_path, monkeypatch
+    ):
+        store = CheckpointStore(store_path)
+        first = run_experiment(SMALL, checkpoint=store)
+
+        import repro.experiments.runner as runner_module
+
+        def must_not_run(*args, **kwargs):
+            raise AssertionError("network generated despite full checkpoint")
+
+        monkeypatch.setattr(runner_module, "generate", must_not_run)
+        second = run_experiment(SMALL, checkpoint=CheckpointStore(store_path))
+        assert self._result_fingerprint(first) == self._result_fingerprint(
+            second
+        )
+
+    def test_partial_method_records_are_recomputed(self, store_path):
+        narrow = SMALL.replace(methods=("prim",))
+        store = CheckpointStore(store_path)
+        run_experiment(narrow, checkpoint=store)
+        # Same parameters but more methods → different config key, so
+        # the narrow records must not satisfy the wider run.
+        wide = narrow.replace(methods=("conflict_free", "prim"))
+        result = run_experiment(wide, checkpoint=store)
+        assert result.outcome("conflict_free").rates
+        assert store.completed_trials(wide) == list(range(wide.n_networks))
+
+
+class TestAmbientStore:
+    def test_checkpointing_scopes_the_store(self, store_path):
+        store = CheckpointStore(store_path)
+        assert active_store() is None
+        with checkpointing(store) as scoped:
+            assert scoped is store
+            assert active_store() is store
+            run_experiment(SMALL)
+        assert active_store() is None
+        assert store.completed_trials(SMALL) == list(range(SMALL.n_networks))
+
+    def test_nested_scopes_stack(self, tmp_path):
+        outer = CheckpointStore(tmp_path / "outer.jsonl")
+        inner = CheckpointStore(tmp_path / "inner.jsonl")
+        with checkpointing(outer):
+            with checkpointing(inner):
+                assert active_store() is inner
+            assert active_store() is outer

@@ -395,6 +395,95 @@ class TestSchedulerResilience:
             for s, peak in result.peak_qubit_usage.items()
         )
 
+    def test_repaired_solution_is_verified_and_ledger_stays_consistent(
+        self, params_q09
+    ):
+        # Same two-corridor shape as the reroute test: a repair swap
+        # must (a) run the independent verifier on the repaired tree and
+        # (b) move the reservation old→new atomically in the ledger, so
+        # end-state residuals equal exactly the budgets minus what the
+        # surviving reservation pins.
+        network = (
+            NetworkBuilder(params_q09)
+            .user("alice", (0, 0))
+            .user("bob", (1000, 0))
+            .switch("s0", (500, 100), qubits=2)
+            .switch("s1", (500, -100), qubits=2)
+            .fiber("alice", "s0", 500)
+            .fiber("s0", "bob", 500)
+            .fiber("alice", "s1", 600)
+            .fiber("s1", "bob", 600)
+            .build()
+        )
+        preview = solve_prim(
+            network,
+            ("alice", "bob"),
+            rng=ensure_rng(1),
+            residual=network.residual_qubits(),
+        )
+        used_switch = preview.channels[0].switches[0]
+        requests = [
+            EntanglementRequest(
+                name="req-0", users=("alice", "bob"), arrival=0, hold=10
+            )
+        ]
+        scheduler = OnlineScheduler(
+            network,
+            rng=1,
+            fault_injector=_injector(
+                FaultEvent(2, FaultKind.FIBER_CUT, ("alice", used_switch))
+            ),
+        )
+        result = scheduler.run(requests)
+        report = result.resilience
+        assert report.reroutes == 1
+        assert report.verifications >= 1
+        assert report.verification_failures == 0
+        # Only the spare corridor's switch may show peak usage after the
+        # swap beyond the original; neither ever exceeds its 2 qubits.
+        assert all(
+            peak <= (network.qubits_of(s) or 0)
+            for s, peak in result.peak_qubit_usage.items()
+        )
+
+    def test_verify_flag_off_skips_verifier(self, params_q09):
+        network = (
+            NetworkBuilder(params_q09)
+            .user("alice", (0, 0))
+            .user("bob", (1000, 0))
+            .switch("s0", (500, 100), qubits=2)
+            .switch("s1", (500, -100), qubits=2)
+            .fiber("alice", "s0", 500)
+            .fiber("s0", "bob", 500)
+            .fiber("alice", "s1", 600)
+            .fiber("s1", "bob", 600)
+            .build()
+        )
+        preview = solve_prim(
+            network,
+            ("alice", "bob"),
+            rng=ensure_rng(1),
+            residual=network.residual_qubits(),
+        )
+        used_switch = preview.channels[0].switches[0]
+        scheduler = OnlineScheduler(
+            network,
+            rng=1,
+            fault_injector=_injector(
+                FaultEvent(2, FaultKind.FIBER_CUT, ("alice", used_switch))
+            ),
+            verify=False,
+        )
+        result = scheduler.run(
+            [
+                EntanglementRequest(
+                    name="req-0", users=("alice", "bob"), arrival=0, hold=10
+                )
+            ]
+        )
+        assert result.resilience.verifications == 0
+        assert result.resilience.reroutes == 1
+
     def test_retry_policy_paces_blocked_requests(self, star_network):
         # req-1 is blocked while req-0 holds the hub; a 1-attempt
         # policy must reject it immediately with attribution.

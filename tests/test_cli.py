@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_OK,
+    EXIT_SOLVER_ERROR,
+    EXIT_VALIDATION_ERROR,
+    EXIT_VERIFICATION_ERROR,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -123,3 +132,169 @@ class TestNewCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "removed ratio" in out
+
+
+class TestExitCodes:
+    """Regression: each failure class owns a distinct nonzero exit code."""
+
+    def test_constants_are_distinct(self):
+        codes = {
+            EXIT_OK,
+            EXIT_VALIDATION_ERROR,
+            EXIT_SOLVER_ERROR,
+            EXIT_VERIFICATION_ERROR,
+        }
+        assert len(codes) == 4
+        assert EXIT_OK == 0
+
+    def test_unknown_solver_exits_3(self, capsys):
+        code = main(
+            ["solve", "--method", "prmi", "--switches", "8", "--users", "3"]
+        )
+        assert code == EXIT_SOLVER_ERROR
+        err = capsys.readouterr().err
+        assert "solver error" in err
+        assert "prim" in err  # did-you-mean suggestion surfaces
+
+    def test_validation_error_exits_2(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--switches",
+                "8",
+                "--users",
+                "3",
+                "--swap-prob",
+                "1.5",
+            ]
+        )
+        assert code == EXIT_VALIDATION_ERROR
+        err = capsys.readouterr().err
+        assert "validation error" in err
+        assert "swap_prob" in err
+
+    def test_nan_parameter_exits_2_with_message(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--switches",
+                "8",
+                "--users",
+                "3",
+                "--swap-prob",
+                "nan",
+            ]
+        )
+        assert code == EXIT_VALIDATION_ERROR
+        assert "NaN" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig6b", "--networks", "1", "--resume"]
+        )
+        assert code == EXIT_VALIDATION_ERROR
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestRobustSolveCommand:
+    def test_robust_prints_audit(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--robust",
+                "--switches",
+                "10",
+                "--users",
+                "4",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "solve audit" in out
+        assert "winner: conflict_free" in out
+
+    def test_robust_with_fallback(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--robust",
+                "--method",
+                "prim",
+                "--fallback",
+                "conflict_free",
+                "--switches",
+                "10",
+                "--users",
+                "4",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == EXIT_OK
+        assert "prim" in capsys.readouterr().out
+
+
+class TestExperimentCheckpointFlags:
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trials.jsonl"
+        code = main(
+            [
+                "experiment",
+                "fig6b",
+                "--networks",
+                "2",
+                "--seed",
+                "2",
+                "--checkpoint",
+                str(path),
+            ]
+        )
+        assert code == EXIT_OK
+        first = capsys.readouterr().out
+        assert path.exists()
+        recorded = path.read_text().count("\n")
+        assert recorded > 0
+        # Every line carries the integrity envelope.
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert set(record) == {"entry", "sha256"}
+
+        code = main(
+            [
+                "experiment",
+                "fig6b",
+                "--networks",
+                "2",
+                "--seed",
+                "2",
+                "--checkpoint",
+                str(path),
+                "--resume",
+            ]
+        )
+        assert code == EXIT_OK
+        second = capsys.readouterr().out
+        assert "resuming" in second
+        # Identical tables: the resumed run replays recorded trials.
+        assert first.splitlines()[-5:] == [
+            line for line in second.splitlines() if "resuming" not in line
+        ][-5:]
+
+    def test_fresh_run_discards_stale_checkpoint(self, tmp_path):
+        path = tmp_path / "trials.jsonl"
+        path.write_text("garbage that would fail integrity checks\n")
+        code = main(
+            [
+                "experiment",
+                "fig6b",
+                "--networks",
+                "1",
+                "--seed",
+                "2",
+                "--checkpoint",
+                str(path),
+            ]
+        )
+        assert code == EXIT_OK

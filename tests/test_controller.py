@@ -162,3 +162,60 @@ class TestPlanningErrorGuard:
             assert not excinfo.value.report.ok
         finally:
             del SOLVERS["bad-test-solver"]
+
+
+class TestHardenedPlanning:
+    def test_plan_records_audit(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0)
+        controller.plan()
+        audit = controller.last_audit
+        assert audit is not None
+        assert audit.winner == "conflict_free"
+        assert audit.verified
+
+    def test_fallback_chain_rescues_corrupt_primary(self, medium_waxman):
+        from repro.core.problem import Channel, MUERPSolution
+        from repro.core.registry import SOLVERS, register_solver
+
+        def bad_solver(network, users=None, rng=None):
+            users = network.user_ids
+            fake = Channel((users[0], users[1]), -0.1)
+            return MUERPSolution(
+                channels=(fake,), users=frozenset(users[:2])
+            )
+
+        register_solver("bad-test-solver", bad_solver)
+        try:
+            controller = EntanglementController(
+                medium_waxman,
+                method="bad-test-solver",
+                fallback_chain=("prim",),
+                rng=0,
+            )
+            solution = controller.plan(medium_waxman.user_ids[:2])
+            assert solution.feasible
+            audit = controller.last_audit
+            assert audit.winner == "prim"
+            assert audit.attempt_for("bad-test-solver").status == "invalid"
+        finally:
+            del SOLVERS["bad-test-solver"]
+
+    def test_verify_off_uses_classic_path(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0, verify=False)
+        solution = controller.plan()
+        assert solution.feasible
+        assert controller.last_audit is None
+
+    def test_per_call_verify_override(self, medium_waxman):
+        controller = EntanglementController(medium_waxman, rng=0, verify=False)
+        controller.plan(verify=True)
+        assert controller.last_audit is not None
+
+    def test_unknown_fallback_rejected_at_plan(self, medium_waxman):
+        from repro.core.registry import UnknownSolverError
+
+        controller = EntanglementController(
+            medium_waxman, fallback_chain=("no-such-solver",), rng=0
+        )
+        with pytest.raises(UnknownSolverError):
+            controller.plan()

@@ -1,0 +1,172 @@
+"""Property tests (hypothesis) for the core data structures.
+
+Both structures underpin the routing algorithms (union-find for
+Algorithms 2/3 connectivity, the indexed heap for Algorithm 1's
+Dijkstra), so they are checked against brute-force reference models
+over random operation sequences rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedMinHeap
+from repro.utils.unionfind import UnionFind
+
+# Small element universe so random pairs collide often (the interesting
+# case for both structures).
+ELEMENTS = st.integers(0, 11)
+PAIRS = st.tuples(ELEMENTS, ELEMENTS)
+
+
+class _NaivePartition:
+    """Reference model: partition as an explicit list of frozensets."""
+
+    def __init__(self):
+        self.sets = []
+
+    def _find(self, x):
+        for s in self.sets:
+            if x in s:
+                return s
+        s = {x}
+        self.sets.append(s)
+        return s
+
+    def union(self, a, b):
+        sa, sb = self._find(a), self._find(b)
+        if sa is sb:
+            return False
+        self.sets.remove(sb)
+        sa |= sb
+        return True
+
+    def connected(self, a, b):
+        return self._find(a) is self._find(b)
+
+
+class TestUnionFindProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=st.lists(PAIRS, max_size=40))
+    def test_matches_naive_partition(self, ops):
+        """Every union result and connectivity query matches the model."""
+        uf = UnionFind()
+        model = _NaivePartition()
+        for a, b in ops:
+            assert uf.union(a, b) == model.union(a, b)
+        for a, b in ops:
+            assert uf.connected(a, b) == model.connected(a, b)
+        assert uf.n_components == len(model.sets)
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(PAIRS, max_size=40))
+    def test_groups_form_a_partition(self, ops):
+        """groups() covers every element exactly once."""
+        uf = UnionFind()
+        for a, b in ops:
+            uf.union(a, b)
+        groups = uf.groups()
+        seen = [e for group in groups for e in group]
+        assert len(seen) == len(set(seen)) == len(uf)
+        assert set(seen) == set(uf)
+        for group in groups:
+            first = next(iter(group))
+            assert uf.all_connected(group)
+            for other in set(uf) - group:
+                assert not uf.connected(first, other)
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(PAIRS, max_size=40), probe=PAIRS)
+    def test_connectivity_is_equivalence(self, ops, probe):
+        """Reflexive + symmetric, and find() is stable across calls."""
+        uf = UnionFind()
+        for a, b in ops:
+            uf.union(a, b)
+        a, b = probe
+        assert uf.connected(a, a)
+        assert uf.connected(a, b) == uf.connected(b, a)
+        assert uf.find(a) == uf.find(a)
+
+
+class TestIndexedMinHeapProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        entries=st.dictionaries(
+            st.integers(0, 30),
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=30,
+        )
+    )
+    def test_drains_in_sorted_order(self, entries):
+        """Popping everything yields the keys in non-decreasing order."""
+        heap = IndexedMinHeap()
+        for item, key in entries.items():
+            heap.push(item, key)
+        drained = []
+        while len(heap):
+            drained.append(heap.pop_min())
+        assert sorted(k for _, k in drained) == [k for _, k in drained]
+        assert sorted(i for i, _ in drained) == sorted(entries)
+        for item, key in drained:
+            assert entries[item] == key
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        pushes=st.lists(
+            st.tuples(
+                st.integers(0, 10),
+                st.floats(
+                    min_value=0,
+                    max_value=100,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    def test_decrease_key_model(self, pushes):
+        """push() tracks min(seen keys) per item, like Dijkstra relax."""
+        heap = IndexedMinHeap()
+        best = {}
+        for item, key in pushes:
+            if item in best and key > best[item]:
+                with pytest.raises(ValueError):
+                    heap.push(item, key)
+            else:
+                heap.push(item, key)
+                best[item] = key
+                assert heap.key_of(item) == key
+        drained = {}
+        while len(heap):
+            item, key = heap.pop_min()
+            drained[item] = key
+        assert drained == best
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        entries=st.dictionaries(
+            st.integers(0, 20),
+            st.floats(
+                min_value=0,
+                max_value=10,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_peek_matches_pop(self, entries):
+        heap = IndexedMinHeap()
+        for item, key in entries.items():
+            heap.push(item, key)
+        while len(heap):
+            assert heap.peek_min() == heap.pop_min()

@@ -8,6 +8,7 @@ import pytest
 
 from repro.utils.validation import (
     ValidationError,
+    require_finite,
     require_non_negative,
     require_positive,
     require_probability,
@@ -50,3 +51,30 @@ class TestRequireProbability:
 
     def test_validation_error_is_value_error(self):
         assert issubclass(ValidationError, ValueError)
+
+
+class TestNonFiniteRejection:
+    """NaN and ±inf are rejected explicitly, naming parameter + value."""
+
+    def test_nan_message_is_specific(self):
+        with pytest.raises(ValidationError, match="swap_prob is NaN"):
+            require_probability(math.nan, "swap_prob")
+
+    @pytest.mark.parametrize("value", [math.inf, -math.inf])
+    def test_inf_message_is_specific(self, value):
+        with pytest.raises(ValidationError, match="alpha is .*inf"):
+            require_finite(value, "alpha")
+
+    @pytest.mark.parametrize(
+        "check", [require_finite, require_positive, require_non_negative,
+                  require_probability]
+    )
+    def test_error_carries_name_and_value(self, check):
+        with pytest.raises(ValidationError) as excinfo:
+            check(math.nan, "length")
+        assert excinfo.value.name == "length"
+        assert math.isnan(excinfo.value.value)
+
+    def test_finite_values_pass_through(self):
+        assert require_finite(3, "n") == 3
+        assert require_finite(-2.5, "x") == -2.5
