@@ -8,13 +8,15 @@ pairwise runs.
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
+import repro.obs as obs
 from repro.core.channel import all_pairs_best_channels, find_best_channel
 from repro.core.registry import solve
-from repro.topology import TopologyConfig, waxman_network
+from repro.topology import TopologyConfig, watts_strogatz_network, waxman_network
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +57,54 @@ def test_single_source_optimization_beats_pairwise(benchmark, paper_network):
     # …but the single-source variant does at most |U|-1 Dijkstras versus
     # |U|(|U|-1)/2 and must be measurably faster at |U| = 10.
     assert fast_time < slow_time
+
+
+def test_emit_solver_metrics_json(results_dir):
+    """Machine-readable companion to the ``.txt`` archives.
+
+    One instrumented run per solver × topology: wall time, solution
+    rate, and the observability counters (Dijkstra work, ledger
+    activity) land in ``benchmarks/results/BENCH_solver.json`` so
+    regressions can be tracked by tooling, not just eyeballs.
+    """
+    config = TopologyConfig()
+    topologies = {
+        "waxman": waxman_network(config, rng=99),
+        "watts_strogatz": watts_strogatz_network(config, rng=99),
+    }
+    methods = ["optimal", "conflict_free", "prim", "eqcast", "nfusion"]
+    results = {}
+    for topo_name, network in topologies.items():
+        per_method = {}
+        for method in methods:
+            with obs.collecting() as registry:
+                start = time.perf_counter()
+                solution = solve(method, network, rng=0)
+                wall_seconds = time.perf_counter() - start
+            per_method[method] = {
+                "wall_seconds": wall_seconds,
+                "rate": solution.rate,
+                "feasible": solution.feasible,
+                "counters": dict(sorted(registry.counters().items())),
+            }
+        results[topo_name] = per_method
+    payload = {
+        "config": {
+            "n_switches": config.n_switches,
+            "n_users": config.n_users,
+            "avg_degree": config.avg_degree,
+            "qubits_per_switch": config.qubits_per_switch,
+            "swap_prob": config.swap_prob,
+            "network_seed": 99,
+            "solver_seed": 0,
+        },
+        "results": results,
+    }
+    out = results_dir / "BENCH_solver.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # The instrumentation must have seen real solver work.
+    counters = results["waxman"]["conflict_free"]["counters"]
+    assert counters.get("core.dijkstra.calls", 0) > 0
 
 
 def test_scaling_with_network_size(benchmark):

@@ -46,12 +46,14 @@ from repro.core import (
     best_channels_from,
     brute_force_optimal,
     channel_rate,
+    dijkstra,
     find_best_channel,
     improve_solution,
     k_best_channels,
     solve_conflict_free,
     solve_optimal,
     solve_prim,
+    trace_path,
     validate_solution,
 )
 import repro.baselines  # noqa: F401 - populate the solver registry
@@ -89,6 +91,8 @@ from repro.extensions import (
 from repro.topology import real_world_network
 from repro.network import topology_stats
 from repro.experiments import ExperimentConfig, run_experiment, run_named
+import repro.obs as obs  # noqa: F401 - observability subsystem
+from repro.obs import MetricsRegistry, Tracer
 from repro.controller import EntanglementController, PlanningError, ServiceReport
 from repro.resilience import (
     BudgetedRetryPolicy,
@@ -127,6 +131,8 @@ __all__ = [
     "best_channels_from",
     "brute_force_optimal",
     "channel_rate",
+    "dijkstra",
+    "trace_path",
     "find_best_channel",
     "solve_conflict_free",
     "solve_optimal",
@@ -180,5 +186,8 @@ __all__ = [
     "ExponentialBackoffPolicy",
     "RetryBudget",
     "BudgetedRetryPolicy",
+    "obs",
+    "MetricsRegistry",
+    "Tracer",
     "__version__",
 ]

@@ -44,6 +44,36 @@ EXIT_SOLVER_ERROR = 3
 EXIT_VERIFICATION_ERROR = 4
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared ``--metrics``/``--trace`` flags for every subcommand.
+
+    The same options exist on the top-level parser (with real
+    defaults); the per-subcommand copies use ``argparse.SUPPRESS`` so
+    ``repro --metrics m.json solve`` and ``repro solve --metrics
+    m.json`` both work, with the subcommand position winning.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="write solver/runtime metrics to FILE after the command",
+    )
+    parent.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default=argparse.SUPPRESS,
+        help="metrics file format (default json; prom = Prometheus text)",
+    )
+    parent.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="write spans as JSONL to FILE after the command",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -53,12 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
             "(ICDCS 2024 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write solver/runtime metrics to FILE after the command",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="metrics file format (default json; prom = Prometheus text)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write spans as JSONL to FILE after the command",
+    )
+    obs_parent = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list solvers, topologies and experiments")
+    sub.add_parser(
+        "list",
+        help="list solvers, topologies and experiments",
+        parents=[obs_parent],
+    )
 
     solve_parser = sub.add_parser(
-        "solve", help="generate one network and route it"
+        "solve",
+        help="generate one network and route it",
+        parents=[obs_parent],
     )
     solve_parser.add_argument("--topology", default="waxman")
     solve_parser.add_argument("--method", default="conflict_free")
@@ -88,8 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --robust semantics only when --robust is given)",
     )
 
+    obs_parser = sub.add_parser(
+        "obs",
+        help="run an instrumented demo solve and print its metrics",
+        parents=[obs_parent],
+    )
+    obs_parser.add_argument("--topology", default="waxman")
+    obs_parser.add_argument("--method", default="conflict_free")
+    obs_parser.add_argument("--switches", type=int, default=40)
+    obs_parser.add_argument("--users", type=int, default=8)
+    obs_parser.add_argument("--degree", type=float, default=6.0)
+    obs_parser.add_argument("--qubits", type=int, default=4)
+    obs_parser.add_argument("--seed", type=int, default=7)
+    obs_parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="stdout format for the metric snapshot",
+    )
+
     experiment_parser = sub.add_parser(
-        "experiment", help="run a named experiment (fig5, fig6a, …)"
+        "experiment",
+        help="run a named experiment (fig5, fig6a, …)",
+        parents=[obs_parent],
     )
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment_parser.add_argument(
@@ -115,7 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats_parser = sub.add_parser(
-        "stats", help="generate one network and print its topology stats"
+        "stats",
+        help="generate one network and print its topology stats",
+        parents=[obs_parent],
     )
     stats_parser.add_argument("--topology", default="waxman")
     stats_parser.add_argument("--switches", type=int, default=50)
@@ -124,7 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--seed", type=int, default=7)
 
     montecarlo_parser = sub.add_parser(
-        "montecarlo", help="validate a routed tree's rate by simulation"
+        "montecarlo",
+        help="validate a routed tree's rate by simulation",
+        parents=[obs_parent],
     )
     montecarlo_parser.add_argument("--topology", default="waxman")
     montecarlo_parser.add_argument("--method", default="conflict_free")
@@ -136,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     resilience_parser = sub.add_parser(
         "resilience",
         help="run a chaos scenario: online service under injected faults",
+        parents=[obs_parent],
     )
     resilience_parser.add_argument("--topology", default="waxman")
     resilience_parser.add_argument(
@@ -223,6 +304,39 @@ def _command_solve(args: argparse.Namespace) -> int:
     if solution.feasible and args.show_channels:
         for channel in solution.channels:
             print(f"  {channel}")
+    return EXIT_OK
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    """Instrumented demo: robust-solve one network, print the metrics.
+
+    The metric snapshot goes to stdout (pipe it straight into a file or
+    a scrape target); the network/solution summary goes to stderr.
+    """
+    import json
+
+    import repro.obs as obs
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        avg_degree=args.degree,
+        qubits_per_switch=args.qubits,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    result = solve_robust(
+        network, rng=args.seed, chain=(args.method,), timeout_s=60.0
+    )
+    print(network, file=sys.stderr)
+    print(result.solution, file=sys.stderr)
+    registry = obs.active()
+    if registry is None:  # pragma: no cover - main() always enables here
+        print("metrics collection inactive", file=sys.stderr)
+        return EXIT_FAILURE
+    if args.format == "prom":
+        print(obs.render_prometheus(registry), end="")
+    else:
+        print(json.dumps(registry.to_dict(), indent=2, sort_keys=True))
     return EXIT_OK
 
 
@@ -409,6 +523,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_list()
     if args.command == "solve":
         return _command_solve(args)
+    if args.command == "obs":
+        return _command_obs(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "stats":
@@ -425,10 +541,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Failure classes map to distinct exit codes (module docstring):
     validation → 2, solver → 3, verification → 4.
+
+    ``--metrics FILE`` / ``--trace FILE`` (global or per-subcommand)
+    collect observability data around the whole command and write it
+    on the way out; the informational notes go to stderr so stdout
+    stays byte-identical to an uninstrumented run.
     """
+    import repro.obs as obs
     from repro.verify.invariants import InvariantViolation
 
     args = build_parser().parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    metrics_format = getattr(args, "metrics_format", "json")
+    trace_path = getattr(args, "trace", None)
+    collect_metrics = bool(metrics_path) or args.command == "obs"
+    registry = obs.enable() if collect_metrics else None
+    tracer = obs.enable_tracer() if trace_path else None
     try:
         return _dispatch(args)
     except ValidationError as exc:
@@ -440,6 +568,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except InvariantViolation as exc:
         print(f"verification error: {exc}", file=sys.stderr)
         return EXIT_VERIFICATION_ERROR
+    finally:
+        if registry is not None:
+            obs.disable()
+            if metrics_path:
+                if metrics_format == "prom":
+                    obs.write_metrics_prometheus(registry, metrics_path)
+                else:
+                    obs.write_metrics_json(registry, metrics_path)
+                print(f"metrics written to {metrics_path}", file=sys.stderr)
+        if tracer is not None:
+            obs.disable_tracer()
+            n_spans = obs.write_trace_jsonl(tracer, trace_path)
+            print(
+                f"{n_spans} span(s) written to {trace_path}",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

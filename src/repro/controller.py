@@ -23,6 +23,8 @@ import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+import repro.obs.metrics as obs_metrics
+import repro.obs.trace as obs_trace
 from repro.core.localsearch import improve_solution
 from repro.core.problem import MUERPSolution
 from repro.core.registry import (
@@ -142,6 +144,24 @@ class EntanglementController:
         be served; raises :class:`PlanningError` if the solver(s) only
         ever emit structurally invalid plans.
         """
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("controller.plan.calls")
+        with obs_trace.span(
+            "controller.plan", method=self.method
+        ) as plan_span:
+            solution = self._plan_impl(users, verify)
+            if plan_span is not None:
+                plan_span.set_attr("feasible", solution.feasible)
+            if metrics is not None and not solution.feasible:
+                metrics.inc("controller.plan.infeasible")
+            return solution
+
+    def _plan_impl(
+        self,
+        users: Optional[Iterable[Hashable]],
+        verify: Optional[bool],
+    ) -> MUERPSolution:
         use_verify = self.verify if verify is None else verify
         planned_method = self.method
         if use_verify:
@@ -208,11 +228,26 @@ class EntanglementController:
         max_slots: int = 1_000_000,
     ) -> ServiceReport:
         """Plan and execute one request end to end."""
-        solution = self.plan(users)
-        if not solution.feasible:
-            return ServiceReport(solution=solution, run=None)
-        run = self.execute(solution, max_slots=max_slots)
-        return ServiceReport(solution=solution, run=run)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("controller.serve.requests")
+        with obs_trace.span(
+            "controller.serve", method=self.method
+        ) as serve_span:
+            solution = self.plan(users)
+            if not solution.feasible:
+                if serve_span is not None:
+                    serve_span.set_attr("outcome", "infeasible")
+                return ServiceReport(solution=solution, run=None)
+            run = self.execute(solution, max_slots=max_slots)
+            if metrics is not None and run.succeeded:
+                metrics.inc("controller.serve.entangled")
+            if serve_span is not None:
+                serve_span.set_attr(
+                    "outcome", "entangled" if run.succeeded else "failed"
+                )
+                serve_span.set_attr("slots_used", run.slots_used)
+            return ServiceReport(solution=solution, run=run)
 
     def serve_resilient(
         self,

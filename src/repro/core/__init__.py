@@ -19,7 +19,12 @@ from repro.core.rates import (
     tree_log_rate,
     tree_rate,
 )
-from repro.core.channel import best_channels_from, find_best_channel
+from repro.core.channel import (
+    best_channels_from,
+    dijkstra,
+    find_best_channel,
+    trace_path,
+)
 from repro.core.optimal import solve_optimal
 from repro.core.conflict_free import solve_conflict_free
 from repro.core.prim_based import solve_prim
@@ -40,6 +45,8 @@ __all__ = [
     "tree_log_rate",
     "tree_rate",
     "best_channels_from",
+    "dijkstra",
+    "trace_path",
     "find_best_channel",
     "solve_optimal",
     "solve_conflict_free",

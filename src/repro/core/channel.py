@@ -23,12 +23,22 @@ Implementation notes (equivalent reformulation):
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.problem import Channel
 from repro.core.rates import swap_log_rate
 from repro.network.graph import QuantumNetwork
+import repro.obs.metrics as obs_metrics
 from repro.utils.heap import IndexedMinHeap
+
+__all__ = [
+    "dijkstra",
+    "trace_path",
+    "find_best_channel",
+    "best_channels_from",
+    "all_pairs_best_channels",
+]
 
 
 def _residual_qubits(
@@ -41,7 +51,7 @@ def _residual_qubits(
     return residual
 
 
-def _dijkstra(
+def dijkstra(
     network: QuantumNetwork,
     source: Hashable,
     residual: Optional[Dict[Hashable, int]] = None,
@@ -50,16 +60,26 @@ def _dijkstra(
 ) -> Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]:
     """Single-source max-rate search (Algorithm 1's main loop).
 
+    This is the public channel-search primitive (the building block
+    :func:`find_best_channel` / :func:`best_channels_from` and the
+    Yen-style spur searches in :mod:`repro.core.kbest` share); pair it
+    with :func:`trace_path` to materialize concrete paths.
+
     Returns ``(dist, prev)`` where ``dist[x]`` is the accumulated weight
     ``α·ΣL − (#swaps)·ln q`` of the best partial channel from *source* to
     ``x`` and ``prev`` traces the path.  Quantum users are reachable as
     terminals but never expanded; switches are expanded only while they
     hold at least 2 residual qubits.
 
-    ``allow_switch_source`` lets internal callers (Yen's spur searches in
-    :mod:`repro.core.kbest`) start from a switch; the source's own swap
-    cost is then the caller's responsibility (it is a constant offset
-    across all returned paths, so argmax comparisons stay valid).
+    ``allow_switch_source`` lets spur-search callers start from a
+    switch; the source's own swap cost is then the caller's
+    responsibility (it is a constant offset across all returned paths,
+    so argmax comparisons stay valid).
+
+    Profiling: each call publishes ``core.dijkstra.calls`` /
+    ``.heap_pops`` / ``.edges_scanned`` / ``.relaxations`` counters to
+    the active :class:`~repro.obs.metrics.MetricsRegistry` (one batch
+    at return, so per-iteration cost is three local integer bumps).
     """
     if not allow_switch_source and not network.is_user(source):
         raise ValueError(f"source {source!r} must be a quantum user")
@@ -72,9 +92,13 @@ def _dijkstra(
     visited: Set[Hashable] = set()
     heap = IndexedMinHeap()
     heap.push(source, 0.0)
+    heap_pops = 0
+    edges_scanned = 0
+    relaxations = 0
 
     while len(heap):
         node, node_dist = heap.pop_min()
+        heap_pops += 1
         if node in visited:
             continue
         visited.add(node)
@@ -88,6 +112,7 @@ def _dijkstra(
         if math.isinf(swap_cost):
             continue  # q = 0: cannot extend beyond the source's own links
         for fiber in network.incident_fibers(node):
+            edges_scanned += 1
             neighbor = fiber.other_end(node)
             if neighbor in visited:
                 continue
@@ -102,18 +127,49 @@ def _dijkstra(
                 dist[neighbor] = candidate
                 prev[neighbor] = node
                 heap.push(neighbor, candidate)
+                relaxations += 1
+    metrics = obs_metrics.active()
+    if metrics is not None:
+        metrics.inc("core.dijkstra.calls")
+        metrics.inc("core.dijkstra.heap_pops", heap_pops)
+        metrics.inc("core.dijkstra.edges_scanned", edges_scanned)
+        metrics.inc("core.dijkstra.relaxations", relaxations)
+        metrics.inc("core.dijkstra.nodes_settled", len(visited))
     return dist, prev
 
 
-def _trace_path(
+def trace_path(
     prev: Dict[Hashable, Hashable], source: Hashable, target: Hashable
 ) -> Tuple[Hashable, ...]:
-    """Recover the source→target path from the ``Prev`` array."""
+    """Recover the source→target path from :func:`dijkstra`'s ``prev``.
+
+    Raises ``KeyError`` when *target* was unreachable (absent from the
+    predecessor map); callers are expected to test membership in the
+    returned ``dist`` first, as the channel helpers here do.
+    """
     path: List[Hashable] = [target]
     while path[-1] != source:
         path.append(prev[path[-1]])
     path.reverse()
     return tuple(path)
+
+
+#: Deprecated pre-1.1 private names, kept as importable aliases.
+_DEPRECATED_ALIASES = {"_dijkstra": dijkstra, "_trace_path": trace_path}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        warnings.warn(
+            f"repro.core.channel.{name} is deprecated; use the public "
+            f"repro.core.channel.{name.lstrip('_')} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_ALIASES[name]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def find_best_channel(
@@ -142,10 +198,13 @@ def find_best_channel(
         raise ValueError("source and target must differ")
     if not network.is_user(target):
         raise ValueError(f"target {target!r} must be a quantum user")
-    dist, prev = _dijkstra(network, source, residual, forbidden_fibers)
+    metrics = obs_metrics.active()
+    if metrics is not None:
+        metrics.inc("core.channel_search.pair_calls")
+    dist, prev = dijkstra(network, source, residual, forbidden_fibers)
     if target not in dist:
         return None
-    return Channel.from_path(network, _trace_path(prev, source, target))
+    return Channel.from_path(network, trace_path(prev, source, target))
 
 
 def best_channels_from(
@@ -163,14 +222,18 @@ def best_channels_from(
     for target in target_list:
         if not network.is_user(target):
             raise ValueError(f"target {target!r} must be a quantum user")
-    dist, prev = _dijkstra(network, source, residual)
+    dist, prev = dijkstra(network, source, residual)
     channels: Dict[Hashable, Channel] = {}
     for target in target_list:
         if target == source or target not in dist:
             continue
         channels[target] = Channel.from_path(
-            network, _trace_path(prev, source, target)
+            network, trace_path(prev, source, target)
         )
+    metrics = obs_metrics.active()
+    if metrics is not None:
+        metrics.inc("core.channel_search.single_source_calls")
+        metrics.inc("core.channel_search.channels_found", len(channels))
     return channels
 
 

@@ -120,7 +120,7 @@ def _spur_via_prefix(
     banned: Set[Tuple[Hashable, Hashable]],
 ) -> Optional[Channel]:
     """Best channel extending *root* (source…spur) to *target*."""
-    from repro.core.channel import _dijkstra, _trace_path
+    from repro.core.channel import dijkstra, trace_path
     from repro.core.rates import channel_log_rate
 
     spur = root[-1]
@@ -129,7 +129,7 @@ def _spur_via_prefix(
     # fibers banned, then glue root[:-1] + spur-path.  The spur is a
     # switch, so the search starts in relay mode; its own swap cost is a
     # constant offset over all spur paths and cannot change the argmax.
-    dist, prev = _dijkstra(
+    dist, prev = dijkstra(
         network,
         spur,
         residual,
@@ -138,7 +138,7 @@ def _spur_via_prefix(
     )
     if target not in dist:
         return None
-    spur_path = _trace_path(prev, spur, target)
+    spur_path = trace_path(prev, spur, target)
     glued = root[:-1] + spur_path
     if len(set(glued)) != len(glued):
         return None  # defensive: gluing must stay loopless

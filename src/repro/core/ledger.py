@@ -36,6 +36,7 @@ from typing import (
     Tuple,
 )
 
+import repro.obs.metrics as obs_metrics
 from repro.utils.heap import IndexedMinHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,6 +103,8 @@ class CapacityLedger:
         self._journals: List[List[Tuple[Hashable, int]]] = []
         #: Switches whose availability changed since construction.
         self._dirty: set = set()
+        #: Largest single-switch usage seen (peak-occupancy telemetry).
+        self._peak_global: int = max(self._peak.values(), default=0)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -210,6 +213,8 @@ class CapacityLedger:
         used = self._budgets.get(switch, 0) - new
         if used > self._peak.get(switch, 0):
             self._peak[switch] = used
+            if used > self._peak_global:
+                self._peak_global = used
 
     def can_reserve(self, usage: Mapping[Hashable, int]) -> bool:
         """Whether every switch in *usage* has the requested headroom."""
@@ -242,6 +247,13 @@ class CapacityLedger:
         for switch, qubits in usage.items():
             if qubits:
                 self._apply(switch, -qubits)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("core.ledger.reserves")
+            metrics.inc("core.ledger.qubits_reserved", sum(usage.values()))
+            metrics.max_gauge(
+                "core.ledger.peak_occupancy", self._peak_global
+            )
 
     def release(self, usage: Mapping[Hashable, int]) -> None:
         """Atomically return *usage* qubits to the account.
@@ -269,6 +281,10 @@ class CapacityLedger:
         for switch, qubits in usage.items():
             if qubits:
                 self._apply(switch, qubits)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("core.ledger.releases")
+            metrics.inc("core.ledger.qubits_released", sum(usage.values()))
 
     # Channel conveniences ------------------------------------------------
     def can_host(self, channel: "Channel") -> bool:
@@ -312,10 +328,15 @@ class CapacityLedger:
         """
         journal: List[Tuple[Hashable, int]] = []
         self._journals.append(journal)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("core.ledger.transactions")
         try:
             yield self
         except BaseException:
             self._rollback(journal)
+            if metrics is not None:
+                metrics.inc("core.ledger.rollbacks")
             raise
         finally:
             popped = self._journals.pop()

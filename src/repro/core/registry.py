@@ -40,6 +40,8 @@ from repro.core.optimal import solve_optimal
 from repro.core.prim_based import solve_prim
 from repro.core.problem import MUERPSolution, infeasible_solution, resolve_users
 from repro.network.graph import QuantumNetwork
+import repro.obs.metrics as obs_metrics
+import repro.obs.trace as obs_tracing
 from repro.utils.rng import RngLike
 
 logger = logging.getLogger("repro.core.registry")
@@ -368,101 +370,168 @@ def solve_robust(
     verifier = SolutionVerifier(rate_tolerance=rate_tolerance)
     audit = SolveAudit(chain=chain)
 
-    for method in chain:
-        if breaker is not None and not breaker.allow(method):
-            audit.attempts.append(
-                SolveAttempt(
-                    method=method,
-                    status=BREAKER_OPEN,
-                    detail="circuit breaker open; solver skipped",
-                )
-            )
-            continue
-        started = time.perf_counter()
-        try:
-            solution = _call_with_watchdog(
-                SOLVERS[method], method, network, user_list, rng, timeout_s
-            )
-        except SolveTimeout as exc:
-            elapsed = time.perf_counter() - started
-            audit.attempts.append(
-                SolveAttempt(
-                    method=method,
-                    status=TIMEOUT,
-                    elapsed_s=elapsed,
-                    detail=str(exc),
-                )
-            )
-            if breaker is not None:
-                breaker.record_failure(method)
-            continue
-        except Exception as exc:  # noqa: BLE001 - fallback chain boundary
-            elapsed = time.perf_counter() - started
-            audit.attempts.append(
-                SolveAttempt(
-                    method=method,
-                    status=ERROR,
-                    elapsed_s=elapsed,
-                    detail=f"{type(exc).__name__}: {exc}",
-                )
-            )
-            if breaker is not None:
-                breaker.record_failure(method)
-            logger.warning("solver %r crashed: %s", method, exc)
-            continue
-        elapsed = time.perf_counter() - started
+    metrics = obs_metrics.active()
+    if metrics is not None:
+        metrics.inc("solver.robust.calls")
 
-        if not solution.feasible:
-            audit.attempts.append(
-                SolveAttempt(
-                    method=method,
-                    status=INFEASIBLE,
-                    elapsed_s=elapsed,
-                    detail="solver reported no spanning tree",
-                )
+    def _note_attempt(attempt: SolveAttempt, depth: int) -> None:
+        """Record one chain link in the audit and the metrics registry."""
+        audit.attempts.append(attempt)
+        if metrics is None:
+            return
+        metrics.inc("solver.robust.attempts")
+        metrics.inc(f"solver.robust.status.{attempt.status}")
+        if depth > 0:
+            metrics.inc("solver.robust.fallbacks")
+        if attempt.status != BREAKER_OPEN:
+            metrics.observe(
+                "solver.robust.attempt_seconds", attempt.elapsed_s
             )
-            # Honest infeasibility is not a solver fault: no breaker hit.
-            continue
 
-        if verify:
-            violations = verifier.audit(
-                network,
-                solution,
-                users=user_list,
-                enforce_capacity=method not in exempt,
-            )
-            if violations:
-                audit.attempts.append(
+    with obs_tracing.span(
+        "solve_robust", chain="->".join(chain), users=len(user_list)
+    ) as root_span:
+        for depth, method in enumerate(chain):
+            if breaker is not None and not breaker.allow(method):
+                _note_attempt(
                     SolveAttempt(
                         method=method,
-                        status=INVALID,
-                        elapsed_s=elapsed,
-                        detail="; ".join(str(v) for v in violations[:3]),
-                        violations=tuple(v.code for v in violations),
-                    )
-                )
-                if breaker is not None:
-                    breaker.record_failure(method)
-                logger.warning(
-                    "solver %r returned an invalid solution (%s)",
-                    method,
-                    ", ".join(v.code for v in violations),
+                        status=BREAKER_OPEN,
+                        detail="circuit breaker open; solver skipped",
+                    ),
+                    depth,
                 )
                 continue
+            started = time.perf_counter()
+            with obs_tracing.span("solve_attempt", method=method) as attempt_span:
+                try:
+                    solution = _call_with_watchdog(
+                        SOLVERS[method],
+                        method,
+                        network,
+                        user_list,
+                        rng,
+                        timeout_s,
+                    )
+                except SolveTimeout as exc:
+                    elapsed = time.perf_counter() - started
+                    _note_attempt(
+                        SolveAttempt(
+                            method=method,
+                            status=TIMEOUT,
+                            elapsed_s=elapsed,
+                            detail=str(exc),
+                        ),
+                        depth,
+                    )
+                    if attempt_span is not None:
+                        attempt_span.set_attr("status", TIMEOUT)
+                    if breaker is not None:
+                        breaker.record_failure(method)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - fallback chain boundary
+                    elapsed = time.perf_counter() - started
+                    _note_attempt(
+                        SolveAttempt(
+                            method=method,
+                            status=ERROR,
+                            elapsed_s=elapsed,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        ),
+                        depth,
+                    )
+                    if attempt_span is not None:
+                        attempt_span.set_attr("status", ERROR)
+                    if breaker is not None:
+                        breaker.record_failure(method)
+                    logger.warning("solver %r crashed: %s", method, exc)
+                    continue
+                elapsed = time.perf_counter() - started
 
-        audit.attempts.append(
-            SolveAttempt(method=method, status=ACCEPTED, elapsed_s=elapsed)
+                if not solution.feasible:
+                    _note_attempt(
+                        SolveAttempt(
+                            method=method,
+                            status=INFEASIBLE,
+                            elapsed_s=elapsed,
+                            detail="solver reported no spanning tree",
+                        ),
+                        depth,
+                    )
+                    if attempt_span is not None:
+                        attempt_span.set_attr("status", INFEASIBLE)
+                    # Honest infeasibility is not a solver fault: no
+                    # breaker hit.
+                    continue
+
+                if verify:
+                    violations = verifier.audit(
+                        network,
+                        solution,
+                        users=user_list,
+                        enforce_capacity=method not in exempt,
+                    )
+                    if violations:
+                        _note_attempt(
+                            SolveAttempt(
+                                method=method,
+                                status=INVALID,
+                                elapsed_s=elapsed,
+                                detail="; ".join(
+                                    str(v) for v in violations[:3]
+                                ),
+                                violations=tuple(
+                                    v.code for v in violations
+                                ),
+                            ),
+                            depth,
+                        )
+                        if attempt_span is not None:
+                            attempt_span.set_attr("status", INVALID)
+                        if breaker is not None:
+                            breaker.record_failure(method)
+                        logger.warning(
+                            "solver %r returned an invalid solution (%s)",
+                            method,
+                            ", ".join(v.code for v in violations),
+                        )
+                        continue
+
+                _note_attempt(
+                    SolveAttempt(
+                        method=method, status=ACCEPTED, elapsed_s=elapsed
+                    ),
+                    depth,
+                )
+                if attempt_span is not None:
+                    attempt_span.set_attr("status", ACCEPTED)
+                audit.winner = method
+                audit.verified = bool(verify)
+                if breaker is not None:
+                    breaker.record_success(method)
+                if metrics is not None:
+                    metrics.set_gauge("solver.robust.fallback_depth", depth)
+                    if breaker is not None:
+                        metrics.set_gauge(
+                            "solver.robust.breaker_open_solvers",
+                            sum(
+                                1
+                                for state in breaker.state().values()
+                                if state["skips_left"] > 0
+                            ),
+                        )
+                if root_span is not None:
+                    root_span.set_attr("winner", method)
+                return RobustSolveResult(solution=solution, audit=audit)
+
+        if metrics is not None:
+            metrics.inc("solver.robust.chain_exhausted")
+        if root_span is not None:
+            root_span.set_attr("winner", None)
+        return RobustSolveResult(
+            solution=infeasible_solution(user_list, "robust-chain"),
+            audit=audit,
         )
-        audit.winner = method
-        audit.verified = bool(verify)
-        if breaker is not None:
-            breaker.record_success(method)
-        return RobustSolveResult(solution=solution, audit=audit)
-
-    return RobustSolveResult(
-        solution=infeasible_solution(user_list, "robust-chain"),
-        audit=audit,
-    )
 
 
 def _optimal_adapter(network, users=None, rng=None):

@@ -13,12 +13,15 @@ regardless of the swept budget.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 import repro.baselines  # noqa: F401 - registers baseline solvers
+import repro.obs.metrics as obs_metrics
+import repro.obs.trace as obs_trace
 from repro.analysis.stats import SummaryStats, summarize
 from repro.analysis.tables import Table
 from repro.core.registry import CAPACITY_EXEMPT_METHODS, DISPLAY_NAMES, solve
@@ -97,9 +100,19 @@ def run_on_network(
     is a library bug, never a legitimate experiment outcome).
     """
     generator = ensure_rng(rng)
+    metrics = obs_metrics.active()
     rates: Dict[str, float] = {}
     for method in methods:
+        started = time.perf_counter()
         solution = solve(method, network, rng=generator)
+        if metrics is not None:
+            metrics.inc(f"experiments.solves.{method}")
+            metrics.observe(
+                f"experiments.solve_seconds.{method}",
+                time.perf_counter() - started,
+            )
+            if not solution.feasible:
+                metrics.inc(f"experiments.infeasible.{method}")
         if validate:
             report = validate_solution(
                 network,
@@ -130,24 +143,45 @@ def run_experiment(
     topology_config = config.topology_config()
     network_rngs = spawn_rngs(config.seed, config.n_networks)
     per_method: Dict[str, List[float]] = {m: [] for m in config.methods}
-    for trial, network_rng in enumerate(network_rngs):
-        rates: Optional[Dict[str, float]] = None
-        if store is not None:
-            recorded = store.get(config, trial)
-            # A resumable record must cover every requested method;
-            # partial records (e.g. from a sweep with fewer methods)
-            # are recomputed rather than trusted.
-            if recorded is not None and all(
-                m in recorded for m in config.methods
-            ):
-                rates = {m: recorded[m] for m in config.methods}
-        if rates is None:
-            network = generate(config.topology, topology_config, network_rng)
-            rates = run_on_network(network, config.methods, network_rng)
+    metrics = obs_metrics.active()
+    with obs_trace.span(
+        "experiment.run",
+        topology=config.topology,
+        n_networks=config.n_networks,
+        methods=",".join(config.methods),
+    ):
+        for trial, network_rng in enumerate(network_rngs):
+            rates: Optional[Dict[str, float]] = None
             if store is not None:
-                store.record(config, trial, rates)
-        for method in config.methods:
-            per_method[method].append(rates[method])
+                recorded = store.get(config, trial)
+                # A resumable record must cover every requested method;
+                # partial records (e.g. from a sweep with fewer methods)
+                # are recomputed rather than trusted.
+                if recorded is not None and all(
+                    m in recorded for m in config.methods
+                ):
+                    rates = {m: recorded[m] for m in config.methods}
+                    if metrics is not None:
+                        metrics.inc("experiments.trials_resumed")
+            if rates is None:
+                trial_started = time.perf_counter()
+                with obs_trace.span("experiment.trial", trial=trial):
+                    network = generate(
+                        config.topology, topology_config, network_rng
+                    )
+                    rates = run_on_network(
+                        network, config.methods, network_rng
+                    )
+                if metrics is not None:
+                    metrics.inc("experiments.trials")
+                    metrics.observe(
+                        "experiments.trial_seconds",
+                        time.perf_counter() - trial_started,
+                    )
+                if store is not None:
+                    store.record(config, trial, rates)
+            for method in config.methods:
+                per_method[method].append(rates[method])
     outcomes = tuple(
         MethodOutcome(method, tuple(per_method[method]))
         for method in config.methods

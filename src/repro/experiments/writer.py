@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import repro.obs.metrics as obs_metrics
 from repro.analysis.report import (
     comparison_markdown,
     edge_removal_markdown,
@@ -117,4 +118,36 @@ def write_full_report(
         )
     )
     sections.append("")
+
+    obs_section = _observability_markdown()
+    if obs_section:
+        sections.append(obs_section)
+        sections.append("")
     return "\n".join(sections)
+
+
+def _observability_markdown() -> str:
+    """Render the active metrics registry as a report section.
+
+    Empty string when no registry is collecting (``repro report`` runs
+    without ``--metrics`` stay byte-identical to the classic output).
+    """
+    registry = obs_metrics.active()
+    if registry is None:
+        return ""
+    lines = ["### Observability summary", ""]
+    counters = registry.counters()
+    if counters:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        lines.append(markdown_table(["counter", "value"], rows))
+        lines.append("")
+    summaries = registry.histogram_summaries()
+    timing = summaries.get("experiments.trial_seconds")
+    if timing:
+        lines.append(
+            f"Per-trial wall time: n={timing['count']}, "
+            f"mean={timing['mean']:.4f}s, p50={timing['p50']:.4f}s, "
+            f"p95={timing['p95']:.4f}s, p99={timing['p99']:.4f}s."
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()

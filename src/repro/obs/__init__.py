@@ -1,0 +1,84 @@
+"""Observability: metrics, tracing and profiling hooks.
+
+The substrate every performance-facing change reports through (see
+docs/OBSERVABILITY.md for the metric/span catalog and the format
+specifications).  Three layers, all dependency-free:
+
+* :mod:`repro.obs.metrics` — counters, gauges and bucketed histograms
+  in a thread-safe, resettable :class:`MetricsRegistry`; hot paths
+  publish through a module-level *active registry* that costs one
+  ``None`` check when collection is off.
+* :mod:`repro.obs.trace` — nested, context-propagated spans with
+  deterministic ids and JSONL export.
+* :mod:`repro.obs.export` — JSON / Prometheus-text metric renderers
+  and the JSONL trace writer.
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.collecting() as reg, obs.tracing() as tracer:
+        repro.solve_robust(network)
+    print(reg.counters()["core.dijkstra.calls"])
+    print(obs.render_prometheus(reg))
+
+Two guarantees the test suite enforces:
+
+1. **No result drift** — enabling collection never changes any solver
+   output (instrumentation only counts, it never draws from solver
+   RNGs or alters control flow).
+2. **No-op cheapness** — with collection disabled the hooks add < 5%
+   to a 40-switch robust solve (``tests/obs/test_instrumentation.py``).
+"""
+
+from repro.obs.export import (
+    prometheus_name,
+    render_prometheus,
+    write_metrics_json,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active,
+    collecting,
+    disable,
+    enable,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracer,
+    enable_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "active",
+    "enable",
+    "disable",
+    "collecting",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "enable_tracer",
+    "disable_tracer",
+    "tracing",
+    "span",
+    "prometheus_name",
+    "render_prometheus",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,108 @@
+"""Exporters: metrics → JSON / Prometheus text, traces → JSONL.
+
+Formats (full specification in docs/OBSERVABILITY.md):
+
+* :func:`write_metrics_json` — one JSON document with ``counters``,
+  ``gauges`` and ``histograms`` (scalar summaries incl. p50/p95/p99)
+  sections, each sorted by metric name so same-seed runs diff cleanly.
+* :func:`render_prometheus` — Prometheus text exposition format
+  (version 0.0.4): counters as ``TYPE counter``, gauges as ``gauge``,
+  histograms as the conventional ``_bucket``/``_sum``/``_count``
+  triple with cumulative ``le`` labels.
+* :func:`write_trace_jsonl` — one JSON object per finished span.
+
+The renderers only *read* registries/tracers, so they are safe to call
+mid-run (e.g. a periodic scrape of a long experiment).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "render_prometheus",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "write_trace_jsonl",
+    "prometheus_name",
+]
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar.
+
+    Dots and dashes become underscores (``core.dijkstra.calls`` →
+    ``repro_core_dijkstra_calls``); everything is prefixed with
+    ``repro_`` to namespace the exposition.
+    """
+    safe = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    return f"repro_{safe}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render *registry* in the Prometheus text exposition format."""
+    lines = []
+    for name, value in registry.counters().items():
+        metric = prometheus_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in registry.gauges().items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, histogram in registry.histograms().items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(
+            histogram.bounds, histogram.bucket_counts
+        ):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += histogram.bucket_counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_json(registry: MetricsRegistry, path) -> None:
+    """Write the registry snapshot as an indented JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_metrics_prometheus(registry: MetricsRegistry, path) -> None:
+    """Write the registry in Prometheus text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry))
+
+
+def write_trace_jsonl(tracer: Optional[Tracer], path) -> int:
+    """Write *tracer*'s finished spans as JSONL; returns the span count.
+
+    A ``None`` tracer writes an empty file (so callers can pass
+    :func:`repro.obs.trace.disable_tracer`'s return unconditionally).
+    """
+    if tracer is None:
+        open(path, "w", encoding="utf-8").close()
+        return 0
+    return tracer.export_jsonl(path)

@@ -1,0 +1,401 @@
+"""Zero-dependency metrics: counters, gauges, bucketed histograms.
+
+A :class:`MetricsRegistry` is the process-local metrics account.  Hot
+paths publish through the module-level *active registry* — a single
+``None`` check when collection is disabled, so instrumented code costs
+essentially nothing in the default (disabled) state:
+
+    from repro.obs import metrics as obs_metrics
+
+    reg = obs_metrics.active()
+    ...
+    if reg is not None:
+        reg.inc("core.dijkstra.calls")
+
+Collection is scoped with :func:`collecting`::
+
+    with obs_metrics.collecting() as reg:
+        solve_robust(network)
+    print(reg.counters())
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Deterministic counters.**  Counters and gauges reflect algorithmic
+  work only (calls, relaxations, reservations); two same-seed runs
+  produce byte-identical counter maps.  Wall-clock noise is confined to
+  histograms.
+* **Bounded memory.**  Histograms keep bucket counts plus scalar
+  aggregates, never raw samples; percentiles (p50/p95/p99) are
+  interpolated from the buckets.
+* **Thread-safe.**  All mutation goes through one reentrant lock (the
+  solver watchdog runs solvers on worker threads).
+* **Resettable.**  :meth:`MetricsRegistry.reset` zeroes everything, so
+  tests and long-lived servers can segment collection windows.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active",
+    "enable",
+    "disable",
+    "collecting",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds.  Spans sub-microsecond to
+#: minute-scale latencies (seconds) and doubles as a generic size scale;
+#: an implicit +inf bucket catches everything beyond the last bound.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    5e-4,
+    1e-3,
+    5e-3,
+    1e-2,
+    5e-2,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark gauges)."""
+        if value > self.value:
+            self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Bucketed distribution with interpolated percentile summaries.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value (cumulative buckets, Prometheus-style); an implicit ``+inf``
+    bucket catches the overflow.  Only bucket counts and scalar
+    aggregates are stored, so memory is O(#buckets) regardless of
+    traffic.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.name = name
+        self.bounds: Tuple[float, ...] = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated *q*-th percentile (``q`` in [0, 100]).
+
+        Linear interpolation inside the containing bucket; the overflow
+        bucket reports the observed maximum (the only upper bound we
+        know for it).  Returns 0 for an empty histogram.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q={q} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.max
+                lower = self.bounds[index - 1] if index else self.min
+                upper = self.bounds[index]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.max
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar digest: count/sum/min/max/mean plus p50/p95/p99."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Thread-safe, resettable home for all metrics of one process.
+
+    Metric names are dotted paths (``core.dijkstra.calls``); the full
+    catalog lives in docs/OBSERVABILITY.md.  Instruments are created
+    lazily on first use and persist across :meth:`reset` (which zeroes
+    values but keeps the instruments registered).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name, buckets)
+                )
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Publishing shortcuts (the hot-path API)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        with self._lock:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        with self._lock:
+            self.gauge(name).set(value)
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Raise gauge *name* to *value* if it is higher (high-water mark)."""
+        with self._lock:
+            self.gauge(name).set_max(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name*."""
+        with self._lock:
+            self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading / lifecycle
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Name → value snapshot of every counter."""
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name → :class:`Histogram` snapshot (exporter read side)."""
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-serializable snapshot (the ``--metrics`` payload)."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histogram_summaries(),
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments stay registered)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Active-registry plumbing (module-level so the disabled check is one
+# global load + None comparison on the hot path).
+# ----------------------------------------------------------------------
+_active_registry: Optional[MetricsRegistry] = None
+_state_lock = threading.Lock()
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The registry collecting right now, or ``None`` when disabled."""
+    return _active_registry
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Start routing instrumentation into *registry* (new one if omitted)."""
+    global _active_registry
+    with _state_lock:
+        _active_registry = registry if registry is not None else MetricsRegistry()
+        return _active_registry
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Stop collection; returns the registry that was active (if any)."""
+    global _active_registry
+    with _state_lock:
+        registry, _active_registry = _active_registry, None
+        return registry
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Scope metrics collection; restores the previous state on exit.
+
+    Nested scopes compose: the inner scope's registry wins while it is
+    open and the outer one resumes afterwards.
+    """
+    global _active_registry
+    with _state_lock:
+        previous = _active_registry
+        current = registry if registry is not None else MetricsRegistry()
+        _active_registry = current
+    try:
+        yield current
+    finally:
+        with _state_lock:
+            _active_registry = previous

@@ -1,0 +1,217 @@
+"""Nested-span tracing with deterministic span ids and JSONL export.
+
+A :class:`Tracer` records a tree of timed :class:`Span` records.  The
+current span is propagated through a :mod:`contextvars` stack, so spans
+opened on worker threads or inside nested calls parent correctly without
+any explicit plumbing::
+
+    tracer = Tracer(rng=7)
+    with tracer.span("solve_robust", chain="conflict_free->prim"):
+        with tracer.span("attempt", method="conflict_free"):
+            ...
+    tracer.export_jsonl("trace.jsonl")
+
+Span *ids* come from :func:`repro.utils.rng.ensure_rng` — seeded, so two
+same-seed runs emit structurally identical traces (ids and parentage;
+wall-clock fields naturally differ).  Like the metrics layer, the
+module-level :func:`span` helper is a single ``None`` check when no
+tracer is active, keeping disabled overhead negligible.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "enable_tracer",
+    "disable_tracer",
+    "tracing",
+    "span",
+]
+
+#: Stack of open span ids for the current execution context.
+_span_stack: ContextVar[Tuple[str, ...]] = ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree.
+
+    Attributes:
+        name: Operation name (catalog in docs/OBSERVABILITY.md).
+        span_id: Deterministic 16-hex-digit id.
+        parent_id: Enclosing span's id (``None`` for roots).
+        attrs: Free-form attributes attached at open time (plus any
+            added through :meth:`set_attr` while the span is open).
+        start_s / end_s: ``time.perf_counter`` timestamps.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    attrs: Dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach or overwrite one attribute."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects spans; hand one to :func:`enable_tracer` to activate.
+
+    Args:
+        rng: Seed or generator for span-id generation (default seed 0,
+            so traces are deterministic unless the caller opts into
+            entropy).  The id stream is private to the tracer and never
+            touches solver RNG state.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, rng: RngLike = 0, clock=time.perf_counter) -> None:
+        self._rng = ensure_rng(rng)
+        self._clock = clock
+        self._open: Dict[str, Span] = {}
+        #: Finished spans, in completion order.
+        self.spans: List[Span] = []
+
+    def _new_id(self) -> str:
+        return f"{int(self._rng.integers(1, 2 ** 63)):016x}"
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of this context, if any."""
+        stack = _span_stack.get()
+        if not stack:
+            return None
+        return self._open.get(stack[-1])
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span of the context's current span."""
+        stack = _span_stack.get()
+        record = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=stack[-1] if stack else None,
+            attrs=dict(attrs),
+            start_s=self._clock(),
+        )
+        self._open[record.span_id] = record
+        token = _span_stack.set(stack + (record.span_id,))
+        try:
+            yield record
+        finally:
+            record.end_s = self._clock()
+            _span_stack.reset(token)
+            self._open.pop(record.span_id, None)
+            self.spans.append(record)
+
+    # ------------------------------------------------------------------
+    # Reading / export
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all finished spans (open spans are left to close)."""
+        self.spans.clear()
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with *name*, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, parent: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [s.to_dict() for s in self.spans]
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per finished span; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.spans:
+                handle.write(json.dumps(record.to_dict(), default=repr))
+                handle.write("\n")
+        return len(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(spans={len(self.spans)}, open={len(self._open)})"
+
+
+# ----------------------------------------------------------------------
+# Active-tracer plumbing (mirrors repro.obs.metrics).
+# ----------------------------------------------------------------------
+_active_tracer: Optional[Tracer] = None
+
+#: Shared no-op context manager returned by :func:`span` when tracing is
+#: off — avoids allocating a fresh contextmanager per call.
+_NULL_SPAN = nullcontext(None)
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer recording right now, or ``None`` when disabled."""
+    return _active_tracer
+
+
+def enable_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Start recording spans into *tracer* (a fresh one if omitted)."""
+    global _active_tracer
+    _active_tracer = tracer if tracer is not None else Tracer()
+    return _active_tracer
+
+
+def disable_tracer() -> Optional[Tracer]:
+    """Stop recording; returns the tracer that was active (if any)."""
+    global _active_tracer
+    tracer, _active_tracer = _active_tracer, None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope span recording; restores the previous tracer on exit."""
+    global _active_tracer
+    previous = _active_tracer
+    current = tracer if tracer is not None else Tracer()
+    _active_tracer = current
+    try:
+        yield current
+    finally:
+        _active_tracer = previous
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the active tracer, or a shared no-op when off."""
+    tracer = _active_tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -39,6 +39,7 @@ from typing import (
     Tuple,
 )
 
+import repro.obs.metrics as obs_metrics
 from repro.network.errors import FaultScheduleError
 from repro.network.graph import QuantumNetwork
 from repro.network.link import fiber_key
@@ -315,6 +316,8 @@ class FaultInjector:
                 f"injector clock cannot rewind: {slot} < {self._clock}"
             )
         self._clock = slot
+        injected_before = self.faults_injected
+        repaired_before = self.faults_repaired
         # Repair expired transients first so a flap of duration k is
         # down for exactly k slots.
         still_active = []
@@ -340,6 +343,20 @@ class FaultInjector:
             else:  # fired and already expired within the jump
                 self.faults_repaired += 1
             logger.info("slot %d: injected %s", slot, event.describe())
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            if self.faults_injected > injected_before:
+                metrics.inc(
+                    "resilience.faults.injected",
+                    self.faults_injected - injected_before,
+                )
+                for event in fired:
+                    metrics.inc(f"resilience.faults.kind.{event.kind.value}")
+            if self.faults_repaired > repaired_before:
+                metrics.inc(
+                    "resilience.faults.repaired",
+                    self.faults_repaired - repaired_before,
+                )
         return fired
 
     # ------------------------------------------------------------------

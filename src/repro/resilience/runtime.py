@@ -21,6 +21,8 @@ import logging
 from dataclasses import dataclass
 from typing import Hashable, Iterable, List, Optional, Tuple
 
+import repro.obs.metrics as obs_metrics
+import repro.obs.trace as obs_trace
 from repro.core.problem import MUERPSolution
 from repro.extensions.recovery import repair_solution
 from repro.network.errors import DeadlineExceededError, TransientFaultError
@@ -119,7 +121,40 @@ def execute_with_resilience(
             ``deadline-exceeded`` disposition.
         request_name: Id used in the report's disposition table.
     """
+    with obs_trace.span(
+        "resilience.execute", request=request_name
+    ) as lifecycle_span:
+        result = _execute_with_resilience(
+            controller,
+            users=users,
+            injector=injector,
+            retry_policy=retry_policy,
+            max_slots=max_slots,
+            deadline_slot=deadline_slot,
+            request_name=request_name,
+        )
+        if lifecycle_span is not None:
+            disposition = result.report.dispositions.get(request_name)
+            if disposition is not None:
+                lifecycle_span.set_attr("status", disposition.status)
+                lifecycle_span.set_attr("reroutes", disposition.reroutes)
+                lifecycle_span.set_attr("retries", disposition.retries)
+        return result
+
+
+def _execute_with_resilience(
+    controller,
+    users: Optional[Iterable[Hashable]] = None,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_slots: int = 100_000,
+    deadline_slot: Optional[int] = None,
+    request_name: str = "request",
+) -> ResilientServiceReport:
     report = ResilienceReport()
+    metrics = obs_metrics.active()
+    if metrics is not None:
+        metrics.inc("resilience.runtime.requests")
     if injector is not None:
         injector.reset()
 
@@ -154,6 +189,10 @@ def execute_with_resilience(
         served: Tuple[Hashable, ...] = ()
         if status in (SERVED, DEGRADED):
             served = tuple(sorted(current.users, key=repr))
+        if metrics is not None:
+            metrics.inc(f"resilience.runtime.dispositions.{status}")
+            metrics.inc("resilience.runtime.retries", retries_here)
+            metrics.inc("resilience.runtime.reroutes", reroutes_here)
         report.close_request(
             RequestDisposition(
                 name=request_name,
@@ -242,6 +281,8 @@ def execute_with_resilience(
             degraded = _degrade_to_subset(current, rep.kept_channels)
             if degraded is not None:
                 current = degraded
+                if metrics is not None:
+                    metrics.inc("resilience.runtime.degradations")
                 report.record_degradation(
                     request_name,
                     f"slot {slot_offset}: continuing with "

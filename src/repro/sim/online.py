@@ -43,6 +43,8 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+import repro.obs.metrics as obs_metrics
+import repro.obs.trace as obs_trace
 from repro.core.conflict_free import solve_conflict_free
 from repro.core.ledger import CapacityError, CapacityLedger
 from repro.core.prim_based import solve_prim
@@ -294,13 +296,20 @@ class OnlineScheduler:
         names = [r.name for r in requests]
         if len(set(names)) != len(names):
             raise ValueError("request names must be unique")
-        if (
+        resilient = (
             self.fault_injector is not None
             or self.retry_policy is not None
             or any(r.deadline is not None for r in requests)
+        )
+        with obs_trace.span(
+            "online.run",
+            method=self.method,
+            requests=len(requests),
+            resilient=resilient,
         ):
-            return self._run_resilient(requests)
-        return self._run_legacy(requests)
+            if resilient:
+                return self._run_resilient(requests)
+            return self._run_legacy(requests)
 
     # ------------------------------------------------------------------
     # Legacy (fault-free) loop — the paper-faithful loss system.
@@ -308,6 +317,7 @@ class OnlineScheduler:
     def _run_legacy(
         self, requests: Sequence[EntanglementRequest]
     ) -> OnlineResult:
+        metrics = obs_metrics.active()
         residual = self.network.residual_qubits()
         budgets = dict(residual)
         peak_usage: Dict[Hashable, int] = {s: 0 for s in residual}
@@ -355,6 +365,12 @@ class OnlineScheduler:
                         peak_usage[switch] = max(peak_usage[switch], used_now)
                     release_slot = slot + request.hold
                     active.append((release_slot, usage))
+                    if metrics is not None:
+                        metrics.inc("sim.online.admitted")
+                        metrics.observe(
+                            "sim.online.queue_wait_slots",
+                            slot - request.arrival,
+                        )
                     outcomes[request.name] = RequestOutcome(
                         request=request,
                         accepted=True,
@@ -368,6 +384,8 @@ class OnlineScheduler:
                 elif slot < request.arrival + request.max_wait:
                     retained.append((request.arrival + request.max_wait, request))
                 else:
+                    if metrics is not None:
+                        metrics.inc("sim.online.rejected")
                     outcomes[request.name] = RequestOutcome(
                         request=request,
                         accepted=False,
@@ -398,6 +416,7 @@ class OnlineScheduler:
             ResilienceReport,
         )
 
+        metrics = obs_metrics.active()
         injector = self.fault_injector
         if injector is not None:
             injector.reset()
@@ -457,6 +476,8 @@ class OnlineScheduler:
                     served_users=served,
                 )
             )
+            if metrics is not None:
+                metrics.inc(f"sim.online.dispositions.{status}")
             if res.hit_by_fault and not res.degraded:
                 report.record_recovery(res.request.name)
 
@@ -488,6 +509,8 @@ class OnlineScheduler:
                     reroutes=reroutes,
                 )
             )
+            if metrics is not None:
+                metrics.inc(f"sim.online.dispositions.{status}")
             logger.info(
                 "request %s lost at slot %d: %s (%s)",
                 request.name,
@@ -585,6 +608,8 @@ class OnlineScheduler:
                         res.solution = rep.solution
                         res.usage = new_usage
                         res.reroutes += 1
+                        if metrics is not None:
+                            metrics.inc("sim.online.repairs")
                         report.record_reroute(
                             res.request.name,
                             f"slot {slot}: "
@@ -633,6 +658,8 @@ class OnlineScheduler:
                         res.solution = degraded_solution
                         res.usage = new_usage
                         res.degraded = True
+                        if metrics is not None:
+                            metrics.inc("sim.online.degradations")
                         report.record_degradation(
                             res.request.name,
                             f"slot {slot}: serving "
@@ -695,6 +722,12 @@ class OnlineScheduler:
                     usage = solution.switch_usage()
                     ledger.reserve(usage)
                     release_slot = slot + request.hold
+                    if metrics is not None:
+                        metrics.inc("sim.online.admitted")
+                        metrics.observe(
+                            "sim.online.queue_wait_slots",
+                            slot - request.arrival,
+                        )
                     reservations.append(
                         _Reservation(
                             request=request,
@@ -747,10 +780,14 @@ class OnlineScheduler:
                 if self.retry_policy is not None:
                     waiter.retries += 1
                     report.record_retries()
+                    if metrics is not None:
+                        metrics.inc("sim.online.retries")
                 waiter.next_slot = next_slot
                 waiting.append(waiter)
             slot += 1
 
+        if metrics is not None:
+            metrics.inc("sim.online.slots", slot)
         ordered = tuple(outcomes[r.name] for r in requests)
         return OnlineResult(
             outcomes=ordered,

@@ -1,0 +1,115 @@
+"""Property test: single-source channel search agrees with pairwise.
+
+The paper's complexity optimization (Sec. IV-B) replaces ``|U|²``
+pairwise Algorithm-1 runs with ``|U| - 1`` single-source Dijkstra runs.
+That is only a valid optimization if both compute the *same* best
+channels, so this file checks the agreement over seeded random
+topologies rather than hand-picked cases: for every user pair the two
+code paths must find channels of equal rate (or agree the pair is
+unreachable).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import (
+    all_pairs_best_channels,
+    best_channels_from,
+    find_best_channel,
+)
+from repro.topology import (
+    TopologyConfig,
+    waxman_network,
+    watts_strogatz_network,
+)
+
+GENERATORS = {
+    "waxman": waxman_network,
+    "watts_strogatz": watts_strogatz_network,
+}
+
+
+def _build(generator_name, n_switches, n_users, seed):
+    config = TopologyConfig(
+        n_switches=n_switches,
+        n_users=n_users,
+        avg_degree=min(4.0, float(n_switches - 1)),
+    )
+    return GENERATORS[generator_name](config, rng=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    generator_name=st.sampled_from(sorted(GENERATORS)),
+    n_switches=st.integers(6, 24),
+    n_users=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_single_source_matches_pairwise(
+    generator_name, n_switches, n_users, seed
+):
+    """``best_channels_from`` finds exactly ``find_best_channel``'s rates."""
+    network = _build(generator_name, n_switches, n_users, seed)
+    users = list(network.user_ids)
+    for index, source in enumerate(users):
+        targets = users[:index] + users[index + 1 :]
+        batch = best_channels_from(network, source, targets)
+        for target in targets:
+            pairwise = find_best_channel(network, source, target)
+            if pairwise is None:
+                assert target not in batch, (
+                    f"single-source found a channel {source!r}→{target!r} "
+                    "that pairwise search says is unreachable"
+                )
+                continue
+            assert target in batch, (
+                f"single-source missed reachable pair {source!r}→{target!r}"
+            )
+            assert math.isclose(
+                batch[target].log_rate,
+                pairwise.log_rate,
+                rel_tol=0.0,
+                abs_tol=1e-9,
+            ), (
+                f"rate mismatch for {source!r}→{target!r}: "
+                f"{batch[target].log_rate} vs {pairwise.log_rate}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    generator_name=st.sampled_from(sorted(GENERATORS)),
+    seed=st.integers(0, 10_000),
+)
+def test_all_pairs_matches_pairwise(generator_name, seed):
+    """``all_pairs_best_channels`` covers exactly the reachable pairs."""
+    network = _build(generator_name, n_switches=12, n_users=5, seed=seed)
+    users = list(network.user_ids)
+    fast = all_pairs_best_channels(network, users)
+    slow = {}
+    for i, a in enumerate(users):
+        for b in users[i + 1 :]:
+            channel = find_best_channel(network, a, b)
+            if channel is not None:
+                slow[frozenset((a, b))] = channel
+    assert set(fast) == set(slow)
+    for pair in fast:
+        assert math.isclose(
+            fast[pair].log_rate,
+            slow[pair].log_rate,
+            rel_tol=0.0,
+            abs_tol=1e-9,
+        )
+
+
+def test_best_channels_from_rejects_non_user():
+    network = _build("waxman", 8, 3, seed=1)
+    users = list(network.user_ids)
+    switch = next(iter(network.switch_ids))
+    with pytest.raises(ValueError):
+        best_channels_from(network, users[0], [switch])

@@ -1,0 +1,87 @@
+"""Unit tests for the exporters (obs/export.py)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    prometheus_name,
+    render_prometheus,
+    write_metrics_json,
+    write_metrics_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestPrometheusName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert (
+            prometheus_name("core.dijkstra.calls")
+            == "repro_core_dijkstra_calls"
+        )
+        assert (
+            prometheus_name("faults.kind.fiber-cut")
+            == "repro_faults_kind_fiber_cut"
+        )
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.inc("a.calls", 3)
+        registry.set_gauge("a.depth", 2)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_a_calls_total counter" in text
+        assert "repro_a_calls_total 3" in text
+        assert "# TYPE repro_a_depth gauge" in text
+        assert "repro_a_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(99.0)
+        text = render_prometheus(registry)
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="2"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 101" in text
+        assert "repro_lat_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestFileWriters:
+    def test_write_metrics_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        path = tmp_path / "metrics.json"
+        write_metrics_json(registry, path)
+        payload = json.loads(path.read_text())
+        assert payload["counters"] == {"x": 1}
+        assert set(payload) == {"counters", "gauges", "histograms"}
+
+    def test_write_metrics_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        path = tmp_path / "metrics.prom"
+        write_metrics_prometheus(registry, path)
+        assert "repro_x_total 1" in path.read_text()
+
+    def test_write_trace_jsonl(self, tmp_path):
+        tracer = Tracer(rng=0)
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(tracer, path) == 1
+        assert json.loads(path.read_text())["name"] == "a"
+
+    def test_write_trace_jsonl_none_tracer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(None, path) == 0
+        assert path.read_text() == ""

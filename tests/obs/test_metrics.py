@@ -1,0 +1,181 @@
+"""Unit tests for the metrics primitives (obs/metrics.py)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        assert gauge.value == 5
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set_max(9)
+        assert gauge.value == 9
+        gauge.set(1)
+        assert gauge.value == 1
+
+
+class TestHistogram:
+    def test_bucketing_and_aggregates(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(106.6)
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+
+    def test_percentiles_interpolate_within_buckets(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        for _ in range(100):
+            histogram.observe(15.0)
+        # All mass in (10, 20]; interpolation stays inside that bucket.
+        assert 10.0 <= histogram.percentile(50) <= 20.0
+        assert 10.0 <= histogram.percentile(99) <= 20.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.percentile(99) == 50.0
+
+    def test_empty_summary_is_all_zero(self):
+        summary = Histogram("h").summary()
+        assert summary == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_lazy_instruments_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("a.calls")
+        registry.inc("a.calls", 2)
+        registry.set_gauge("a.depth", 3)
+        registry.max_gauge("a.peak", 7)
+        registry.max_gauge("a.peak", 4)
+        registry.observe("a.seconds", 0.25)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"] == {"a.calls": 3}
+        assert snapshot["gauges"] == {"a.depth": 3, "a.peak": 7}
+        assert snapshot["histograms"]["a.seconds"]["count"] == 1
+        # The snapshot must be JSON-serializable (the --metrics payload).
+        json.dumps(snapshot)
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 2)
+        registry.observe("c", 1.0)
+        assert len(registry) == 3
+        registry.reset()
+        assert len(registry) == 3
+        assert registry.counters() == {"a": 0}
+        assert registry.gauges() == {"b": 0}
+        assert registry.histogram_summaries()["c"]["count"] == 0
+
+    def test_snapshots_sorted_by_name(self):
+        registry = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            registry.inc(name)
+        assert list(registry.counters()) == ["a", "m", "z"]
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("shared")
+                registry.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counters()["shared"] == 4000
+        assert registry.histogram_summaries()["lat"]["count"] == 4000
+
+
+class TestActiveRegistry:
+    def test_disabled_by_default(self):
+        assert obs_metrics.active() is None
+
+    def test_enable_disable_roundtrip(self):
+        registry = obs_metrics.enable()
+        try:
+            assert obs_metrics.active() is registry
+        finally:
+            returned = obs_metrics.disable()
+        assert returned is registry
+        assert obs_metrics.active() is None
+
+    def test_collecting_scopes_and_restores(self):
+        with obs_metrics.collecting() as outer:
+            assert obs_metrics.active() is outer
+            with obs_metrics.collecting() as inner:
+                assert obs_metrics.active() is inner
+            assert obs_metrics.active() is outer
+        assert obs_metrics.active() is None
+
+    def test_collecting_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        with obs_metrics.collecting(mine) as registry:
+            assert registry is mine
+            registry.inc("x")
+        assert mine.counters() == {"x": 1}

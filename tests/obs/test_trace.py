@@ -1,0 +1,126 @@
+"""Unit tests for the tracing layer (obs/trace.py)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_parentage_follows_nesting(self):
+        tracer = Tracer(rng=1)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Completion order: children close before their parent.
+        assert [s.name for s in tracer.spans] == [
+            "inner",
+            "sibling",
+            "outer",
+        ]
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer(rng=1)
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is None
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer(rng=1)
+        with tracer.span("op", method="prim") as record:
+            record.set_attr("status", "accepted")
+        assert record.attrs == {"method": "prim", "status": "accepted"}
+
+    def test_duration_nonnegative_and_zero_while_open(self):
+        tracer = Tracer(rng=1)
+        with tracer.span("op") as record:
+            assert record.duration_s == 0.0
+        assert record.duration_s >= 0.0
+
+    def test_find_and_children_of(self):
+        tracer = Tracer(rng=1)
+        with tracer.span("parent") as parent:
+            with tracer.span("child"):
+                pass
+            with tracer.span("child"):
+                pass
+        assert len(tracer.find("child")) == 2
+        assert len(tracer.children_of(parent)) == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_ids(self):
+        def run(seed):
+            tracer = Tracer(rng=seed)
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            return [(s.name, s.span_id, s.parent_id) for s in tracer.spans]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_ids_are_16_hex_digits(self):
+        tracer = Tracer(rng=0)
+        with tracer.span("x") as record:
+            pass
+        assert len(record.span_id) == 16
+        int(record.span_id, 16)
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(rng=3)
+        with tracer.span("root", users=4):
+            with tracer.span("leaf"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["leaf", "root"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert records[1]["attrs"] == {"users": 4}
+
+    def test_reset_drops_finished_spans(self):
+        tracer = Tracer(rng=0)
+        with tracer.span("x"):
+            pass
+        assert len(tracer) == 1
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestActiveTracer:
+    def test_disabled_by_default(self):
+        assert obs_trace.active_tracer() is None
+
+    def test_module_span_is_noop_when_disabled(self):
+        with obs_trace.span("anything") as record:
+            assert record is None
+
+    def test_module_span_records_when_enabled(self):
+        with obs_trace.tracing() as tracer:
+            with obs_trace.span("op", k=1) as record:
+                assert isinstance(record, Span)
+        assert obs_trace.active_tracer() is None
+        assert [s.name for s in tracer.spans] == ["op"]
+        assert tracer.spans[0].attrs == {"k": 1}
+
+    def test_enable_disable_roundtrip(self):
+        tracer = obs_trace.enable_tracer()
+        try:
+            assert obs_trace.active_tracer() is tracer
+        finally:
+            returned = obs_trace.disable_tracer()
+        assert returned is tracer
+        assert obs_trace.active_tracer() is None
