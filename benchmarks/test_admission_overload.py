@@ -1,0 +1,121 @@
+"""Admission-control overload benchmark.
+
+Sweeps the offered load from 0.5x to 10x of a reference arrival rate
+through the online scheduler behind a default admission stack, and
+archives throughput, shed rate, and queue-wait percentiles to
+``benchmarks/results/BENCH_admission.json`` (the machine-readable
+companion format of ``BENCH_solver.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import repro.obs as obs
+from repro.admission import AdmissionController
+from repro.sim.online import OnlineScheduler
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.topology.base import TopologyConfig
+from repro.topology.waxman import waxman_network
+
+#: Reference arrival rate (req/slot) the load factors scale; 1.0x is
+#: roughly what the benchmark network serves without queueing.
+BASE_ARRIVAL_RATE = 1.0
+LOAD_FACTORS = (0.5, 1.0, 2.0, 5.0, 10.0)
+HORIZON = 40
+
+CONFIG = TopologyConfig(
+    n_switches=25, n_users=8, avg_degree=5.0, qubits_per_switch=4
+)
+
+
+def _run_load_factor(network, factor: float):
+    spec = WorkloadSpec(
+        arrival_rate=BASE_ARRIVAL_RATE * factor,
+        horizon=HORIZON,
+        mean_hold=5.0,
+        max_wait=4,
+        n_tenants=4,
+    )
+    requests = generate_workload(network.user_ids, spec, rng=13)
+    admission = AdmissionController.default(
+        network,
+        rate=1.0,
+        burst=3.0,
+        bulkhead=8,
+        queue_size=8,
+        shed_policy="deadline-aware",
+    )
+    with obs.collecting() as registry:
+        start = time.perf_counter()
+        result = OnlineScheduler(
+            network, rng=7, admission=admission
+        ).run(requests)
+        wall_seconds = time.perf_counter() - start
+
+    queue_wait = registry.histogram_summaries().get(
+        "sim.online.admission.time_in_queue_slots", {}
+    )
+    n_requests = len(result.outcomes)
+    slots = max(result.slots_simulated, 1)
+    shed_total = result.admission["shed_total"] + result.admission.get(
+        "expired", 0
+    )
+    return {
+        "wall_seconds": wall_seconds,
+        "n_requests": n_requests,
+        "accepted": result.n_accepted,
+        "acceptance_ratio": result.acceptance_ratio,
+        "throughput_served_per_slot": result.n_accepted / slots,
+        "shed": shed_total,
+        "shed_rate": shed_total / n_requests if n_requests else 0.0,
+        "degraded": result.n_degraded,
+        "queue_wait_slots": {
+            "count": queue_wait.get("count", 0),
+            "p50": queue_wait.get("p50", 0.0),
+            "p95": queue_wait.get("p95", 0.0),
+            "max": queue_wait.get("max", 0.0),
+        },
+        "queue_peak_depth": result.admission.get("queue_peak_depth", 0),
+        "final_tier": result.admission.get("final_tier", "full"),
+    }
+
+
+def test_emit_admission_overload_json(results_dir):
+    """Sweep load factors; archive BENCH_admission.json.
+
+    Sanity gates double as the benchmark's acceptance criteria: the
+    underloaded point serves nearly everything, the 10x point sheds a
+    substantial fraction, and no point ever overbooks a switch.
+    """
+    network = waxman_network(CONFIG, rng=21)
+    results = {}
+    for factor in LOAD_FACTORS:
+        results[f"{factor}x"] = _run_load_factor(network, factor)
+
+    payload = {
+        "config": {
+            "n_switches": CONFIG.n_switches,
+            "n_users": CONFIG.n_users,
+            "avg_degree": CONFIG.avg_degree,
+            "qubits_per_switch": CONFIG.qubits_per_switch,
+            "base_arrival_rate": BASE_ARRIVAL_RATE,
+            "load_factors": list(LOAD_FACTORS),
+            "horizon": HORIZON,
+            "network_seed": 21,
+            "workload_seed": 13,
+            "scheduler_seed": 7,
+            "shed_policy": "deadline-aware",
+        },
+        "results": results,
+    }
+    out = results_dir / "BENCH_admission.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    light, heavy = results["0.5x"], results["10.0x"]
+    assert light["acceptance_ratio"] > 0.8
+    assert heavy["shed_rate"] > 0.3
+    assert heavy["n_requests"] > 5 * light["n_requests"]
+    # Queue waits are only meaningful once the door starts throttling.
+    assert heavy["queue_wait_slots"]["p95"] >= light["queue_wait_slots"]["p95"]

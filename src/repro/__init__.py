@@ -108,6 +108,16 @@ from repro.resilience import (
     RetryPolicy,
     random_schedule,
 )
+from repro.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionQueue,
+    BrownoutController,
+    ConcurrencyLimiter,
+    HedgePolicy,
+    PolicyChain,
+    TokenBucketLimiter,
+)
 
 __version__ = "1.0.0"
 
@@ -186,6 +196,14 @@ __all__ = [
     "ExponentialBackoffPolicy",
     "RetryBudget",
     "BudgetedRetryPolicy",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "BrownoutController",
+    "ConcurrencyLimiter",
+    "HedgePolicy",
+    "PolicyChain",
+    "TokenBucketLimiter",
     "obs",
     "MetricsRegistry",
     "Tracer",

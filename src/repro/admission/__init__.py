@@ -1,0 +1,95 @@
+"""Admission control and overload protection for the serving path.
+
+The online scheduler (:mod:`repro.sim.online`) historically admitted
+every :class:`~repro.sim.online.EntanglementRequest` unconditionally: a
+traffic burst simply starved qubit capacity and deadlines failed after
+the fact.  This package gives the serving stack a principled front
+door — admit, queue, shed, or degrade, deliberately and observably:
+
+* :mod:`repro.admission.limiter` — deterministic slot-clocked
+  token-bucket and concurrency (bulkhead) limiters, per-tenant keyed,
+  composable into an :class:`AdmissionPolicy` chain;
+* :mod:`repro.admission.queue` — bounded admission queues with
+  pluggable shed policies (drop-newest, drop-oldest, deadline-aware
+  EDF shedding, lowest-expected-rate-first using Eq. (1) channel
+  estimates as the value signal);
+* :mod:`repro.admission.backpressure` — a :class:`LoadSignal` derived
+  from :class:`~repro.core.ledger.CapacityLedger` occupancy and queue
+  depth drives brownout tiers (full → degraded → shed) with hysteresis
+  so tiers don't flap;
+* :mod:`repro.admission.hedge` — hedged solve attempts for
+  near-deadline requests, reusing the alternate-solver fallback idea of
+  :func:`~repro.core.registry.solve_robust`;
+* :mod:`repro.admission.control` — the :class:`AdmissionController`
+  facade the scheduler consults (one object bundling policy chain,
+  queue, brownout controller and hedge policy).
+
+Every decision is a pure function of the slot clock, the request
+stream, and ledger state — two same-seed runs produce byte-identical
+admission decisions.  See ``docs/RESILIENCE.md`` ("Admission control &
+brownout tiers") for the policy catalog and metric names.
+"""
+
+from repro.admission.backpressure import (
+    TIER_DEGRADED,
+    TIER_FULL,
+    TIER_SHED,
+    TIERS,
+    BrownoutController,
+    LoadSignal,
+    measure_load,
+)
+from repro.admission.control import AdmissionController
+from repro.admission.hedge import HedgePolicy
+from repro.admission.limiter import (
+    ADMIT,
+    SHED,
+    THROTTLE,
+    AdmissionDecision,
+    AdmissionPolicy,
+    ConcurrencyLimiter,
+    PolicyChain,
+    TokenBucketLimiter,
+    tenant_key,
+)
+from repro.admission.queue import (
+    DEADLINE_AWARE,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    LOWEST_VALUE,
+    SHED_POLICIES,
+    AdmissionQueue,
+    QueueEntry,
+    group_log_rate_estimate,
+    request_value_fn,
+)
+
+__all__ = [
+    "ADMIT",
+    "THROTTLE",
+    "SHED",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "TokenBucketLimiter",
+    "ConcurrencyLimiter",
+    "PolicyChain",
+    "tenant_key",
+    "DROP_NEWEST",
+    "DROP_OLDEST",
+    "DEADLINE_AWARE",
+    "LOWEST_VALUE",
+    "SHED_POLICIES",
+    "AdmissionQueue",
+    "QueueEntry",
+    "group_log_rate_estimate",
+    "request_value_fn",
+    "TIER_FULL",
+    "TIER_DEGRADED",
+    "TIER_SHED",
+    "TIERS",
+    "LoadSignal",
+    "measure_load",
+    "BrownoutController",
+    "HedgePolicy",
+    "AdmissionController",
+]

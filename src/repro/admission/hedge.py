@@ -1,0 +1,89 @@
+"""Hedged solve attempts for near-deadline requests.
+
+When a request is one or two slots from its give-up point, a single
+failed routing attempt is fatal — there is no next slot to retry in.
+:class:`HedgePolicy` spends extra solver work on exactly those
+requests: if the scheduler's primary method finds no tree, it
+immediately re-tries with the policy's alternate methods in the same
+slot, the same idea as :func:`~repro.core.registry.solve_robust`'s
+fallback chain but scoped to the online serving path.
+
+Hedging is bounded (``max_hedges``) so a pathological workload cannot
+turn every admission attempt into a multi-solver scan, and counted
+(:attr:`hedges_spent` / :attr:`hedge_wins`) so its benefit is
+observable.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.online import EntanglementRequest
+
+logger = logging.getLogger("repro.admission.hedge")
+
+
+class HedgePolicy:
+    """Decide when a blocked request earns same-slot alternate solves.
+
+    Args:
+        slack_slots: Hedge when ``last_start_slot - slot`` is at most
+            this (0 = only on the literal last chance).
+        methods: Alternate solver methods to try, in order; the
+            scheduler skips entries equal to its own primary method.
+        max_hedges: Total hedged attempts allowed per run (``None`` =
+            unbounded).
+    """
+
+    def __init__(
+        self,
+        slack_slots: int = 1,
+        methods: Sequence[str] = ("conflict_free",),
+        max_hedges: Optional[int] = None,
+    ) -> None:
+        if slack_slots < 0:
+            raise ValueError(
+                f"slack_slots must be >= 0, got {slack_slots}"
+            )
+        if not methods:
+            raise ValueError("hedge needs at least one alternate method")
+        if max_hedges is not None and max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1 when set")
+        self.slack_slots = slack_slots
+        self.methods: Tuple[str, ...] = tuple(methods)
+        self.max_hedges = max_hedges
+        self.hedges_spent = 0
+        self.hedge_wins = 0
+
+    def should_hedge(
+        self, request: "EntanglementRequest", slot: int
+    ) -> bool:
+        """Whether *request* at *slot* qualifies for a hedged attempt."""
+        if (
+            self.max_hedges is not None
+            and self.hedges_spent >= self.max_hedges
+        ):
+            return False
+        return request.last_start_slot - slot <= self.slack_slots
+
+    def record_attempt(self) -> None:
+        self.hedges_spent += 1
+
+    def record_win(self, request_name: str, method: str) -> None:
+        self.hedge_wins += 1
+        logger.info(
+            "hedged solve won for %s via %r", request_name, method
+        )
+
+    def reset(self) -> None:
+        self.hedges_spent = 0
+        self.hedge_wins = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HedgePolicy(slack={self.slack_slots}, "
+            f"methods={self.methods!r}, "
+            f"spent={self.hedges_spent}, wins={self.hedge_wins})"
+        )

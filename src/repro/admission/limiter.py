@@ -1,0 +1,294 @@
+"""Deterministic slot-clocked admission limiters.
+
+Classic rate limiters tick on wall-clock time; the simulation stack
+ticks on *slots*, so every limiter here is driven by the scheduler's
+slot counter instead.  That makes admission decisions a pure function
+of the request stream — two same-seed runs produce byte-identical
+decision sequences, the property the admission test suite pins down.
+
+The contract is :class:`AdmissionPolicy`:
+
+* :meth:`~AdmissionPolicy.decide` inspects a request at a slot and
+  returns an :class:`AdmissionDecision` (``admit`` / ``throttle`` /
+  ``shed``) without consuming anything;
+* :meth:`~AdmissionPolicy.commit` is called once the whole policy
+  chain admitted the request (this is where a token bucket spends);
+* :meth:`~AdmissionPolicy.on_released` is called when an admitted
+  request reaches a terminal disposition (this is where a bulkhead
+  frees its slot).
+
+Limiters are keyed: the default key is the request's ``tenant``
+attribute (``None`` when unset, i.e. one global bucket), so a noisy
+tenant can be contained without starving the rest.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.online import EntanglementRequest
+
+logger = logging.getLogger("repro.admission.limiter")
+
+#: Decision actions (the only values :class:`AdmissionDecision` accepts).
+ADMIT = "admit"
+THROTTLE = "throttle"
+SHED = "shed"
+ACTIONS = (ADMIT, THROTTLE, SHED)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Verdict of one policy (or a whole chain) on one request.
+
+    Attributes:
+        action: ``admit`` (proceed to routing), ``throttle`` (hold in
+            the admission queue), or ``shed`` (refuse outright).
+        policy: Name of the policy that produced the verdict.
+        reason: Human-readable attribution ("" for clean admits).
+    """
+
+    action: str
+    policy: str = ""
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown admission action {self.action!r}")
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == ADMIT
+
+
+def tenant_key(request: "EntanglementRequest") -> Hashable:
+    """Default limiter key: the request's tenant (``None`` = global)."""
+    return getattr(request, "tenant", None)
+
+
+class AdmissionPolicy(abc.ABC):
+    """One admission rule; compose several with :class:`PolicyChain`."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(
+        self, request: "EntanglementRequest", slot: int
+    ) -> AdmissionDecision:
+        """Judge *request* at *slot* without consuming any resource."""
+
+    def commit(self, request: "EntanglementRequest", slot: int) -> None:
+        """The whole chain admitted *request*; spend its resources."""
+
+    def on_released(self, request: "EntanglementRequest", slot: int) -> None:
+        """An admitted request reached a terminal disposition."""
+
+    def reset(self) -> None:
+        """Forget all keyed state (fresh run)."""
+
+
+class TokenBucketLimiter(AdmissionPolicy):
+    """Slot-clocked token bucket, one bucket per key.
+
+    A key's bucket starts full at ``capacity`` tokens and refills by
+    ``rate`` tokens per elapsed slot (capped at ``capacity``).  A
+    request is admitted when its bucket holds at least ``cost`` tokens
+    and the chain's :meth:`commit` spends them; otherwise it is
+    throttled.
+
+    Args:
+        rate: Tokens refilled per slot (> 0).
+        capacity: Bucket size, i.e. the largest tolerated burst (>= cost).
+        cost: Tokens one request spends (> 0).
+        key_fn: Maps a request to its bucket key (default: tenant).
+        name: Label used in decisions and metrics.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        cost: float = 1.0,
+        key_fn: Callable[["EntanglementRequest"], Hashable] = tenant_key,
+        name: str = "token-bucket",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        if capacity < cost:
+            raise ValueError(
+                f"capacity {capacity} cannot be below cost {cost}"
+            )
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.cost = float(cost)
+        self.key_fn = key_fn
+        self.name = name
+        self._tokens: Dict[Hashable, float] = {}
+        self._last_slot: Dict[Hashable, int] = {}
+
+    def _refill(self, key: Hashable, slot: int) -> float:
+        last = self._last_slot.get(key)
+        if last is None:
+            tokens = self.capacity
+        else:
+            elapsed = max(0, slot - last)
+            tokens = min(
+                self.capacity, self._tokens[key] + elapsed * self.rate
+            )
+        self._tokens[key] = tokens
+        self._last_slot[key] = slot
+        return tokens
+
+    def tokens(self, key: Hashable = None) -> float:
+        """Current balance of *key*'s bucket (full if never touched)."""
+        return self._tokens.get(key, self.capacity)
+
+    def decide(
+        self, request: "EntanglementRequest", slot: int
+    ) -> AdmissionDecision:
+        key = self.key_fn(request)
+        tokens = self._refill(key, slot)
+        if tokens >= self.cost:
+            return AdmissionDecision(ADMIT, policy=self.name)
+        return AdmissionDecision(
+            THROTTLE,
+            policy=self.name,
+            reason=(
+                f"bucket for key {key!r} holds {tokens:.3f} tokens "
+                f"< cost {self.cost:g}"
+            ),
+        )
+
+    def commit(self, request: "EntanglementRequest", slot: int) -> None:
+        key = self.key_fn(request)
+        tokens = self._refill(key, slot)
+        self._tokens[key] = max(0.0, tokens - self.cost)
+
+    def reset(self) -> None:
+        self._tokens.clear()
+        self._last_slot.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TokenBucketLimiter(rate={self.rate}, capacity={self.capacity}, "
+            f"cost={self.cost}, keys={len(self._tokens)})"
+        )
+
+
+class ConcurrencyLimiter(AdmissionPolicy):
+    """Bulkhead: at most ``max_in_flight`` open requests per key.
+
+    A request is *open* from the moment the chain commits it until the
+    scheduler reports its terminal disposition (served, shed, rejected,
+    abandoned, …) via :meth:`on_released` — i.e. the bulkhead bounds
+    in-system concurrency (waiting + being served), not just active
+    reservations.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        key_fn: Callable[["EntanglementRequest"], Hashable] = tenant_key,
+        name: str = "bulkhead",
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.max_in_flight = max_in_flight
+        self.key_fn = key_fn
+        self.name = name
+        self._in_flight: Dict[Hashable, int] = {}
+
+    def in_flight(self, key: Hashable = None) -> int:
+        return self._in_flight.get(key, 0)
+
+    def decide(
+        self, request: "EntanglementRequest", slot: int
+    ) -> AdmissionDecision:
+        key = self.key_fn(request)
+        open_now = self._in_flight.get(key, 0)
+        if open_now < self.max_in_flight:
+            return AdmissionDecision(ADMIT, policy=self.name)
+        return AdmissionDecision(
+            THROTTLE,
+            policy=self.name,
+            reason=(
+                f"bulkhead for key {key!r} full "
+                f"({open_now}/{self.max_in_flight} in flight)"
+            ),
+        )
+
+    def commit(self, request: "EntanglementRequest", slot: int) -> None:
+        key = self.key_fn(request)
+        self._in_flight[key] = self._in_flight.get(key, 0) + 1
+
+    def on_released(self, request: "EntanglementRequest", slot: int) -> None:
+        key = self.key_fn(request)
+        count = self._in_flight.get(key, 0)
+        if count <= 0:  # release without commit: scheduler bug guard
+            logger.warning(
+                "bulkhead release without commit for key %r", key
+            )
+            return
+        self._in_flight[key] = count - 1
+
+    def reset(self) -> None:
+        self._in_flight.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        total = sum(self._in_flight.values())
+        return (
+            f"ConcurrencyLimiter(max={self.max_in_flight}, "
+            f"open={total})"
+        )
+
+
+class PolicyChain(AdmissionPolicy):
+    """Evaluate policies in order; the first non-admit verdict wins.
+
+    Resources are only spent (:meth:`AdmissionPolicy.commit`) when
+    *every* member admits, so a request throttled by the bulkhead does
+    not burn token-bucket tokens.
+    """
+
+    def __init__(
+        self, policies: Sequence[AdmissionPolicy], name: str = "chain"
+    ) -> None:
+        self.policies: List[AdmissionPolicy] = list(policies)
+        if not self.policies:
+            raise ValueError("policy chain needs at least one policy")
+        self.name = name
+
+    def decide(
+        self, request: "EntanglementRequest", slot: int
+    ) -> AdmissionDecision:
+        for policy in self.policies:
+            decision = policy.decide(request, slot)
+            if not decision.admitted:
+                return decision
+        for policy in self.policies:
+            policy.commit(request, slot)
+        return AdmissionDecision(ADMIT, policy=self.name)
+
+    def commit(self, request: "EntanglementRequest", slot: int) -> None:
+        # decide() already committed on full admission; nothing extra.
+        pass
+
+    def on_released(self, request: "EntanglementRequest", slot: int) -> None:
+        for policy in self.policies:
+            policy.on_released(request, slot)
+
+    def reset(self) -> None:
+        for policy in self.policies:
+            policy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(p.name for p in self.policies)
+        return f"PolicyChain([{inner}])"

@@ -252,6 +252,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scenario twice and fail unless reports are identical",
     )
 
+    admit_parser = sub.add_parser(
+        "admit",
+        help="overload demo: online serving behind admission control",
+        parents=[obs_parent],
+    )
+    admit_parser.add_argument("--topology", default="waxman")
+    admit_parser.add_argument(
+        "--method", default="prim", choices=("prim", "conflict_free")
+    )
+    admit_parser.add_argument("--switches", type=int, default=40)
+    admit_parser.add_argument("--users", type=int, default=10)
+    admit_parser.add_argument("--qubits", type=int, default=4)
+    admit_parser.add_argument(
+        "--horizon", type=int, default=40, help="arrival horizon (slots)"
+    )
+    admit_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=3.0,
+        help="requests per slot (crank this up to overload the network)",
+    )
+    admit_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="tenant labels for per-tenant rate limiting (0 = untenanted)",
+    )
+    admit_parser.add_argument(
+        "--max-wait", type=int, default=5, help="blocked-request patience"
+    )
+    admit_parser.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="token-bucket refill per tenant per slot",
+    )
+    admit_parser.add_argument(
+        "--burst", type=float, default=4.0, help="token-bucket capacity"
+    )
+    admit_parser.add_argument(
+        "--bulkhead",
+        type=int,
+        default=32,
+        help="max in-system requests per tenant",
+    )
+    admit_parser.add_argument(
+        "--queue-size", type=int, default=8, help="admission queue bound"
+    )
+    admit_parser.add_argument(
+        "--shed-policy",
+        default="drop-newest",
+        choices=(
+            "drop-newest",
+            "drop-oldest",
+            "deadline-aware",
+            "lowest-rate-first",
+        ),
+        help="victim selection when the admission queue is full",
+    )
+    admit_parser.add_argument("--seed", type=int, default=7)
+    admit_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the no-admission comparison run",
+    )
+    admit_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help=(
+            "run the scenario twice and fail unless reports and "
+            "admission stats are byte-identical"
+        ),
+    )
+
     return parser
 
 
@@ -467,6 +541,106 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_admit(args: argparse.Namespace) -> int:
+    """Overload demo: one hot workload, with and without admission."""
+    import json
+
+    from repro.admission import AdmissionController
+    from repro.sim.online import OnlineScheduler
+    from repro.sim.workload import WorkloadSpec, generate_workload
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        qubits_per_switch=args.qubits,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    spec = WorkloadSpec(
+        arrival_rate=args.arrival_rate,
+        horizon=args.horizon,
+        mean_hold=6.0,
+        max_wait=args.max_wait,
+        n_tenants=args.tenants,
+    )
+
+    def one_run(with_admission: bool):
+        requests = generate_workload(
+            network.user_ids, spec, rng=args.seed + 1
+        )
+        admission = None
+        if with_admission:
+            admission = AdmissionController.default(
+                network,
+                rate=args.rate,
+                burst=args.burst,
+                bulkhead=args.bulkhead,
+                queue_size=args.queue_size,
+                shed_policy=args.shed_policy,
+            )
+        scheduler = OnlineScheduler(
+            network,
+            method=args.method,
+            rng=args.seed,
+            admission=admission,
+        )
+        return scheduler.run(requests), requests
+
+    result, requests = one_run(with_admission=True)
+    print(network)
+    print(
+        f"workload: {len(requests)} requests over {args.horizon} slots "
+        f"({args.arrival_rate} req/slot, {args.tenants} tenant(s))"
+    )
+    print(
+        f"acceptance: {result.n_accepted}/{len(result.outcomes)} "
+        f"({result.acceptance_ratio:.1%}), "
+        f"{result.n_degraded} degraded, {result.n_shed} shed"
+    )
+    print("admission stats:")
+    print(json.dumps(result.admission, indent=2, sort_keys=True))
+
+    # Safety gates the overload scenario must hold:
+    overbooked = [
+        s
+        for s, peak in result.peak_qubit_usage.items()
+        if peak > (network.qubits_of(s) or 0)
+    ]
+    print(
+        "capacity overbooked: "
+        f"{'YES ' + repr(overbooked) if overbooked else 'no'}"
+    )
+    report = result.resilience
+    unattributed = [
+        r.name for r in requests if r.name not in report.dispositions
+    ]
+    print(
+        "unattributed requests: "
+        f"{'YES ' + repr(unattributed) if unattributed else 'none'}"
+    )
+    if overbooked or unattributed:
+        return EXIT_FAILURE
+
+    if not args.no_baseline:
+        baseline, _ = one_run(with_admission=False)
+        print(
+            f"baseline (no admission): {baseline.n_accepted}/"
+            f"{len(baseline.outcomes)} accepted "
+            f"({baseline.acceptance_ratio:.1%})"
+        )
+    if args.verify_determinism:
+        second, _ = one_run(with_admission=True)
+        same = (
+            second.resilience.to_dict() == report.to_dict()
+            and json.dumps(second.admission, sort_keys=True, default=repr)
+            == json.dumps(result.admission, sort_keys=True, default=repr)
+        )
+        if not same:
+            print("determinism check: FAILED (reports differ)")
+            return EXIT_FAILURE
+        print("determinism check: ok (identical shed decisions)")
+    return EXIT_OK
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -533,6 +707,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_montecarlo(args)
     if args.command == "resilience":
         return _command_resilience(args)
+    if args.command == "admit":
+        return _command_admit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

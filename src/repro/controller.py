@@ -41,6 +41,7 @@ from repro.sim.engine import SlottedEntanglementSimulator, SlottedRunResult
 from repro.utils.rng import RngLike, ensure_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.admission.control import AdmissionController
     from repro.resilience.faults import FaultInjector
     from repro.resilience.retry import RetryPolicy
     from repro.resilience.runtime import ResilientServiceReport
@@ -257,6 +258,7 @@ class EntanglementController:
         max_slots: int = 100_000,
         deadline_slot: Optional[int] = None,
         request_name: str = "request",
+        admission: Optional["AdmissionController"] = None,
     ) -> "ResilientServiceReport":
         """Serve one request under a live fault timeline.
 
@@ -266,6 +268,11 @@ class EntanglementController:
         full replan, then graceful degradation to the largest user
         subset), and the full history lands in the returned report's
         :class:`~repro.resilience.report.ResilienceReport`.
+
+        *admission* puts an
+        :class:`~repro.admission.AdmissionController` in front of the
+        lifecycle: a refused request is closed with a ``shed``
+        disposition before any planning work is spent on it.
         """
         from repro.resilience.runtime import execute_with_resilience
 
@@ -277,6 +284,7 @@ class EntanglementController:
             max_slots=max_slots,
             deadline_slot=deadline_slot,
             request_name=request_name,
+            admission=admission,
         )
 
     # ------------------------------------------------------------------

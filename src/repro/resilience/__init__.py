@@ -35,6 +35,7 @@ from repro.resilience.report import (
     DISPOSITIONS,
     REJECTED,
     SERVED,
+    SHED,
     RequestDisposition,
     ResilienceReport,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "ABANDONED",
     "REJECTED",
     "DEADLINE_EXCEEDED",
+    "SHED",
     "RetryPolicy",
     "FixedRetryPolicy",
     "ExponentialBackoffPolicy",

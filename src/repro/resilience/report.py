@@ -28,8 +28,11 @@ DEGRADED = "degraded"
 ABANDONED = "abandoned"
 REJECTED = "rejected"
 DEADLINE_EXCEEDED = "deadline-exceeded"
+#: Refused by admission control (limiter, shed policy, or brownout)
+#: before any capacity was spent on it.
+SHED = "shed"
 
-DISPOSITIONS = (SERVED, DEGRADED, ABANDONED, REJECTED, DEADLINE_EXCEEDED)
+DISPOSITIONS = (SERVED, DEGRADED, ABANDONED, REJECTED, DEADLINE_EXCEEDED, SHED)
 
 
 @dataclass(frozen=True)
@@ -134,10 +137,11 @@ class ResilienceReport:
         self.dispositions[disposition.name] = disposition
         if disposition.status in (ABANDONED, DEADLINE_EXCEEDED):
             self.abandoned += 1
+        if disposition.status in (ABANDONED, DEADLINE_EXCEEDED, SHED):
             if not disposition.reason:
                 raise ValueError(
-                    f"abandoned request {disposition.name!r} must carry a "
-                    "reason (attributability)"
+                    f"{disposition.status} request {disposition.name!r} "
+                    "must carry a reason (attributability)"
                 )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Tuple
 
 import repro.obs.metrics as obs_metrics
 import repro.obs.trace as obs_trace
@@ -32,11 +32,15 @@ from repro.resilience.report import (
     DEADLINE_EXCEEDED,
     DEGRADED,
     SERVED,
+    SHED,
     RequestDisposition,
     ResilienceReport,
 )
 from repro.resilience.retry import RetryPolicy
 from repro.sim.engine import SlottedEntanglementSimulator, SlottedRunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.admission.control import AdmissionController
 
 logger = logging.getLogger("repro.resilience.runtime")
 
@@ -105,6 +109,7 @@ def execute_with_resilience(
     max_slots: int = 100_000,
     deadline_slot: Optional[int] = None,
     request_name: str = "request",
+    admission: Optional["AdmissionController"] = None,
 ) -> ResilientServiceReport:
     """Serve one request end to end under a fault timeline.
 
@@ -120,6 +125,10 @@ def execute_with_resilience(
             reached; blowing it abandons the request with a
             ``deadline-exceeded`` disposition.
         request_name: Id used in the report's disposition table.
+        admission: Optional
+            :class:`~repro.admission.AdmissionController` consulted
+            before any planning work; a refused request is closed
+            with a ``shed`` disposition and never touches the solver.
     """
     with obs_trace.span(
         "resilience.execute", request=request_name
@@ -132,6 +141,7 @@ def execute_with_resilience(
             max_slots=max_slots,
             deadline_slot=deadline_slot,
             request_name=request_name,
+            admission=admission,
         )
         if lifecycle_span is not None:
             disposition = result.report.dispositions.get(request_name)
@@ -150,6 +160,7 @@ def _execute_with_resilience(
     max_slots: int = 100_000,
     deadline_slot: Optional[int] = None,
     request_name: str = "request",
+    admission: Optional["AdmissionController"] = None,
 ) -> ResilientServiceReport:
     report = ResilienceReport()
     metrics = obs_metrics.active()
@@ -157,6 +168,56 @@ def _execute_with_resilience(
         metrics.inc("resilience.runtime.requests")
     if injector is not None:
         injector.reset()
+
+    request = None
+    if admission is not None:
+        from repro.sim.online import EntanglementRequest
+
+        group = (
+            tuple(sorted(users, key=repr))
+            if users is not None
+            else tuple(sorted(controller.network.user_ids, key=repr))
+        )
+        request = EntanglementRequest(
+            name=request_name,
+            users=group,
+            arrival=0,
+            deadline=deadline_slot,
+        )
+        decision = admission.decide(request, 0)
+        if not decision.admitted:
+            # No queue to wait in for a one-shot lifecycle: any
+            # non-admit verdict is a shed, fully attributed.
+            if decision.action == "throttle":
+                admission.count_shed(decision.policy or "throttle")
+            report.close_request(
+                RequestDisposition(
+                    name=request_name,
+                    status=SHED,
+                    reason=(
+                        f"refused by admission policy {decision.policy!r}"
+                        + (
+                            f": {decision.reason}"
+                            if decision.reason
+                            else ""
+                        )
+                    ),
+                    slot=0,
+                )
+            )
+            placeholder = MUERPSolution(
+                channels=(),
+                users=frozenset(group),
+                method="unplanned",
+                feasible=False,
+            )
+            return ResilientServiceReport(
+                solution=placeholder,
+                final_solution=placeholder,
+                runs=(),
+                report=report,
+                served_users=(),
+            )
 
     initial = controller.plan(users)
     if not initial.feasible:
@@ -168,6 +229,8 @@ def _execute_with_resilience(
                 slot=0,
             )
         )
+        if admission is not None and request is not None:
+            admission.on_closed(request, 0)
         return ResilientServiceReport(
             solution=initial,
             final_solution=initial,
@@ -206,6 +269,8 @@ def _execute_with_resilience(
         )
         if status == SERVED and faulted:
             report.record_recovery(request_name)
+        if admission is not None and request is not None:
+            admission.on_closed(request, slot_offset)
         return ResilientServiceReport(
             solution=initial,
             final_solution=current,

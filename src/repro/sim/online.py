@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import logging
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import repro.obs.metrics as obs_metrics
@@ -55,6 +55,7 @@ from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.unionfind import UnionFind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.admission.control import AdmissionController
     from repro.resilience.faults import FaultInjector
     from repro.resilience.report import ResilienceReport
     from repro.resilience.retry import RetryPolicy
@@ -76,6 +77,8 @@ class EntanglementRequest:
         deadline: Optional absolute slot by which service must have
             *started*; supersedes ``arrival + max_wait`` as the give-up
             point when set.  Must be ``>= arrival``.
+        tenant: Optional tenant/account label; per-tenant admission
+            limiters key on it (``None`` = the global bucket).
     """
 
     name: str
@@ -84,6 +87,7 @@ class EntanglementRequest:
     hold: int = 1
     max_wait: int = 0
     deadline: Optional[int] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if len(self.users) < 2:
@@ -150,6 +154,9 @@ class OnlineResult:
     slots_simulated: int
     peak_qubit_usage: Dict[Hashable, int]
     resilience: Optional["ResilienceReport"] = None
+    #: Admission-control telemetry (populated only when the scheduler
+    #: ran with an :class:`~repro.admission.AdmissionController`).
+    admission: Optional[Dict[str, object]] = None
 
     @property
     def n_accepted(self) -> int:
@@ -160,9 +167,15 @@ class OnlineResult:
         return sum(1 for o in self.outcomes if o.degraded)
 
     @property
+    def n_shed(self) -> int:
+        return sum(1 for o in self.outcomes if o.disposition == "shed")
+
+    @property
     def acceptance_ratio(self) -> float:
+        # An empty stream has no accepted requests: 0.0, by definition,
+        # rather than a vacuous 1.0 or a ZeroDivisionError.
         if not self.outcomes:
-            return 1.0
+            return 0.0
         return self.n_accepted / len(self.outcomes)
 
     @property
@@ -269,6 +282,14 @@ class OnlineScheduler:
             they go back into service; a tree that fails verification is
             treated as unrepairable (checks are counted in the run's
             resilience report).
+        admission: Optional
+            :class:`~repro.admission.AdmissionController` consulted
+            before any qubits are reserved: requests can be throttled
+            into a bounded shed queue, shed outright (each with an
+            attributable ``shed`` disposition), served degraded under
+            brownout, or hedged with alternate solvers near their
+            deadline.  ``None`` preserves the historical
+            admit-everything behaviour byte for byte.
     """
 
     def __init__(
@@ -280,6 +301,7 @@ class OnlineScheduler:
         retry_policy: Optional["RetryPolicy"] = None,
         allow_degradation: bool = True,
         verify: bool = True,
+        admission: Optional["AdmissionController"] = None,
     ) -> None:
         if method not in ("prim", "conflict_free"):
             raise ValueError(f"unsupported method {method!r}")
@@ -290,6 +312,7 @@ class OnlineScheduler:
         self.retry_policy = retry_policy
         self.allow_degradation = allow_degradation
         self.verify = verify
+        self.admission = admission
 
     def run(self, requests: Sequence[EntanglementRequest]) -> OnlineResult:
         """Simulate the whole arrival stream; returns the telemetry."""
@@ -299,6 +322,7 @@ class OnlineScheduler:
         resilient = (
             self.fault_injector is not None
             or self.retry_policy is not None
+            or self.admission is not None
             or any(r.deadline is not None for r in requests)
         )
         with obs_trace.span(
@@ -409,6 +433,11 @@ class OnlineScheduler:
     def _run_resilient(
         self, requests: Sequence[EntanglementRequest]
     ) -> OnlineResult:
+        from repro.admission.backpressure import (
+            TIER_DEGRADED,
+            TIER_FULL,
+            TIER_SHED,
+        )
         from repro.extensions.recovery import apply_failures, repair_solution
         from repro.resilience import report as report_mod
         from repro.resilience.report import (
@@ -420,6 +449,9 @@ class OnlineScheduler:
         injector = self.fault_injector
         if injector is not None:
             injector.reset()
+        admission = self.admission
+        if admission is not None:
+            admission.reset()
         report = ResilienceReport()
 
         base = self.network
@@ -441,7 +473,13 @@ class OnlineScheduler:
         for request in requests:
             by_arrival.setdefault(request.arrival, []).append(request)
         if not requests:
-            return OnlineResult((), 0, ledger.peak_usage(), report)
+            return OnlineResult(
+                (),
+                0,
+                ledger.peak_usage(),
+                report,
+                admission.stats() if admission is not None else None,
+            )
         horizon = max(r.last_start_slot for r in requests) + 1
         if injector is not None:
             horizon = max(horizon, injector.schedule.last_slot)
@@ -478,6 +516,8 @@ class OnlineScheduler:
             )
             if metrics is not None:
                 metrics.inc(f"sim.online.dispositions.{status}")
+            if admission is not None:
+                admission.on_closed(res.request, slot)
             if res.hit_by_fault and not res.degraded:
                 report.record_recovery(res.request.name)
 
@@ -511,6 +551,8 @@ class OnlineScheduler:
             )
             if metrics is not None:
                 metrics.inc(f"sim.online.dispositions.{status}")
+            if admission is not None:
+                admission.on_closed(request, slot)
             logger.info(
                 "request %s lost at slot %d: %s (%s)",
                 request.name,
@@ -692,11 +734,117 @@ class OnlineScheduler:
                     )
                 reservations = surviving
 
-            # 3. Admission: new arrivals + waiters whose retry is due.
-            candidates = [
-                _Waiter(request=r, next_slot=slot)
-                for r in by_arrival.get(slot, [])
-            ]
+            # 2b. Admission housekeeping: with releases and fault
+            # handling settled, expire overdue queue entries and refresh
+            # the brownout tier from the fresh load signal.
+            tier = TIER_FULL
+            if admission is not None:
+                aqueue = admission.queue
+                if aqueue is not None:
+                    for entry in aqueue.expired(slot):
+                        admission.count_expired()
+                        if metrics is not None:
+                            metrics.observe(
+                                "sim.online.admission.time_in_queue_slots",
+                                slot - entry.enqueued_slot,
+                            )
+                        status = (
+                            report_mod.DEADLINE_EXCEEDED
+                            if entry.request.deadline is not None
+                            else report_mod.SHED
+                        )
+                        _close_lost(
+                            entry.request,
+                            status,
+                            "expired in admission queue after "
+                            f"{slot - entry.enqueued_slot} slots without "
+                            "a limiter slot",
+                            slot,
+                        )
+                tier = admission.begin_slot(slot, ledger)
+
+            # 3. Admission: queued backlog, new arrivals, due waiters.
+            candidates: List[_Waiter] = []
+            if (
+                admission is not None
+                and admission.queue is not None
+                and tier != TIER_SHED
+            ):
+                # Drain the backlog in policy order while the limiter
+                # chain has headroom; the first throttle ends the drain
+                # (no later entry may jump the priority order).
+                for entry in admission.queue.drain_order():
+                    decision = admission.decide(entry.request, slot)
+                    if not decision.admitted:
+                        break
+                    admission.queue.remove(entry)
+                    if metrics is not None:
+                        metrics.observe(
+                            "sim.online.admission.time_in_queue_slots",
+                            slot - entry.enqueued_slot,
+                        )
+                    candidates.append(
+                        _Waiter(request=entry.request, next_slot=slot)
+                    )
+            for request in by_arrival.get(slot, []):
+                if admission is None:
+                    candidates.append(
+                        _Waiter(request=request, next_slot=slot)
+                    )
+                    continue
+                if tier == TIER_SHED:
+                    admission.count_shed("brownout")
+                    _close_lost(
+                        request,
+                        report_mod.SHED,
+                        f"brownout tier {TIER_SHED!r} at slot {slot}: "
+                        "new arrivals refused under overload",
+                        slot,
+                    )
+                    continue
+                decision = admission.decide(request, slot)
+                if decision.admitted:
+                    candidates.append(
+                        _Waiter(request=request, next_slot=slot)
+                    )
+                    continue
+                if decision.action == "shed":
+                    _close_lost(
+                        request,
+                        report_mod.SHED,
+                        f"shed by admission policy {decision.policy!r}"
+                        + (f": {decision.reason}" if decision.reason else ""),
+                        slot,
+                    )
+                    continue
+                # Throttled: park in the bounded queue (or shed if none).
+                aqueue = admission.queue
+                if aqueue is None:
+                    admission.count_shed("no-queue")
+                    _close_lost(
+                        request,
+                        report_mod.SHED,
+                        f"throttled by {decision.policy!r} "
+                        f"({decision.reason}) with no admission queue "
+                        "configured",
+                        slot,
+                    )
+                    continue
+                queued, victim = aqueue.offer(request, slot)
+                if victim is not None:
+                    admission.count_shed(aqueue.shed_policy)
+                    if queued and metrics is not None:
+                        metrics.observe(
+                            "sim.online.admission.time_in_queue_slots",
+                            slot - victim.enqueued_slot,
+                        )
+                    _close_lost(
+                        victim.request,
+                        report_mod.SHED,
+                        f"evicted from full admission queue at slot "
+                        f"{slot} ({aqueue.shed_policy})",
+                        slot,
+                    )
             due = [w for w in waiting if w.next_slot <= slot]
             waiting = [w for w in waiting if w.next_slot > slot]
             candidates.extend(due)
@@ -718,6 +866,55 @@ class OnlineScheduler:
                     )
                     continue
                 solution = self._route(request, ledger, network=damaged)
+                degraded_admit = False
+                if solution is None and admission is not None:
+                    hedge = admission.hedge
+                    if hedge is not None and hedge.should_hedge(
+                        request, slot
+                    ):
+                        # Near its give-up point a failed attempt is
+                        # fatal, so spend alternate solvers now.
+                        for alt in hedge.methods:
+                            if alt == self.method:
+                                continue
+                            hedge.record_attempt()
+                            if metrics is not None:
+                                metrics.inc("sim.online.admission.hedges")
+                            solution = self._route(
+                                request,
+                                ledger,
+                                network=damaged,
+                                method=alt,
+                            )
+                            if solution is not None:
+                                hedge.record_win(request.name, alt)
+                                if metrics is not None:
+                                    metrics.inc(
+                                        "sim.online.admission.hedge_wins"
+                                    )
+                                break
+                    if (
+                        solution is None
+                        and tier == TIER_DEGRADED
+                        and self.allow_degradation
+                        and len(request.users) > 2
+                    ):
+                        # Brownout degradation: admit the largest
+                        # routable user subset instead of blocking.
+                        ordered_users = sorted(request.users, key=repr)
+                        for size in range(len(ordered_users) - 1, 1, -1):
+                            sub = self._route(
+                                request,
+                                ledger,
+                                network=damaged,
+                                users=tuple(ordered_users[:size]),
+                            )
+                            if sub is not None:
+                                solution = replace(
+                                    sub, method=sub.method + "+degraded"
+                                )
+                                degraded_admit = True
+                                break
                 if solution is not None:
                     usage = solution.switch_usage()
                     ledger.reserve(usage)
@@ -728,6 +925,17 @@ class OnlineScheduler:
                             "sim.online.queue_wait_slots",
                             slot - request.arrival,
                         )
+                    if degraded_admit:
+                        if metrics is not None:
+                            metrics.inc(
+                                "sim.online.admission.brownout_degradations"
+                            )
+                        report.record_degradation(
+                            request.name,
+                            f"slot {slot}: admitted under brownout "
+                            f"serving {len(solution.users)}/"
+                            f"{len(request.users)} users",
+                        )
                     reservations.append(
                         _Reservation(
                             request=request,
@@ -736,6 +944,7 @@ class OnlineScheduler:
                             start_slot=slot,
                             release_slot=release_slot,
                             retries=waiter.retries,
+                            degraded=degraded_admit,
                         )
                     )
                     logger.debug(
@@ -794,6 +1003,7 @@ class OnlineScheduler:
             slots_simulated=slot - 1,
             peak_qubit_usage=ledger.peak_usage(),
             resilience=report,
+            admission=admission.stats() if admission is not None else None,
         )
 
     def _route(
@@ -801,20 +1011,28 @@ class OnlineScheduler:
         request: EntanglementRequest,
         residual: "Dict[Hashable, int] | CapacityLedger",
         network: Optional[QuantumNetwork] = None,
+        method: Optional[str] = None,
+        users: Optional[Tuple[Hashable, ...]] = None,
     ) -> Optional[MUERPSolution]:
-        """Route one request against *residual* without mutating it."""
+        """Route one request against *residual* without mutating it.
+
+        *method* overrides the scheduler's solver (hedged attempts);
+        *users* overrides the request's group (brownout degradation).
+        """
         net = self.network if network is None else network
+        group = request.users if users is None else users
+        how = self.method if method is None else method
         budget = (
             residual.as_dict()
             if isinstance(residual, CapacityLedger)
             else dict(residual)
         )
-        if self.method == "prim":
+        if how == "prim":
             solution = solve_prim(
-                net, request.users, rng=self.rng, residual=budget
+                net, group, rng=self.rng, residual=budget
             )
         else:
             solution = solve_conflict_free(
-                net, request.users, rng=self.rng, residual=budget
+                net, group, rng=self.rng, residual=budget
             )
         return solution if solution.feasible else None

@@ -39,6 +39,10 @@ class WorkloadSpec:
         max_wait: Patience of blocked requests, in slots.
         hotspot_skew: 0 = uniform user popularity; larger values
             concentrate requests on few users (Zipf exponent).
+        n_tenants: Number of tenant labels to spread requests over
+            (uniformly at random); 0 leaves requests untenanted and
+            the rng stream byte-identical to older versions.  Tenants
+            are what per-tenant admission limiters key on.
     """
 
     arrival_rate: float = 0.5
@@ -48,6 +52,7 @@ class WorkloadSpec:
     mean_hold: float = 4.0
     max_wait: int = 0
     hotspot_skew: float = 0.0
+    n_tenants: int = 0
 
     def __post_init__(self) -> None:
         require_positive(self.arrival_rate, "arrival_rate")
@@ -62,6 +67,8 @@ class WorkloadSpec:
             raise ValueError("max_wait must be >= 0")
         if self.hotspot_skew < 0:
             raise ValueError("hotspot_skew must be >= 0")
+        if self.n_tenants < 0:
+            raise ValueError("n_tenants must be >= 0")
 
 
 def user_popularity(
@@ -111,6 +118,9 @@ def generate_workload(
                 len(users), size=size, replace=False, p=popularity
             )
             hold = int(generator.geometric(hold_p))
+            tenant = None
+            if spec.n_tenants > 0:
+                tenant = f"tenant-{int(generator.integers(spec.n_tenants))}"
             requests.append(
                 EntanglementRequest(
                     name=f"req-{counter}",
@@ -118,6 +128,7 @@ def generate_workload(
                     arrival=slot,
                     hold=max(1, hold),
                     max_wait=spec.max_wait,
+                    tenant=tenant,
                 )
             )
             counter += 1

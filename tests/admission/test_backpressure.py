@@ -1,0 +1,111 @@
+"""Unit tests for load sensing and the brownout tier state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.backpressure import (
+    TIER_DEGRADED,
+    TIER_FULL,
+    TIER_SHED,
+    BrownoutController,
+    LoadSignal,
+    measure_load,
+)
+from repro.admission.queue import AdmissionQueue
+from repro.core.ledger import CapacityLedger
+from repro.sim.online import EntanglementRequest
+
+
+class TestLoadSignal:
+    def test_level_is_max_of_components(self):
+        assert LoadSignal(0.3, 0.8).level == 0.8
+        assert LoadSignal(0.9, 0.1).level == 0.9
+
+    def test_measure_load_from_ledger(self):
+        ledger = CapacityLedger({"s1": 4, "s2": 4})
+        ledger.reserve({"s1": 2})
+        signal = measure_load(ledger)
+        assert signal.occupancy == pytest.approx(2 / 8)
+        assert signal.queue_fill == 0.0
+
+    def test_measure_load_includes_queue_fill(self):
+        ledger = CapacityLedger({"s1": 4})
+        queue = AdmissionQueue(2)
+        queue.offer(
+            EntanglementRequest("r", ("a", "b"), arrival=0), slot=0
+        )
+        signal = measure_load(ledger, queue)
+        assert signal.queue_fill == pytest.approx(0.5)
+
+    def test_empty_ledger_is_idle(self):
+        assert measure_load(CapacityLedger({})).occupancy == 0.0
+
+
+class TestBrownoutController:
+    def test_defaults_start_full(self):
+        assert BrownoutController().tier == TIER_FULL
+
+    def test_escalation_is_immediate(self):
+        ctl = BrownoutController(min_dwell=10)
+        assert ctl.update(LoadSignal(0.75), 0) == TIER_DEGRADED
+        assert ctl.update(LoadSignal(0.95), 1) == TIER_SHED
+        assert [t for _, t in ctl.transitions] == [
+            TIER_DEGRADED,
+            TIER_SHED,
+        ]
+
+    def test_relaxation_waits_for_dwell(self):
+        ctl = BrownoutController(min_dwell=3)
+        ctl.update(LoadSignal(0.80), 0)
+        assert ctl.tier == TIER_DEGRADED
+        # Load falls but dwell not served: tier holds.
+        assert ctl.update(LoadSignal(0.10), 1) == TIER_DEGRADED
+        assert ctl.update(LoadSignal(0.10), 2) == TIER_DEGRADED
+        assert ctl.update(LoadSignal(0.10), 3) == TIER_FULL
+
+    def test_hysteresis_band_blocks_flapping(self):
+        ctl = BrownoutController(
+            degrade_enter=0.70, degrade_exit=0.50, min_dwell=0
+        )
+        ctl.update(LoadSignal(0.75), 0)
+        # 0.6 is below enter but above exit: no relaxation.
+        assert ctl.update(LoadSignal(0.60), 5) == TIER_DEGRADED
+        assert ctl.update(LoadSignal(0.45), 6) == TIER_FULL
+
+    def test_shed_relaxes_stepwise_or_fully(self):
+        ctl = BrownoutController(min_dwell=0)
+        ctl.update(LoadSignal(0.95), 0)
+        # Still above degrade_exit: step down to degraded only.
+        assert ctl.update(LoadSignal(0.60), 1) == TIER_DEGRADED
+        ctl2 = BrownoutController(min_dwell=0)
+        ctl2.update(LoadSignal(0.95), 0)
+        # Below degrade_exit: all the way back to full.
+        assert ctl2.update(LoadSignal(0.10), 1) == TIER_FULL
+
+    def test_tier_level_gauge(self):
+        ctl = BrownoutController()
+        assert ctl.tier_level == 0
+        ctl.update(LoadSignal(0.95), 0)
+        assert ctl.tier_level == 2
+
+    def test_reset(self):
+        ctl = BrownoutController()
+        ctl.update(LoadSignal(0.95), 0)
+        ctl.reset()
+        assert ctl.tier == TIER_FULL
+        assert ctl.transitions == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"degrade_enter": 0.5, "degrade_exit": 0.5},
+            {"shed_enter": 0.9, "shed_exit": 0.9},
+            {"degrade_enter": 0.95, "shed_enter": 0.92},
+            {"degrade_enter": 1.5},
+            {"min_dwell": -1},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            BrownoutController(**kwargs)

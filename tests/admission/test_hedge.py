@@ -1,0 +1,50 @@
+"""Unit tests for the near-deadline hedge policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.hedge import HedgePolicy
+from repro.sim.online import EntanglementRequest
+
+
+def req(deadline: int) -> EntanglementRequest:
+    return EntanglementRequest(
+        "r", ("a", "b"), arrival=0, deadline=deadline
+    )
+
+
+class TestHedgePolicy:
+    def test_hedges_only_near_deadline(self):
+        policy = HedgePolicy(slack_slots=1)
+        assert policy.should_hedge(req(deadline=5), slot=4)
+        assert policy.should_hedge(req(deadline=5), slot=5)
+        assert not policy.should_hedge(req(deadline=5), slot=3)
+
+    def test_budget_caps_attempts(self):
+        policy = HedgePolicy(slack_slots=1, max_hedges=1)
+        assert policy.should_hedge(req(deadline=1), slot=1)
+        policy.record_attempt()
+        assert not policy.should_hedge(req(deadline=1), slot=1)
+
+    def test_counters_and_reset(self):
+        policy = HedgePolicy()
+        policy.record_attempt()
+        policy.record_win("r", "conflict_free")
+        assert policy.hedges_spent == 1
+        assert policy.hedge_wins == 1
+        policy.reset()
+        assert policy.hedges_spent == 0
+        assert policy.hedge_wins == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slack_slots": -1},
+            {"methods": ()},
+            {"max_hedges": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            HedgePolicy(**kwargs)

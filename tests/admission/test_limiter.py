@@ -1,0 +1,176 @@
+"""Unit tests for the slot-clocked admission limiters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.limiter import (
+    ADMIT,
+    THROTTLE,
+    AdmissionDecision,
+    ConcurrencyLimiter,
+    PolicyChain,
+    TokenBucketLimiter,
+    tenant_key,
+)
+from repro.sim.online import EntanglementRequest
+
+
+def req(name: str, tenant=None, arrival: int = 0) -> EntanglementRequest:
+    return EntanglementRequest(
+        name=name, users=("a", "b"), arrival=arrival, tenant=tenant
+    )
+
+
+class TestAdmissionDecision:
+    def test_valid_actions(self):
+        assert AdmissionDecision("admit").admitted
+        assert not AdmissionDecision("throttle").admitted
+        assert not AdmissionDecision("shed").admitted
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionDecision("defer")
+
+    def test_tenant_key(self):
+        assert tenant_key(req("r", tenant="acme")) == "acme"
+        assert tenant_key(req("r")) is None
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucketLimiter(rate=1.0, capacity=2.0)
+        # Full bucket on first sight: two commits drain it.
+        for k in range(2):
+            decision = bucket.decide(req(f"r{k}"), 0)
+            assert decision.action == ADMIT
+            bucket.commit(req(f"r{k}"), 0)
+        third = bucket.decide(req("r2"), 0)
+        assert third.action == THROTTLE
+        assert "tokens" in third.reason
+
+    def test_refills_per_slot(self):
+        bucket = TokenBucketLimiter(rate=1.0, capacity=2.0)
+        for k in range(2):
+            bucket.commit(req(f"r{k}"), 0)
+        assert bucket.decide(req("x"), 0).action == THROTTLE
+        assert bucket.decide(req("x"), 1).action == ADMIT
+        assert bucket.tokens(None) == pytest.approx(1.0)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucketLimiter(rate=1.0, capacity=2.0)
+        bucket.commit(req("r0"), 0)
+        bucket.decide(req("probe"), 100)
+        assert bucket.tokens(None) == pytest.approx(2.0)
+
+    def test_per_tenant_isolation(self):
+        bucket = TokenBucketLimiter(rate=0.5, capacity=1.0)
+        bucket.commit(req("r0", tenant="noisy"), 0)
+        assert bucket.decide(req("r1", tenant="noisy"), 0).action == THROTTLE
+        # The quiet tenant's bucket is untouched.
+        assert bucket.decide(req("r2", tenant="quiet"), 0).action == ADMIT
+
+    def test_decide_does_not_spend(self):
+        bucket = TokenBucketLimiter(rate=1.0, capacity=1.0)
+        for _ in range(5):
+            assert bucket.decide(req("r"), 0).action == ADMIT
+        assert bucket.tokens(None) == pytest.approx(1.0)
+
+    def test_reset(self):
+        bucket = TokenBucketLimiter(rate=1.0, capacity=1.0)
+        bucket.commit(req("r"), 0)
+        bucket.reset()
+        assert bucket.decide(req("r"), 0).action == ADMIT
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0, "capacity": 1.0},
+            {"rate": 1.0, "capacity": 1.0, "cost": 0.0},
+            {"rate": 1.0, "capacity": 0.5, "cost": 1.0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(**kwargs)
+
+
+class TestConcurrencyLimiter:
+    def test_bulkhead_fills_and_frees(self):
+        bulkhead = ConcurrencyLimiter(max_in_flight=2)
+        for k in range(2):
+            assert bulkhead.decide(req(f"r{k}"), 0).action == ADMIT
+            bulkhead.commit(req(f"r{k}"), 0)
+        assert bulkhead.decide(req("r2"), 0).action == THROTTLE
+        bulkhead.on_released(req("r0"), 3)
+        assert bulkhead.decide(req("r2"), 3).action == ADMIT
+        assert bulkhead.in_flight(None) == 1
+
+    def test_release_without_commit_is_guarded(self):
+        bulkhead = ConcurrencyLimiter(max_in_flight=1)
+        bulkhead.on_released(req("phantom"), 0)
+        assert bulkhead.in_flight(None) == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ConcurrencyLimiter(max_in_flight=0)
+
+
+class TestPolicyChain:
+    def test_first_refusal_wins(self):
+        chain = PolicyChain(
+            [
+                TokenBucketLimiter(rate=1.0, capacity=10.0),
+                ConcurrencyLimiter(max_in_flight=1),
+            ]
+        )
+        assert chain.decide(req("r0"), 0).action == ADMIT
+        verdict = chain.decide(req("r1"), 0)
+        assert verdict.action == THROTTLE
+        assert verdict.policy == "bulkhead"
+
+    def test_partial_chain_does_not_spend_tokens(self):
+        bucket = TokenBucketLimiter(rate=0.1, capacity=1.0)
+        bulkhead = ConcurrencyLimiter(max_in_flight=1)
+        chain = PolicyChain([bulkhead, bucket])
+        chain.decide(req("r0"), 0)  # admits, commits both
+        # Bulkhead now refuses, so the bucket must not lose tokens.
+        before = bucket.tokens(None)
+        assert chain.decide(req("r1"), 0).action == THROTTLE
+        assert bucket.tokens(None) == before
+
+    def test_on_released_fans_out(self):
+        bulkhead = ConcurrencyLimiter(max_in_flight=1)
+        chain = PolicyChain([bulkhead])
+        chain.decide(req("r0"), 0)
+        assert bulkhead.in_flight(None) == 1
+        chain.on_released(req("r0"), 2)
+        assert bulkhead.in_flight(None) == 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyChain([])
+
+    def test_reset_cascades(self):
+        bucket = TokenBucketLimiter(rate=0.1, capacity=1.0)
+        chain = PolicyChain([bucket])
+        chain.decide(req("r0"), 0)
+        chain.reset()
+        assert chain.decide(req("r1"), 0).action == ADMIT
+
+    def test_deterministic_decision_sequence(self):
+        def run():
+            chain = PolicyChain(
+                [
+                    TokenBucketLimiter(rate=0.5, capacity=2.0),
+                    ConcurrencyLimiter(max_in_flight=3),
+                ]
+            )
+            out = []
+            for slot in range(10):
+                for k in range(3):
+                    r = req(f"r{slot}-{k}", tenant=f"t{k % 2}")
+                    out.append(chain.decide(r, slot).action)
+            return out
+
+        assert run() == run()

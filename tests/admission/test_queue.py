@@ -1,0 +1,167 @@
+"""Unit tests for the bounded admission queue and its shed policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.queue import (
+    DEADLINE_AWARE,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    LOWEST_VALUE,
+    SHED_POLICIES,
+    AdmissionQueue,
+    group_log_rate_estimate,
+    request_value_fn,
+)
+from repro.sim.online import EntanglementRequest
+
+
+def req(name: str, deadline=None, users=("a", "b")) -> EntanglementRequest:
+    return EntanglementRequest(
+        name=name, users=users, arrival=0, max_wait=100, deadline=deadline
+    )
+
+
+class TestConstruction:
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, shed_policy="coin-flip")
+
+    def test_lowest_value_needs_value_fn(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, shed_policy=LOWEST_VALUE)
+
+
+class TestOfferAndShed:
+    def test_fifo_below_capacity(self):
+        queue = AdmissionQueue(3)
+        for k in range(3):
+            queued, victim = queue.offer(req(f"r{k}"), slot=k)
+            assert queued and victim is None
+        assert queue.names() == ("r0", "r1", "r2")
+        assert queue.depth == 3
+        assert queue.peak_depth == 3
+
+    def test_drop_newest_refuses_newcomer(self):
+        queue = AdmissionQueue(1, shed_policy=DROP_NEWEST)
+        queue.offer(req("old"), 0)
+        queued, victim = queue.offer(req("new"), 1)
+        assert not queued
+        assert victim.name == "new"
+        assert queue.names() == ("old",)
+        assert queue.sheds == 1
+
+    def test_drop_oldest_evicts_head(self):
+        queue = AdmissionQueue(1, shed_policy=DROP_OLDEST)
+        queue.offer(req("old"), 0)
+        queued, victim = queue.offer(req("new"), 1)
+        assert queued
+        assert victim.name == "old"
+        assert queue.names() == ("new",)
+
+    def test_deadline_aware_sheds_most_slack(self):
+        queue = AdmissionQueue(2, shed_policy=DEADLINE_AWARE)
+        queue.offer(req("urgent", deadline=3), 0)
+        queue.offer(req("slack", deadline=90), 0)
+        queued, victim = queue.offer(req("mid", deadline=10), 0)
+        assert queued
+        assert victim.name == "slack"
+        assert set(queue.names()) == {"urgent", "mid"}
+
+    def test_lowest_value_sheds_cheapest(self):
+        values = {"cheap": 1.0, "rich": 9.0, "mid": 5.0}
+        queue = AdmissionQueue(
+            2,
+            shed_policy=LOWEST_VALUE,
+            value_fn=lambda r: values[r.name],
+        )
+        queue.offer(req("cheap"), 0)
+        queue.offer(req("rich"), 0)
+        queued, victim = queue.offer(req("mid"), 0)
+        assert queued
+        assert victim.name == "cheap"
+
+
+class TestDrainOrder:
+    def test_fifo_default(self):
+        queue = AdmissionQueue(4)
+        for k in (0, 1, 2):
+            queue.offer(req(f"r{k}"), k)
+        assert [e.name for e in queue.drain_order()] == ["r0", "r1", "r2"]
+
+    def test_deadline_aware_is_edf(self):
+        queue = AdmissionQueue(4, shed_policy=DEADLINE_AWARE)
+        queue.offer(req("late", deadline=50), 0)
+        queue.offer(req("soon", deadline=2), 0)
+        assert [e.name for e in queue.drain_order()] == ["soon", "late"]
+
+    def test_lowest_value_drains_richest_first(self):
+        values = {"cheap": 1.0, "rich": 9.0}
+        queue = AdmissionQueue(
+            4, shed_policy=LOWEST_VALUE, value_fn=lambda r: values[r.name]
+        )
+        queue.offer(req("cheap"), 0)
+        queue.offer(req("rich"), 0)
+        assert [e.name for e in queue.drain_order()] == ["rich", "cheap"]
+
+    def test_remove_and_reset(self):
+        queue = AdmissionQueue(4)
+        queue.offer(req("r0"), 0)
+        entry = queue.drain_order()[0]
+        queue.remove(entry)
+        assert queue.depth == 0
+        queue.offer(req("r1"), 0)
+        queue.reset()
+        assert queue.depth == 0 and queue.peak_depth == 0
+
+
+class TestExpiry:
+    def test_expired_entries_removed(self):
+        queue = AdmissionQueue(4)
+        queue.offer(req("dies", deadline=2), 0)
+        queue.offer(req("lives", deadline=50), 0)
+        gone = queue.expired(3)
+        assert [e.name for e in gone] == ["dies"]
+        assert queue.names() == ("lives",)
+        assert queue.expirations == 1
+
+    def test_boundary_slot_still_eligible(self):
+        queue = AdmissionQueue(4)
+        queue.offer(req("edge", deadline=5), 0)
+        assert queue.expired(5) == []
+        assert queue.names() == ("edge",)
+
+
+class TestValueEstimates:
+    def test_group_log_rate_orders_by_distance(self, line_network):
+        near = group_log_rate_estimate(line_network, ("alice", "bob"))
+        assert near < 0.0  # log of a rate < 1
+
+    def test_unconnectable_group_is_minus_inf(self, params_q09):
+        from repro.network import NetworkBuilder
+
+        # Two users with no fiber between them: no channel exists.
+        islands = (
+            NetworkBuilder(params_q09)
+            .user("x", (0, 0))
+            .user("y", (5000, 0))
+            .build()
+        )
+        value = group_log_rate_estimate(islands, ("x", "y"))
+        assert value == float("-inf")
+
+    def test_value_fn_caches_by_user_set(self, line_network):
+        fn = request_value_fn(line_network)
+        a = fn(req("r0", users=("alice", "bob")))
+        b = fn(req("r1", users=("bob", "alice")))
+        assert a == b
+
+    def test_every_policy_is_constructible(self, line_network):
+        fn = request_value_fn(line_network)
+        for policy in SHED_POLICIES:
+            AdmissionQueue(2, shed_policy=policy, value_fn=fn)

@@ -1,0 +1,283 @@
+"""Integration tests: the online scheduler behind admission control."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.admission import (
+    DROP_OLDEST,
+    AdmissionController,
+    AdmissionQueue,
+    BrownoutController,
+    ConcurrencyLimiter,
+    HedgePolicy,
+    PolicyChain,
+    TokenBucketLimiter,
+)
+from repro.resilience.report import DISPOSITIONS, SHED
+from repro.sim.online import EntanglementRequest, OnlineScheduler
+
+
+@pytest.fixture
+def corridor(params_q09):
+    """Two user pairs forced through one 2-qubit switch."""
+    from repro.network import NetworkBuilder
+
+    builder = NetworkBuilder(params_q09)
+    builder.user("a1", (0, 0)).user("a2", (2000, 0))
+    builder.user("b1", (0, 500)).user("b2", (2000, 500))
+    builder.switch("mid", (1000, 250), qubits=2)
+    builder.fiber("a1", "mid", 1100).fiber("mid", "a2", 1100)
+    builder.fiber("b1", "mid", 1100).fiber("mid", "b2", 1100)
+    return builder.build()
+
+
+def flood(n: int, slot: int = 0, tenant=None, **kwargs):
+    """*n* identical pair requests arriving at *slot*."""
+    return [
+        EntanglementRequest(
+            f"req-{slot}-{k}",
+            ("a1", "a2"),
+            arrival=slot,
+            tenant=tenant,
+            **kwargs,
+        )
+        for k in range(n)
+    ]
+
+
+class TestFrontDoor:
+    def test_no_admission_is_unchanged(self, corridor):
+        """`admission=None` must leave the historical result intact."""
+        requests = flood(3, hold=2)
+        plain = OnlineScheduler(corridor, rng=0).run(requests)
+        assert plain.admission is None
+
+    def test_token_bucket_sheds_burst_with_attribution(self, corridor):
+        admission = AdmissionController(
+            policy=PolicyChain(
+                [TokenBucketLimiter(rate=0.5, capacity=1.0)]
+            )
+        )
+        scheduler = OnlineScheduler(corridor, rng=0, admission=admission)
+        result = scheduler.run(flood(4, hold=1))
+        report = result.resilience
+        # Exactly one terminal disposition per request, all legal.
+        assert set(report.dispositions) == {
+            r.name for r in flood(4, hold=1)
+        }
+        shed = [
+            d for d in report.dispositions.values() if d.status == SHED
+        ]
+        assert len(shed) == 3  # burst of 1, no queue: rest shed
+        assert all(d.reason for d in shed)
+        assert result.n_shed == 3
+        assert result.admission["admitted"] == 1
+        assert result.admission["shed_total"] == 3
+
+    def test_queue_holds_throttled_requests(self, corridor):
+        admission = AdmissionController(
+            policy=PolicyChain(
+                [TokenBucketLimiter(rate=1.0, capacity=1.0)]
+            ),
+            queue=AdmissionQueue(8),
+        )
+        scheduler = OnlineScheduler(corridor, rng=0, admission=admission)
+        # Patient requests: throttled ones drain at 1 token/slot.
+        result = scheduler.run(flood(3, hold=1, max_wait=10))
+        assert result.n_accepted == 3
+        assert result.admission["queue_peak_depth"] == 2
+
+    def test_full_queue_sheds_by_policy(self, corridor):
+        admission = AdmissionController(
+            policy=PolicyChain(
+                [TokenBucketLimiter(rate=0.1, capacity=1.0)]
+            ),
+            queue=AdmissionQueue(1, shed_policy=DROP_OLDEST),
+        )
+        scheduler = OnlineScheduler(corridor, rng=0, admission=admission)
+        result = scheduler.run(flood(4, hold=1, max_wait=3))
+        report = result.resilience
+        evicted = [
+            d
+            for d in report.dispositions.values()
+            if d.status == SHED and "evicted" in d.reason
+        ]
+        assert evicted  # drop-oldest pushed someone out
+        assert result.admission["shed"].get(DROP_OLDEST)
+
+    def test_bulkhead_counts_in_system_not_reserved(self, corridor):
+        admission = AdmissionController(
+            policy=PolicyChain([ConcurrencyLimiter(max_in_flight=2)])
+        )
+        scheduler = OnlineScheduler(corridor, rng=0, admission=admission)
+        # Two in-system (one served, one waiting) block the third.
+        result = scheduler.run(flood(3, hold=4, max_wait=6))
+        assert result.admission["admitted"] == 2
+        assert result.admission["shed_total"] == 1
+
+
+class TestBrownout:
+    def test_shed_tier_refuses_new_arrivals(self, corridor):
+        admission = AdmissionController(
+            brownout=BrownoutController(
+                degrade_enter=0.3,
+                degrade_exit=0.2,
+                shed_enter=0.5,
+                shed_exit=0.25,
+                min_dwell=0,
+            )
+        )
+        scheduler = OnlineScheduler(corridor, rng=0, admission=admission)
+        first = flood(1, slot=0, hold=6)
+        late = [
+            EntanglementRequest("late", ("b1", "b2"), arrival=2, hold=1)
+        ]
+        result = scheduler.run(first + late)
+        # Slot 0 fills the only switch (occupancy 1.0 >= shed_enter),
+        # so the slot-2 arrival is refused at the door.
+        outcome = result.outcome_for("late")
+        assert outcome.disposition == SHED
+        assert result.admission["shed"] == {"brownout": 1}
+        tiers = [tier for _, tier in result.admission["brownout_transitions"]]
+        assert "shed" in tiers
+
+    def test_degraded_tier_serves_largest_subset(self, star_network):
+        admission = AdmissionController(
+            brownout=BrownoutController(
+                degrade_enter=0.3,
+                degrade_exit=0.2,
+                shed_enter=0.95,
+                shed_exit=0.25,
+                min_dwell=0,
+            )
+        )
+        scheduler = OnlineScheduler(
+            star_network, rng=0, admission=admission
+        )
+        pair = EntanglementRequest("pair", ("alice", "bob"), 0, hold=8)
+        trio = EntanglementRequest(
+            "trio", ("alice", "bob", "carol"), arrival=1, hold=1
+        )
+        result = scheduler.run([pair, trio])
+        # The pair pins 2/4 hub qubits (tier: degraded); the trio needs
+        # all 4, so it is admitted as its largest routable 2-user subset.
+        outcome = result.outcome_for("trio")
+        assert outcome.accepted and outcome.degraded
+        assert len(outcome.served_users) == 2
+        assert outcome.solution.method.endswith("+degraded")
+        assert result.resilience.degradations == 1
+
+    def test_brownout_tier_metrics_published(self, corridor):
+        with obs.collecting() as registry:
+            admission = AdmissionController(
+                queue=AdmissionQueue(4),
+                brownout=BrownoutController(),
+            )
+            OnlineScheduler(corridor, rng=0, admission=admission).run(
+                flood(2, hold=1)
+            )
+        gauges = registry.to_dict()["gauges"]
+        assert "sim.online.admission.brownout_tier" in gauges
+        assert "sim.online.admission.queue_depth" in gauges
+
+
+class TestHedging:
+    def test_hedge_spent_near_deadline(self, corridor):
+        admission = AdmissionController(
+            hedge=HedgePolicy(slack_slots=1, methods=("conflict_free",))
+        )
+        scheduler = OnlineScheduler(
+            corridor, rng=0, method="prim", admission=admission
+        )
+        blocker = EntanglementRequest("hold", ("a1", "a2"), 0, hold=6)
+        urgent = EntanglementRequest(
+            "urgent", ("b1", "b2"), arrival=1, deadline=2
+        )
+        result = scheduler.run([blocker, urgent])
+        # The switch is full, so the urgent request cannot route with
+        # either solver — but the hedge must have been attempted.
+        assert result.admission["hedges_spent"] >= 1
+        assert result.admission["hedge_wins"] == 0
+
+    def test_hedge_skips_own_method(self, corridor):
+        admission = AdmissionController(
+            hedge=HedgePolicy(slack_slots=1, methods=("prim",))
+        )
+        scheduler = OnlineScheduler(
+            corridor, rng=0, method="prim", admission=admission
+        )
+        blocker = EntanglementRequest("hold", ("a1", "a2"), 0, hold=6)
+        urgent = EntanglementRequest(
+            "urgent", ("b1", "b2"), arrival=1, deadline=2
+        )
+        result = scheduler.run([blocker, urgent])
+        assert result.admission["hedges_spent"] == 0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_decisions(self, corridor):
+        def one_run():
+            admission = AdmissionController.default(
+                corridor, rate=0.7, burst=2.0, bulkhead=3, queue_size=2
+            )
+            scheduler = OnlineScheduler(
+                corridor, rng=7, admission=admission
+            )
+            requests = []
+            for slot in range(6):
+                requests.extend(
+                    flood(2, slot=slot, tenant=f"t{slot % 2}", hold=2)
+                )
+            return scheduler.run(requests)
+
+        a, b = one_run(), one_run()
+        assert a.resilience.to_dict() == b.resilience.to_dict()
+        assert json.dumps(a.admission, sort_keys=True) == json.dumps(
+            b.admission, sort_keys=True
+        )
+
+    def test_stats_survive_json_round_trip(self, corridor):
+        admission = AdmissionController.default(corridor, queue_size=2)
+        result = OnlineScheduler(
+            corridor, rng=0, admission=admission
+        ).run(flood(5, hold=2))
+        assert json.loads(json.dumps(result.admission)) == result.admission
+
+
+class TestAttribution:
+    def test_every_disposition_is_legal_and_reasoned(self, corridor):
+        admission = AdmissionController.default(
+            corridor, rate=0.4, burst=1.0, bulkhead=2, queue_size=1
+        )
+        requests = []
+        for slot in range(5):
+            requests.extend(flood(3, slot=slot, hold=3, max_wait=2))
+        result = OnlineScheduler(
+            corridor, rng=0, admission=admission
+        ).run(requests)
+        report = result.resilience
+        assert set(report.dispositions) == {r.name for r in requests}
+        for disposition in report.dispositions.values():
+            assert disposition.status in DISPOSITIONS
+            if disposition.status == SHED:
+                assert disposition.reason
+
+    def test_time_in_queue_histogram(self, corridor):
+        with obs.collecting() as registry:
+            admission = AdmissionController(
+                policy=PolicyChain(
+                    [TokenBucketLimiter(rate=1.0, capacity=1.0)]
+                ),
+                queue=AdmissionQueue(8),
+            )
+            OnlineScheduler(corridor, rng=0, admission=admission).run(
+                flood(3, hold=1, max_wait=10)
+            )
+        summaries = registry.histogram_summaries()
+        wait = summaries.get("sim.online.admission.time_in_queue_slots")
+        assert wait is not None
+        assert wait["count"] >= 2  # the two queued requests drained

@@ -158,8 +158,11 @@ class TestScheduler:
             OnlineScheduler(corridor, method="optimal")
 
     def test_empty_stream(self, corridor):
+        # Regression: an empty stream used to report a vacuous 100%
+        # acceptance; both aggregates must be 0.0 with no requests.
         result = OnlineScheduler(corridor, rng=0).run([])
-        assert result.acceptance_ratio == 1.0
+        assert result.acceptance_ratio == 0.0
+        assert result.mean_accepted_rate == 0.0
         assert result.outcomes == ()
 
     def test_mean_accepted_rate(self, corridor):

@@ -116,6 +116,64 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "consistent:           yes" in out
 
+    def test_admit_overload_demo(self, capsys):
+        code = main(
+            [
+                "admit",
+                "--switches",
+                "15",
+                "--users",
+                "6",
+                "--horizon",
+                "20",
+                "--arrival-rate",
+                "4",
+                "--seed",
+                "5",
+                "--verify-determinism",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "admission stats:" in out
+        assert "capacity overbooked: no" in out
+        assert "unattributed requests: none" in out
+        assert "baseline (no admission):" in out
+        assert "determinism check: ok" in out
+
+    def test_admit_shed_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["admit", "--shed-policy", "coin-flip"]
+            )
+
+    def test_admit_metrics_snapshot(self, capsys, tmp_path):
+        metrics_file = tmp_path / "admit-metrics.json"
+        code = main(
+            [
+                "admit",
+                "--switches",
+                "12",
+                "--users",
+                "5",
+                "--horizon",
+                "12",
+                "--arrival-rate",
+                "5",
+                "--seed",
+                "2",
+                "--no-baseline",
+                "--metrics",
+                str(metrics_file),
+            ]
+        )
+        assert code == EXIT_OK
+        snapshot = json.loads(metrics_file.read_text())
+        counters = snapshot["counters"]
+        assert any(
+            key.startswith("sim.online.admission.") for key in counters
+        )
+
     def test_experiment_markdown(self, capsys):
         code = main(
             ["experiment", "fig8b", "--networks", "1", "--seed", "2", "--markdown"]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -52,3 +53,81 @@ class TestScale:
         assert solution.n_channels == 19
         assert solution.spans_users()
         assert 0.0 < solution.rate < 1.0
+
+
+class TestOverload:
+    """Flood the serving path at ~10x capacity behind admission control.
+
+    The overload-soak acceptance gates: the capacity ledger never
+    overbooks a switch, every flooded request ends in exactly one
+    attributable terminal disposition, and two same-seed floods make
+    byte-identical shed decisions.
+    """
+
+    SERVE = TopologyConfig(
+        n_switches=20, n_users=8, avg_degree=5.0, qubits_per_switch=4
+    )
+
+    def _flood(self, network, seed: int):
+        from repro.admission import AdmissionController
+        from repro.sim.online import OnlineScheduler
+        from repro.sim.workload import WorkloadSpec, generate_workload
+
+        # ~20 switches x 4 qubits serve a handful of concurrent pairs;
+        # 10 requests/slot with multi-slot holds is ~10x that.
+        spec = WorkloadSpec(
+            arrival_rate=10.0,
+            horizon=30,
+            mean_hold=5.0,
+            max_wait=4,
+            n_tenants=4,
+        )
+        requests = generate_workload(
+            network.user_ids, spec, rng=seed + 1
+        )
+        admission = AdmissionController.default(
+            network,
+            rate=1.0,
+            burst=3.0,
+            bulkhead=8,
+            queue_size=8,
+            shed_policy="deadline-aware",
+        )
+        scheduler = OnlineScheduler(
+            network, rng=seed, admission=admission
+        )
+        return scheduler.run(requests), requests
+
+    def test_10x_flood_never_overbooks_and_attributes_everything(self):
+        network = waxman_network(self.SERVE, rng=3)
+        start = time.perf_counter()
+        result, requests = self._flood(network, seed=11)
+        elapsed = time.perf_counter() - start
+        assert len(requests) >= 250  # genuinely a flood
+        assert elapsed < 60.0
+
+        # Gate 1: the ledger never overbooks a switch at any slot.
+        for switch, peak in result.peak_qubit_usage.items():
+            budget = network.qubits_of(switch) or 0
+            assert peak <= budget, f"{switch} overbooked: {peak}/{budget}"
+
+        # Gate 2: exactly one terminal disposition per request.
+        report = result.resilience
+        assert set(report.dispositions) == {r.name for r in requests}
+        assert len(result.outcomes) == len(requests)
+        for disposition in report.dispositions.values():
+            if disposition.status == "shed":
+                assert disposition.reason
+
+        # The door actually did work under the flood.
+        assert result.admission["shed_total"] > 0
+        assert result.n_accepted > 0
+
+    def test_10x_flood_is_deterministic(self):
+        network = waxman_network(self.SERVE, rng=3)
+        first, _ = self._flood(network, seed=11)
+        second, _ = self._flood(network, seed=11)
+        assert first.resilience.to_dict() == second.resilience.to_dict()
+        assert json.dumps(first.admission, sort_keys=True) == json.dumps(
+            second.admission, sort_keys=True
+        )
