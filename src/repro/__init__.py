@@ -108,6 +108,8 @@ from repro.resilience import (
     RetryPolicy,
     random_schedule,
 )
+import repro.exec as exec_  # noqa: F401 - parallel execution subsystem
+from repro.exec import ChannelCache, ExecutionEngine, ShardPlan, caching
 from repro.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -207,5 +209,9 @@ __all__ = [
     "obs",
     "MetricsRegistry",
     "Tracer",
+    "ChannelCache",
+    "ExecutionEngine",
+    "ShardPlan",
+    "caching",
     "__version__",
 ]

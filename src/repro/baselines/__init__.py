@@ -12,6 +12,12 @@
 
 Importing this package registers all baselines in the global solver
 registry (:mod:`repro.core.registry`).
+
+All baselines route through :func:`repro.core.channel.dijkstra`, so an
+active :class:`~repro.exec.cache.ChannelCache` (see
+:mod:`repro.exec.cache`) memoizes their channel searches transparently —
+no per-baseline wiring is needed, and cached runs are byte-identical to
+uncached ones.
 """
 
 from repro.baselines.eqcast import solve_eqcast

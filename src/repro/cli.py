@@ -189,6 +189,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip trials already recorded in --checkpoint "
         "(losslessly continues a killed run)",
     )
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard trials over N processes via the execution engine "
+        "(results are byte-identical for every N; N=1 runs the "
+        "engine's serial backend with channel caching on)",
+    )
+    experiment_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the channel-computation cache inside the engine "
+        "(only meaningful with --workers)",
+    )
+
+    exec_parser = sub.add_parser(
+        "exec",
+        help="run a named experiment through the parallel execution "
+        "engine and report shard/cache statistics",
+        parents=[obs_parent],
+    )
+    exec_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    exec_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = in-process serial backend)",
+    )
+    exec_parser.add_argument(
+        "--networks", type=int, default=20, help="random networks per point"
+    )
+    exec_parser.add_argument("--seed", type=int, default=7)
+    exec_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the channel-computation cache",
+    )
+    exec_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU bound on cached channel searches (per process)",
+    )
+    exec_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="also run serially (1 worker, no cache) and fail unless "
+        "the results are byte-identical",
+    )
 
     stats_parser = sub.add_parser(
         "stats",
@@ -662,7 +714,21 @@ def _command_experiment(args: argparse.Namespace) -> int:
             print(f"resuming: {len(store)} trial(s) already checkpointed")
         scope = checkpointing(store)
     base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
-    with scope:
+    engine_cm = nullcontext()
+    engine_scope = nullcontext()
+    if args.workers is not None:
+        # Explicit --workers (including 1) routes through the execution
+        # engine: N>1 shards trials over a process pool, N=1 runs the
+        # serial backend; both enable channel caching unless --no-cache.
+        # The engine itself is a context manager: leaving it joins the
+        # worker pool, so no executor outlives the command.
+        from repro.exec.engine import ExecutionEngine, executing
+
+        engine_cm = engine = ExecutionEngine(
+            workers=args.workers, use_cache=not args.no_cache
+        )
+        engine_scope = executing(engine)
+    with scope, engine_cm, engine_scope:
         result = run_named(args.name, base)
     if args.markdown:
         from repro.analysis import report
@@ -692,9 +758,56 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_exec(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.exec.engine import ExecutionEngine, executing, result_payload
+    from repro.exec.shard import ShardPlan
+
+    base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
+    plan = ShardPlan.build(args.networks, args.workers)
+    print(f"experiment {args.name}: shard plan {plan.describe()}")
+
+    engine = ExecutionEngine(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_size=args.cache_size,
+    )
+    started = _time.perf_counter()
+    with engine, executing(engine):
+        result = run_named(args.name, base)
+    elapsed = _time.perf_counter() - started
+
+    if hasattr(result, "to_table"):
+        print(result.to_table(title=f"experiment {args.name}").render())
+    print()
+    print(f"wall time: {elapsed:.2f}s with {args.workers} worker(s)")
+    print(f"engine: {engine.stats.describe()}")
+
+    if args.verify_determinism:
+        reference_engine = ExecutionEngine(workers=1, use_cache=False)
+        with reference_engine, executing(reference_engine):
+            reference = run_named(args.name, base)
+        canonical = lambda r: json.dumps(  # noqa: E731
+            result_payload(r), sort_keys=True
+        )
+        if canonical(result) != canonical(reference):
+            print(
+                "determinism check FAILED: parallel result diverges "
+                "from the serial reference",
+                file=sys.stderr,
+            )
+            return EXIT_VERIFICATION_ERROR
+        print("determinism check: ok (byte-identical to serial run)")
+    return EXIT_OK
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _command_list()
+    if args.command == "exec":
+        return _command_exec(args)
     if args.command == "solve":
         return _command_solve(args)
     if args.command == "obs":

@@ -28,6 +28,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.problem import Channel
 from repro.core.rates import swap_log_rate
+from repro.exec import cache as exec_cache
 from repro.network.graph import QuantumNetwork
 import repro.obs.metrics as obs_metrics
 from repro.utils.heap import IndexedMinHeap
@@ -80,10 +81,28 @@ def dijkstra(
     ``.heap_pops`` / ``.edges_scanned`` / ``.relaxations`` counters to
     the active :class:`~repro.obs.metrics.MetricsRegistry` (one batch
     at return, so per-iteration cost is three local integer bumps).
+
+    Caching: when a :class:`~repro.exec.cache.ChannelCache` is active
+    (:func:`repro.exec.cache.caching`), results are memoized under an
+    exact key — routing fingerprint, source, blocked-switch set,
+    forbidden fibers — so a hit returns the byte-identical ``(dist,
+    prev)`` a recomputation would have produced.  The search only reads
+    residual capacities through the "≥ 2 free qubits" relay predicate,
+    which is why the blocked-switch *set* (not the raw counts) fully
+    captures the residual state's influence.
     """
     if not allow_switch_source and not network.is_user(source):
         raise ValueError(f"source {source!r} must be a quantum user")
     qubits = _residual_qubits(network, residual)
+    cache = exec_cache.active()
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key_for(
+            network, qubits, source, forbidden_fibers, allow_switch_source
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
     alpha = network.params.alpha
     minus_ln_q = -swap_log_rate(network.params.swap_prob)  # in [0, +inf]
 
@@ -135,6 +154,8 @@ def dijkstra(
         metrics.inc("core.dijkstra.edges_scanned", edges_scanned)
         metrics.inc("core.dijkstra.relaxations", relaxations)
         metrics.inc("core.dijkstra.nodes_settled", len(visited))
+    if cache is not None:
+        cache.put(cache_key, (dist, prev))
     return dist, prev
 
 

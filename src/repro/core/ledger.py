@@ -37,6 +37,7 @@ from typing import (
 )
 
 import repro.obs.metrics as obs_metrics
+from repro.exec import cache as exec_cache
 from repro.utils.heap import IndexedMinHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -205,7 +206,8 @@ class CapacityLedger:
     # ------------------------------------------------------------------
     def _apply(self, switch: Hashable, delta: int) -> None:
         """Apply a signed availability delta, journalled for rollback."""
-        new = self._avail.get(switch, 0) + delta
+        old = self._avail.get(switch, 0)
+        new = old + delta
         self._avail[switch] = new
         self._dirty.add(switch)
         if self._journals:
@@ -215,6 +217,15 @@ class CapacityLedger:
             self._peak[switch] = used
             if used > self._peak_global:
                 self._peak_global = used
+        # A crossing of the 2-qubit relay threshold flips the switch's
+        # polarity in every channel-cache blocked-set signature: tell
+        # the active cache so stranded entries are dropped eagerly.
+        if (old >= QUBITS_PER_CHANNEL) != (new >= QUBITS_PER_CHANNEL):
+            cache = exec_cache.active()
+            if cache is not None:
+                cache.invalidate_switch(
+                    switch, now_blocked=new < QUBITS_PER_CHANNEL
+                )
 
     def can_reserve(self, usage: Mapping[Hashable, int]) -> bool:
         """Whether every switch in *usage* has the requested headroom."""
@@ -346,8 +357,17 @@ class CapacityLedger:
                 self._journals[-1].extend(journal)
 
     def _rollback(self, journal: List[Tuple[Hashable, int]]) -> None:
+        cache = exec_cache.active()
         for switch, delta in reversed(journal):
-            self._avail[switch] = self._avail.get(switch, 0) - delta
+            old = self._avail.get(switch, 0)
+            new = old - delta
+            self._avail[switch] = new
+            if cache is not None and (old >= QUBITS_PER_CHANNEL) != (
+                new >= QUBITS_PER_CHANNEL
+            ):
+                cache.invalidate_switch(
+                    switch, now_blocked=new < QUBITS_PER_CHANNEL
+                )
         journal.clear()
 
     # ------------------------------------------------------------------

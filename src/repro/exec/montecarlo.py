@@ -1,0 +1,134 @@
+"""Sharded Monte-Carlo slots-to-success measurement.
+
+The serial :meth:`~repro.sim.engine.SlottedEntanglementSimulator.
+slots_to_success_summary` threads one RNG stream through all runs, which
+is inherently order-dependent.  The parallel measurement defined here
+derives each run's generator independently with
+:func:`~repro.utils.rng.spawn_rngs` (index-seeded), so run *i* flips the
+same coins no matter which worker executes it or in which order — the
+merged :class:`~repro.sim.engine.SlotsToSuccessSummary` is identical for
+every worker count, including ``workers=1``.
+
+Only *plain* simulations parallelize: a
+:class:`~repro.resilience.faults.FaultInjector` or
+:class:`~repro.resilience.retry.RetryPolicy` carries mutable state
+across runs (fault timelines, budgets), which breaks run independence —
+those simulations must stay on the serial method.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.shard import Shard, ShardPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import MUERPSolution
+    from repro.exec.engine import ExecutionEngine
+    from repro.network.graph import QuantumNetwork
+    from repro.sim.engine import SlotsToSuccessSummary
+
+__all__ = ["parallel_slots_to_success"]
+
+
+def _run_mc_shard(
+    shard: Shard,
+    network: "QuantumNetwork",
+    solution: "MUERPSolution",
+    seed: int,
+    runs: int,
+    max_slots: int,
+) -> "ShardResult":
+    """Execute the protocol runs of *shard*; one index-seeded RNG each."""
+    from repro.exec.engine import ShardResult, _cache_stats_snapshot
+    from repro.sim.engine import SlottedEntanglementSimulator
+    from repro.utils.rng import spawn_rngs
+
+    before = _cache_stats_snapshot()
+    rngs = spawn_rngs(seed, runs)
+    results: Dict[int, Tuple[bool, int]] = {}
+    for run in shard.items:
+        simulator = SlottedEntanglementSimulator(
+            network, solution, rng=rngs[run]
+        )
+        outcome = simulator.run(max_slots)
+        results[run] = (outcome.succeeded, outcome.slots_used)
+    return ShardResult(
+        shard_index=shard.index,
+        results=results,
+        cache_stats=_cache_stats_snapshot().delta(before),
+    )
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.engine import ShardResult
+
+
+def parallel_slots_to_success(
+    network: "QuantumNetwork",
+    solution: "MUERPSolution",
+    runs: int = 100,
+    seed: int = 0,
+    max_slots: int = 1_000_000,
+    workers: int = 1,
+    engine: Optional["ExecutionEngine"] = None,
+) -> "SlotsToSuccessSummary":
+    """Measure slots-to-success over *runs* sharded protocol executions.
+
+    Args:
+        network: The network the plan was computed for.
+        solution: The feasible routed tree to execute.
+        runs: Independent protocol runs (each with an index-seeded RNG).
+        seed: Root seed for :func:`~repro.utils.rng.spawn_rngs`.
+        max_slots: Per-run slot cap; capped runs count as failures.
+        workers: Shard the runs over this many processes (ignored when
+            *engine* is given).
+        engine: Reuse an existing :class:`~repro.exec.engine.
+            ExecutionEngine` (and its warm pool) instead of making one.
+
+    Returns:
+        The merged summary, assembled in run-index order — identical
+        for every worker count.
+    """
+    from repro.exec.engine import ExecutionEngine
+    from repro.sim.engine import SlotsToSuccessSummary
+
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    owned = engine is None
+    if engine is None:
+        engine = ExecutionEngine(workers=workers)
+    try:
+        plan = ShardPlan.build(runs, engine.workers)
+        shard_args = [
+            (shard, network, solution, seed, runs, max_slots)
+            for shard in plan
+        ]
+        shard_results = engine.run_shards(_run_mc_shard, shard_args)
+    finally:
+        if owned:
+            engine.close()
+
+    by_run: Dict[int, Tuple[bool, int]] = {}
+    for shard_result in shard_results:
+        by_run.update(shard_result.results)
+    successes = 0
+    failures = 0
+    totals: List[int] = []
+    for run in range(runs):
+        succeeded, slots_used = by_run[run]
+        if succeeded:
+            successes += 1
+            totals.append(slots_used)
+        else:
+            failures += 1
+    mean = float(np.mean(totals)) if totals else math.nan
+    return SlotsToSuccessSummary(
+        runs=runs,
+        successes=successes,
+        failures=failures,
+        mean_successful_slots=mean,
+    )

@@ -1,0 +1,112 @@
+"""Deterministic partitioning of experiment grids into shards.
+
+A *shard* is an independent unit of work: a subset of the item indices
+of some grid (experiment trial numbers, Monte-Carlo run indices, fig7b
+replica indices).  The plan is a pure function of ``(item indices,
+n_shards)`` — never of worker scheduling — and every item carries its
+original index, so the merge step can reassemble results in canonical
+item order.  That is the whole determinism argument: per-item RNGs are
+index-seeded (:func:`repro.utils.rng.spawn_rngs`), shard membership is
+index-arithmetic, and aggregation sorts by index, so ``--workers N``
+yields byte-identical aggregates for every N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["Shard", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent work unit of a :class:`ShardPlan`.
+
+    Attributes:
+        index: Position of this shard within its plan (0-based).
+        n_shards: Total shards in the plan.
+        items: Original item indices assigned to this shard, ascending.
+    """
+
+    index: int
+    n_shards: int
+    items: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Shard({self.index + 1}/{self.n_shards}, "
+            f"{len(self.items)} item(s))"
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic round-robin partition of item indices.
+
+    Item ``i`` (in sorted order of the requested indices) lands in shard
+    ``i % n_shards``.  Round-robin keeps shards balanced to within one
+    item for any grid size, and — unlike contiguous blocking — spreads
+    a grid's expensive tail (large topologies usually come last in a
+    sweep) across all workers.
+
+    Empty shards are never emitted: the effective shard count is
+    ``min(n_shards, n_items)`` (and 1 when there are no items at all,
+    represented as an empty plan).
+    """
+
+    n_items: int
+    shards: Tuple[Shard, ...]
+
+    @classmethod
+    def over(
+        cls, indices: Sequence[int], n_shards: int
+    ) -> "ShardPlan":
+        """Partition the given item *indices* into at most *n_shards*.
+
+        Indices are deduplicated and sorted first, so the plan is
+        independent of the order the caller discovered them in (e.g.
+        checkpoint-resume scans).
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        ordered = sorted(set(int(i) for i in indices))
+        if any(i < 0 for i in ordered):
+            raise ValueError("item indices must be non-negative")
+        effective = min(n_shards, len(ordered))
+        buckets: Tuple[list, ...] = tuple([] for _ in range(effective))
+        for position, item in enumerate(ordered):
+            buckets[position % effective].append(item)
+        shards = tuple(
+            Shard(index=k, n_shards=effective, items=tuple(bucket))
+            for k, bucket in enumerate(buckets)
+        )
+        return cls(n_items=len(ordered), shards=shards)
+
+    @classmethod
+    def build(cls, n_items: int, n_shards: int) -> "ShardPlan":
+        """Partition the full range ``0 .. n_items-1``."""
+        if n_items < 0:
+            raise ValueError(f"n_items must be >= 0, got {n_items}")
+        return cls.over(range(n_items), n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI / log output)."""
+        sizes = ", ".join(str(len(s)) for s in self.shards) or "-"
+        return (
+            f"{self.n_items} item(s) across {self.n_shards} shard(s) "
+            f"[{sizes}]"
+        )

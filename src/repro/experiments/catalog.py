@@ -43,12 +43,30 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-def run_named(name: str, base: Optional[ExperimentConfig] = None):
-    """Run the experiment registered under *name*."""
+def run_named(
+    name: str,
+    base: Optional[ExperimentConfig] = None,
+    workers: Optional[int] = None,
+):
+    """Run the experiment registered under *name*.
+
+    With ``workers > 1``, the whole experiment runs under an ambient
+    :class:`~repro.exec.engine.ExecutionEngine`: every trial grid the
+    driver touches (sweep points, fig7b replicas) shards across one
+    shared process pool, whose workers keep their channel caches warm
+    across the experiment.  Results are identical for every worker
+    count.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
+    if workers is not None and workers > 1:
+        from repro.exec.engine import ExecutionEngine, executing
+
+        with ExecutionEngine(workers=workers) as engine:
+            with executing(engine):
+                return runner(base)
     return runner(base)

@@ -178,6 +178,25 @@ class CheckpointStore:
         self._entries[(str(entry["config_key"]), int(trial))] = entry
         self._flush()
 
+    def merge_from(self, other: "CheckpointStore") -> int:
+        """Absorb every record of *other* into this store (one flush).
+
+        The parallel execution engine gives each worker shard a private
+        checkpoint file (concurrent writers must never share one
+        atomic-rename target) and folds them into the main store here —
+        after a completed run, or for whatever shards finished when a
+        run is interrupted.  Records are keyed by ``(config_key,
+        trial)`` so merging is idempotent; *other*'s records win on
+        collision (last write wins, as with :meth:`record`).  Returns
+        the number of records absorbed.
+        """
+        if not other._entries:
+            return 0
+        for key, entry in other._entries.items():
+            self._entries[key] = entry
+        self._flush()
+        return len(other._entries)
+
     def _flush(self) -> None:
         """Rewrite the store via temp-file + fsync + atomic rename."""
         self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -19,7 +19,8 @@ TOPOLOGIES: Sequence[str] = ("waxman", "watts_strogatz", "volchenkov")
 def run_fig5(
     base: Optional[ExperimentConfig] = None,
     topologies: Sequence[str] = TOPOLOGIES,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Reproduce Fig. 5's data series."""
     base = base or ExperimentConfig()
-    return sweep(base, "topology", list(topologies))
+    return sweep(base, "topology", list(topologies), workers=workers)

@@ -22,16 +22,18 @@ SWITCH_COUNTS: Sequence[int] = (10, 20, 30, 40, 50)
 def run_fig6a(
     base: Optional[ExperimentConfig] = None,
     user_counts: Sequence[int] = USER_COUNTS,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Reproduce Fig. 6(a): rate vs. number of users."""
     base = base or ExperimentConfig()
-    return sweep(base, "n_users", list(user_counts))
+    return sweep(base, "n_users", list(user_counts), workers=workers)
 
 
 def run_fig6b(
     base: Optional[ExperimentConfig] = None,
     switch_counts: Sequence[int] = SWITCH_COUNTS,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Reproduce Fig. 6(b): rate vs. number of switches."""
     base = base or ExperimentConfig()
-    return sweep(base, "n_switches", list(switch_counts))
+    return sweep(base, "n_switches", list(switch_counts), workers=workers)

@@ -37,10 +37,11 @@ FIG7B_MAX_RATIO = 0.9
 def run_fig7a(
     base: Optional[ExperimentConfig] = None,
     degrees: Sequence[float] = DEGREES,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Reproduce Fig. 7(a): rate vs. average degree."""
     base = base or ExperimentConfig()
-    return sweep(base, "avg_degree", list(degrees))
+    return sweep(base, "avg_degree", list(degrees), workers=workers)
 
 
 @dataclass(frozen=True)
@@ -63,11 +64,36 @@ class EdgeRemovalResult:
         return table
 
 
+def _fig7b_replica(
+    payload: Tuple[ExperimentConfig, int, int, int],
+) -> List[Dict[str, float]]:
+    """One Fig. 7(b) replica: generate, then alternate measure/remove.
+
+    Module-level and picklable so the execution engine can shard
+    replicas across worker processes.  The replica RNG is index-seeded
+    (:func:`~repro.utils.rng.spawn_rngs`), and generation, removal
+    draws, and solves all consume it in the exact order the serial loop
+    did — so per-replica rate curves are byte-identical regardless of
+    which process computes them.
+    """
+    config, trial, step, n_ratios = payload
+    network_rng = spawn_rngs(config.seed, config.n_networks)[trial]
+    network = generate(config.topology, config.topology_config(), network_rng)
+    working = network.copy()
+    curves: List[Dict[str, float]] = []
+    for index in range(n_ratios):
+        if index > 0:
+            _remove_random_fibers(working, step, network_rng)
+        curves.append(run_on_network(working, config.methods, network_rng))
+    return curves
+
+
 def run_fig7b(
     base: Optional[ExperimentConfig] = None,
     n_edges: int = FIG7B_EDGES,
     step: int = FIG7B_STEP,
     max_ratio: float = FIG7B_MAX_RATIO,
+    workers: Optional[int] = None,
 ) -> EdgeRemovalResult:
     """Reproduce Fig. 7(b): rate vs. removed-edge ratio.
 
@@ -75,23 +101,44 @@ def run_fig7b(
     600-fiber network, then alternate (measure all methods) / (remove
     *step* random fibers) until *max_ratio* of the fibers are gone.
     Mean rates over replicas are reported per ratio point.
+
+    Replicas are independent work items, so with ``workers > 1`` (or an
+    ambient :class:`~repro.exec.engine.ExecutionEngine`) they shard
+    across processes; the mean curves are identical for every worker
+    count.
     """
     base = base or ExperimentConfig()
     config = base.replace(n_edges=n_edges)
     n_steps = int(np.floor(max_ratio * n_edges / step))
     ratios = tuple(step * k / n_edges for k in range(n_steps + 1))
+    payloads = [
+        (config, trial, step, len(ratios))
+        for trial in range(config.n_networks)
+    ]
+
+    from repro.exec.engine import ExecutionEngine, active_engine
+
+    engine = None
+    owned = False
+    if workers is not None and workers > 1:
+        engine = ExecutionEngine(workers=workers)
+        owned = True
+    else:
+        engine = active_engine()
+    try:
+        if engine is not None:
+            replica_curves = engine.map_items(_fig7b_replica, payloads)
+        else:
+            replica_curves = [_fig7b_replica(p) for p in payloads]
+    finally:
+        if owned and engine is not None:
+            engine.close()
 
     accumulator: Dict[str, List[List[float]]] = {
         m: [[] for _ in ratios] for m in config.methods
     }
-    network_rngs = spawn_rngs(config.seed, config.n_networks)
-    for network_rng in network_rngs:
-        network = generate(config.topology, config.topology_config(), network_rng)
-        working = network.copy()
-        for index in range(len(ratios)):
-            if index > 0:
-                _remove_random_fibers(working, step, network_rng)
-            rates = run_on_network(working, config.methods, network_rng)
+    for curves in replica_curves:
+        for index, rates in enumerate(curves):
             for method, rate in rates.items():
                 accumulator[method][index].append(rate)
 

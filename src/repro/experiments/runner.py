@@ -126,9 +126,55 @@ def run_on_network(
     return rates
 
 
+def run_trial(
+    config: ExperimentConfig,
+    trial: int,
+    rng: RngLike = None,
+) -> Dict[str, float]:
+    """Run one ``(config, trial)`` work unit: generate, solve, validate.
+
+    The unit of work the parallel execution engine shards: it depends
+    only on ``(config, trial)`` — the per-trial RNG is index-seeded via
+    :func:`~repro.utils.rng.spawn_rngs`, so any process can compute any
+    trial in any order and produce the identical method → rate map.
+    Callers that already spawned the trial generators (the serial loop
+    below) pass the matching *rng* to skip re-deriving it.
+    """
+    network_rng = (
+        rng
+        if rng is not None
+        else spawn_rngs(config.seed, config.n_networks)[trial]
+    )
+    with obs_trace.span("experiment.trial", trial=trial):
+        network = generate(
+            config.topology, config.topology_config(), network_rng
+        )
+        return run_on_network(network, config.methods, network_rng)
+
+
+def resumable_rates(
+    store: Optional[CheckpointStore],
+    config: ExperimentConfig,
+    trial: int,
+) -> Optional[Dict[str, float]]:
+    """Recorded rates for *trial* if the store fully covers *config*.
+
+    A resumable record must cover every requested method; partial
+    records (e.g. from a sweep with fewer methods) are recomputed
+    rather than trusted.
+    """
+    if store is None:
+        return None
+    recorded = store.get(config, trial)
+    if recorded is None or any(m not in recorded for m in config.methods):
+        return None
+    return {m: recorded[m] for m in config.methods}
+
+
 def run_experiment(
     config: ExperimentConfig,
     checkpoint: Optional[CheckpointStore] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the full averaged experiment described by *config*.
 
@@ -138,9 +184,30 @@ def run_experiment(
     skipped — a killed sweep resumes losslessly.  Because the per-trial
     RNGs come from :func:`~repro.utils.rng.spawn_rngs` (index-seeded,
     order-independent), resumed aggregates equal a straight-through run.
+
+    With ``workers > 1`` (or an ambient
+    :class:`~repro.exec.engine.ExecutionEngine` activated via
+    :func:`repro.exec.engine.executing`), trials are sharded across a
+    process pool and merged deterministically — aggregates are
+    byte-identical for every worker count.  ``KeyboardInterrupt``
+    during a parallel run cancels outstanding shards, flushes the
+    checkpoints of completed ones into the store, and re-raises, so a
+    Ctrl-C'd sweep neither orphans workers nor loses finished work.
     """
+    if workers is not None and workers > 1:
+        from repro.exec.engine import ExecutionEngine
+
+        # Owned engine: close it (joining the worker pool) on the way
+        # out so no executor outlives the call.
+        with ExecutionEngine(workers=workers) as engine:
+            return engine.run_experiment(config, checkpoint=checkpoint)
+    from repro.exec.engine import active_engine
+
+    engine = active_engine()
+    if engine is not None:
+        return engine.run_experiment(config, checkpoint=checkpoint)
+
     store = checkpoint if checkpoint is not None else active_store()
-    topology_config = config.topology_config()
     network_rngs = spawn_rngs(config.seed, config.n_networks)
     per_method: Dict[str, List[float]] = {m: [] for m in config.methods}
     metrics = obs_metrics.active()
@@ -151,27 +218,12 @@ def run_experiment(
         methods=",".join(config.methods),
     ):
         for trial, network_rng in enumerate(network_rngs):
-            rates: Optional[Dict[str, float]] = None
-            if store is not None:
-                recorded = store.get(config, trial)
-                # A resumable record must cover every requested method;
-                # partial records (e.g. from a sweep with fewer methods)
-                # are recomputed rather than trusted.
-                if recorded is not None and all(
-                    m in recorded for m in config.methods
-                ):
-                    rates = {m: recorded[m] for m in config.methods}
-                    if metrics is not None:
-                        metrics.inc("experiments.trials_resumed")
+            rates = resumable_rates(store, config, trial)
+            if rates is not None and metrics is not None:
+                metrics.inc("experiments.trials_resumed")
             if rates is None:
                 trial_started = time.perf_counter()
-                with obs_trace.span("experiment.trial", trial=trial):
-                    network = generate(
-                        config.topology, topology_config, network_rng
-                    )
-                    rates = run_on_network(
-                        network, config.methods, network_rng
-                    )
+                rates = run_trial(config, trial, network_rng)
                 if metrics is not None:
                     metrics.inc("experiments.trials")
                     metrics.observe(

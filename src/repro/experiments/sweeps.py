@@ -44,10 +44,26 @@ def sweep(
     base: ExperimentConfig,
     parameter: str,
     values: Sequence[object],
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run *base* once per value of *parameter* (a config field name)."""
+    """Run *base* once per value of *parameter* (a config field name).
+
+    With ``workers > 1``, every sweep point's trials are sharded over
+    one shared :class:`~repro.exec.engine.ExecutionEngine` — sharing
+    the engine (rather than one per point) keeps its worker processes
+    and their channel caches warm across sweep points, which is where
+    repeated-topology sweeps (e.g. a qubit-budget sweep over the same
+    fiber plants) earn their cache hit rate.  Results are byte-identical
+    for every worker count.
+    """
     if not values:
         raise ValueError("sweep needs at least one value")
+    if workers is not None and workers > 1:
+        from repro.exec.engine import ExecutionEngine, executing
+
+        with ExecutionEngine(workers=workers) as engine:
+            with executing(engine):
+                return sweep(base, parameter, values)
     results = []
     for value in values:
         config = base.replace(**{parameter: value})

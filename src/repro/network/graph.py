@@ -12,6 +12,7 @@ physical parameters of the paper's model:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import (
@@ -67,6 +68,8 @@ class QuantumNetwork:
         self._nodes: Dict[Hashable, Node] = {}
         self._fibers: Dict[Tuple[Hashable, Hashable], OpticalFiber] = {}
         self._adjacency: Dict[Hashable, Dict[Hashable, OpticalFiber]] = {}
+        #: Memoized content hashes per scope; cleared on any mutation.
+        self._fingerprints: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,6 +100,25 @@ class QuantumNetwork:
             raise DuplicateNodeError(node.id)
         self._nodes[node.id] = node
         self._adjacency[node.id] = {}
+        self._content_changed()
+
+    def _content_changed(self) -> None:
+        """Invalidate memoized fingerprints after a structural mutation.
+
+        Also notifies the active channel cache (if any) that entries
+        computed over the previous routing fingerprint are now
+        unreachable, so they stop crowding the LRU window.
+        """
+        old_routing = self._fingerprints.pop("routing", None)
+        self._fingerprints.clear()
+        if old_routing is not None:
+            # Lazy import: repro.exec.cache depends only on repro.obs,
+            # so this cannot cycle back into the network package.
+            from repro.exec import cache as exec_cache
+
+            cache = exec_cache.active()
+            if cache is not None:
+                cache.invalidate_graph(old_routing)
 
     def add_fiber(
         self,
@@ -124,6 +146,7 @@ class QuantumNetwork:
         self._fibers[key] = fiber
         self._adjacency[u][v] = fiber
         self._adjacency[v][u] = fiber
+        self._content_changed()
         return fiber
 
     def remove_fiber(self, u: Hashable, v: Hashable) -> OpticalFiber:
@@ -135,6 +158,7 @@ class QuantumNetwork:
             raise UnknownNodeError((u, v)) from None
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        self._content_changed()
         return fiber
 
     # ------------------------------------------------------------------
@@ -279,6 +303,56 @@ class QuantumNetwork:
             remaining -= component
         return components
 
+    def fingerprint(self, scope: str = "full") -> str:
+        """Stable content hash of this network (sha256 hex, memoized).
+
+        Two networks with the same nodes, fibers, lengths, capacities
+        and physical parameters share a fingerprint regardless of how
+        (or in which process) they were built; any structural mutation
+        changes it.  This replaces ad-hoc object-identity checks
+        wherever "is this the same network?" actually means "same
+        content?" — across processes, identity is meaningless but the
+        fingerprint survives pickling and regeneration.
+
+        Args:
+            scope: ``"full"`` hashes everything (node kinds, positions,
+                switch qubit budgets, fiber lengths and core counts,
+                ``alpha``, ``swap_prob``).  ``"routing"`` hashes only
+                what the Algorithm-1 channel search reads (node ids and
+                kinds, fiber keys and lengths, ``alpha``,
+                ``swap_prob``) — capacities are excluded because the
+                search consumes them through the residual map, which the
+                channel cache keys separately.
+
+        The hash is memoized per instance and invalidated on mutation.
+        """
+        if scope not in ("full", "routing"):
+            raise ValueError(f"unknown fingerprint scope {scope!r}")
+        cached = self._fingerprints.get(scope)
+        if cached is not None:
+            return cached
+        parts: List[str] = [
+            f"alpha={self.params.alpha!r}",
+            f"q={self.params.swap_prob!r}",
+        ]
+        for node_id in sorted(self._nodes, key=repr):
+            node = self._nodes[node_id]
+            entry = f"n|{node_id!r}|{node.kind.value}"
+            if scope == "full":
+                entry += f"|{node.position!r}"
+                if isinstance(node, QuantumSwitch):
+                    entry += f"|Q={node.qubits}"
+            parts.append(entry)
+        for key in sorted(self._fibers, key=repr):
+            fiber = self._fibers[key]
+            entry = f"e|{key!r}|{fiber.length!r}"
+            if scope == "full":
+                entry += f"|c={fiber.cores}"
+            parts.append(entry)
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+        self._fingerprints[scope] = digest
+        return digest
+
     def copy(self) -> "QuantumNetwork":
         """Deep-enough copy: node/fiber objects are immutable and shared."""
         clone = QuantumNetwork(self.params)
@@ -288,6 +362,8 @@ class QuantumNetwork:
             node_id: dict(neighbors)
             for node_id, neighbors in self._adjacency.items()
         }
+        # Content is identical, so memoized fingerprints carry over.
+        clone._fingerprints = dict(self._fingerprints)
         return clone
 
     def with_switch_qubits(self, qubits: int) -> "QuantumNetwork":
@@ -306,6 +382,7 @@ class QuantumNetwork:
         """Copy of this network under different physical parameters."""
         clone = self.copy()
         clone.params = params
+        clone._fingerprints.clear()  # alpha / swap_prob are hashed
         return clone
 
     def residual_capacities(self) -> Dict[Hashable, int]:

@@ -288,6 +288,7 @@ class FaultInjector:
         if network is not None:
             schedule.validate_against(network)
         self.schedule = schedule
+        self._network = network
         self.reset()
 
     def reset(self) -> None:
@@ -300,7 +301,7 @@ class FaultInjector:
 
     def clone(self) -> "FaultInjector":
         """A fresh injector over the same schedule (for repeat runs)."""
-        return FaultInjector(self.schedule)
+        return FaultInjector(self.schedule, self._network)
 
     def advance(self, slot: int) -> List[FaultEvent]:
         """Move the clock to *slot*; fire and repair due faults.
@@ -320,11 +321,14 @@ class FaultInjector:
         repaired_before = self.faults_repaired
         # Repair expired transients first so a flap of duration k is
         # down for exactly k slots.
+        structural_change = False
         still_active = []
         for event in self._active:
             repair = event.repair_slot
             if repair is not None and repair <= slot:
                 self.faults_repaired += 1
+                if event.kind is not FaultKind.DECOHERENCE_STORM:
+                    structural_change = True
                 logger.info("slot %d: repaired %s", slot, event.describe())
             else:
                 still_active.append(event)
@@ -357,7 +361,32 @@ class FaultInjector:
                     "resilience.faults.repaired",
                     self.faults_repaired - repaired_before,
                 )
+        structural_change = structural_change or any(
+            e.kind is not FaultKind.DECOHERENCE_STORM for e in fired
+        )
+        if structural_change:
+            self._invalidate_channel_cache()
         return fired
+
+    def _invalidate_channel_cache(self) -> None:
+        """Drop channel-cache entries outdated by a structural fault.
+
+        Re-planning around a cut fiber or dark switch searches a
+        *damaged copy* of the topology whose own fingerprint differs, so
+        correctness never depends on this hook — but cached searches
+        over the intact topology stop being useful the moment the
+        physical network diverges from it, so they are evicted eagerly
+        (and counted as ``repro.exec.cache.invalidations``).
+        """
+        from repro.exec import cache as exec_cache
+
+        cache = exec_cache.active()
+        if cache is None:
+            return
+        if self._network is not None:
+            cache.invalidate_graph(self._network.fingerprint(scope="routing"))
+        else:
+            cache.invalidate_all()
 
     # ------------------------------------------------------------------
     # Active-fault views

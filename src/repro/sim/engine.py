@@ -417,6 +417,43 @@ class SlottedEntanglementSimulator:
             totals.append(result.slots_used)
         return float(np.mean(totals))
 
+    def parallel_slots_to_success(
+        self,
+        runs: int = 100,
+        seed: int = 0,
+        max_slots: int = 1_000_000,
+        workers: int = 1,
+        engine=None,
+    ) -> SlotsToSuccessSummary:
+        """Sharded :meth:`slots_to_success_summary` with per-run RNGs.
+
+        Delegates to :func:`repro.exec.montecarlo.
+        parallel_slots_to_success`: each run gets an index-seeded
+        generator (ignoring this simulator's ``rng``), so the summary is
+        identical for every worker count — but *not* bit-equal to the
+        serial method, whose single RNG stream is order-dependent by
+        construction.  Only plain simulations qualify: fault injectors
+        and retry policies carry mutable cross-run state that breaks run
+        independence.
+        """
+        if self.fault_injector is not None or self.retry_policy is not None:
+            raise ValueError(
+                "parallel_slots_to_success requires a plain simulator "
+                "(no fault injector or retry policy): those carry state "
+                "across runs, so the runs are not independent"
+            )
+        from repro.exec.montecarlo import parallel_slots_to_success
+
+        return parallel_slots_to_success(
+            self.network,
+            self.solution,
+            runs=runs,
+            seed=seed,
+            max_slots=max_slots,
+            workers=workers,
+            engine=engine,
+        )
+
     def slots_to_success_summary(
         self, runs: int = 100, max_slots: int = 1_000_000
     ) -> SlotsToSuccessSummary:

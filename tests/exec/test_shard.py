@@ -1,0 +1,71 @@
+"""ShardPlan: deterministic round-robin partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.shard import Shard, ShardPlan
+
+
+def test_build_round_robin_assignment():
+    plan = ShardPlan.build(7, 3)
+    assert plan.n_items == 7
+    assert plan.n_shards == 3
+    assert [s.items for s in plan] == [(0, 3, 6), (1, 4), (2, 5)]
+    assert all(s.n_shards == 3 for s in plan)
+
+
+def test_every_item_exactly_once():
+    for n_items in (1, 2, 5, 16, 33):
+        for n_shards in (1, 2, 3, 7, 64):
+            plan = ShardPlan.build(n_items, n_shards)
+            seen = [i for shard in plan for i in shard.items]
+            assert sorted(seen) == list(range(n_items))
+
+
+def test_no_empty_shards():
+    plan = ShardPlan.build(2, 8)
+    assert plan.n_shards == 2
+    assert all(len(s) > 0 for s in plan)
+
+
+def test_balanced_within_one_item():
+    plan = ShardPlan.build(17, 4)
+    sizes = [len(s) for s in plan]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_over_dedupes_and_sorts():
+    plan = ShardPlan.over([5, 1, 5, 3, 1], 2)
+    assert plan.n_items == 3
+    assert [s.items for s in plan] == [(1, 5), (3,)]
+
+
+def test_over_is_order_independent():
+    a = ShardPlan.over([9, 2, 7, 4], 3)
+    b = ShardPlan.over([4, 7, 2, 9], 3)
+    assert a == b
+
+
+def test_empty_plan():
+    plan = ShardPlan.build(0, 4)
+    assert plan.n_items == 0
+    assert plan.n_shards == 0
+    assert list(plan) == []
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        ShardPlan.build(5, 0)
+    with pytest.raises(ValueError):
+        ShardPlan.build(-1, 2)
+    with pytest.raises(ValueError):
+        ShardPlan.over([-1, 2], 2)
+
+
+def test_shard_len_and_plan_describe():
+    plan = ShardPlan.build(5, 2)
+    assert len(plan) == 2
+    assert len(plan.shards[0]) == 3
+    assert "5 item(s)" in plan.describe()
+    assert isinstance(plan.shards[0], Shard)
