@@ -1,0 +1,175 @@
+"""Fault-tolerance benchmark: chaos soak over a fig6-style sweep.
+
+Runs the same fig6(a)-style user-count sweep twice through the process
+backend — once healthy, once under a chaos budget of worker kills, a
+hang, and a shard-checkpoint truncation — and archives the results to
+``benchmarks/results/BENCH_faulttolerance.json``.
+
+Gates (CI fails the job when violated):
+
+* **byte-equality** — the chaos run's merged report must serialize
+  byte-identically to the healthy run's (recovery re-runs the same
+  pure shard functions, so faults must be invisible in the results);
+* **full injection** — the whole chaos budget (>= 3 kills, >= 1 hang,
+  >= 1 truncation) must actually fire;
+* **attribution** — every shard that needed recovery carries a failure
+  trail and a terminal recovered/degraded outcome in the disposition
+  report, and the checkpoint store ends complete despite the torn
+  shard file;
+* **recovery overhead** — chaos wall-clock <= (1 + 25%) x healthy
+  wall-clock (override via ``REPRO_BENCH_FT_MAX_OVERHEAD``).
+
+Scale knobs: ``REPRO_BENCH_FT_WORKERS`` (default 4),
+``REPRO_BENCH_FT_USER_COUNTS`` (default ``4,6,8,10,12``),
+``REPRO_BENCH_FT_NETWORKS`` (default 150 — the grid must be large
+enough that the fixed recovery costs — one hang-watchdog timeout plus
+a few pool rebuilds — amortize under the overhead gate) plus the
+shared ``REPRO_BENCH_SEED`` from ``conftest``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.exec.chaos import ChaosInjector
+from repro.exec.engine import ExecutionEngine, executing, result_payload
+from repro.exec.supervisor import SupervisionPolicy
+from repro.experiments.checkpoint import CheckpointStore, checkpointing
+from repro.experiments.fig6_scale import run_fig6a
+
+WORKERS = int(os.environ.get("REPRO_BENCH_FT_WORKERS", "4"))
+USER_COUNTS = tuple(
+    int(u)
+    for u in os.environ.get(
+        "REPRO_BENCH_FT_USER_COUNTS", "4,6,8,10,12"
+    ).split(",")
+)
+FT_NETWORKS = int(os.environ.get("REPRO_BENCH_FT_NETWORKS", "150"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_BENCH_FT_MAX_OVERHEAD", "0.25"))
+
+#: Chaos budget — the acceptance floor is 3 kills, 1 hang, 1 truncation.
+KILLS = 3
+HANGS = 1
+TRUNCATIONS = 1
+HANG_TIMEOUT_S = 0.75
+
+
+def _canonical(result) -> bytes:
+    return json.dumps(result_payload(result), sort_keys=True).encode()
+
+
+def test_fault_tolerance(bench_config, results_dir, tmp_path, capsys):
+    config = bench_config.replace(n_networks=FT_NETWORKS)
+
+    # Healthy parallel run: the wall-clock baseline and the canonical
+    # result bytes the chaos run must reproduce exactly.
+    healthy_engine = ExecutionEngine(workers=WORKERS)
+    started = time.perf_counter()
+    with healthy_engine, executing(healthy_engine):
+        healthy = run_fig6a(config, user_counts=USER_COUNTS)
+    healthy_seconds = time.perf_counter() - started
+    healthy_bytes = _canonical(healthy)
+    assert healthy_engine.report.clean
+
+    # Chaos run: same sweep, same engine configuration, plus the fault
+    # budget and a checkpoint store for the truncation to tear.
+    chaos = ChaosInjector(
+        kills=KILLS,
+        hangs=HANGS,
+        truncations=TRUNCATIONS,
+        seed=13,
+        spacing=2,
+        hang_sleep_s=60.0,
+    )
+    supervision = SupervisionPolicy(
+        hang_timeout_s=HANG_TIMEOUT_S, backoff_unit_s=0.05
+    )
+    store = CheckpointStore(tmp_path / "chaos-soak.jsonl")
+    chaos_engine = ExecutionEngine(
+        workers=WORKERS, supervision=supervision, chaos=chaos
+    )
+    started = time.perf_counter()
+    with chaos_engine, executing(chaos_engine), checkpointing(store):
+        shaken = run_fig6a(config, user_counts=USER_COUNTS)
+    chaos_seconds = time.perf_counter() - started
+
+    report = chaos_engine.report
+    stats = chaos_engine.stats
+    overhead = chaos_seconds / healthy_seconds - 1.0
+
+    payload = {
+        "config": {
+            "topology": config.topology,
+            "n_switches": config.n_switches,
+            "n_networks": config.n_networks,
+            "seed": config.seed,
+            "user_counts": list(USER_COUNTS),
+            "workers": WORKERS,
+        },
+        "chaos": {
+            "kills": KILLS,
+            "hangs": HANGS,
+            "truncations": TRUNCATIONS,
+            "injected": dict(chaos.injected),
+            "hang_timeout_s": HANG_TIMEOUT_S,
+        },
+        "healthy": {
+            "wall_seconds": healthy_seconds,
+            "stats": healthy_engine.stats.to_dict(),
+        },
+        "chaos_run": {
+            "wall_seconds": chaos_seconds,
+            "overhead_vs_healthy": overhead,
+            "byte_identical": _canonical(shaken) == healthy_bytes,
+            "stats": stats.to_dict(),
+            "dispositions": report.to_dict(),
+        },
+        "gates": {"max_overhead": MAX_OVERHEAD},
+    }
+    out_path = results_dir / "BENCH_faulttolerance.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(f"healthy parallel run ({WORKERS} workers): {healthy_seconds:.2f}s")
+        print(
+            f"chaos run: {chaos_seconds:.2f}s "
+            f"({overhead:+.1%} overhead); {chaos.summary()}"
+        )
+        print(report.render())
+        print(f"engine: {stats.describe()}")
+        print(f"archived to {out_path}")
+
+    # Gate 1: faults must be invisible in the merged results.
+    assert _canonical(shaken) == healthy_bytes, (
+        "chaos run diverged from the healthy run"
+    )
+
+    # Gate 2: the full budget actually fired.
+    assert chaos.exhausted, f"chaos budget not drained: {chaos.summary()}"
+    assert chaos.injected["kill"] >= 3
+    assert chaos.injected["hang"] >= 1
+    assert chaos.injected["truncate"] >= 1
+
+    # Gate 3: every recovery is attributed, and the checkpoint store is
+    # complete despite the torn shard file.
+    assert not report.clean
+    for disposition in report.troubled:
+        assert disposition.failures
+        assert disposition.outcome in ("recovered", "degraded")
+    assert stats.retries >= 1
+    assert stats.checkpoint_heals >= 1, (
+        "the truncated shard checkpoint must have been healed"
+    )
+    assert len(store) == len(USER_COUNTS) * config.n_networks, (
+        "checkpoint store is missing trials after self-healing"
+    )
+
+    # Gate 4: recovery overhead stays within budget.
+    assert overhead <= MAX_OVERHEAD, (
+        f"recovery overhead {overhead:.1%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} gate "
+        f"(healthy {healthy_seconds:.2f}s vs chaos {chaos_seconds:.2f}s)"
+    )

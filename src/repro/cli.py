@@ -42,6 +42,9 @@ EXIT_FAILURE = 1
 EXIT_VALIDATION_ERROR = 2
 EXIT_SOLVER_ERROR = 3
 EXIT_VERIFICATION_ERROR = 4
+#: Conventional 128+SIGINT: the run was interrupted; progress report
+#: (including unflushed trials) was printed before exiting.
+EXIT_INTERRUPTED = 130
 
 
 def _obs_parent() -> argparse.ArgumentParser:
@@ -240,6 +243,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run serially (1 worker, no cache) and fail unless "
         "the results are byte-identical",
+    )
+    exec_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="chaos soak: deterministically inject worker kills, hangs "
+        "and checkpoint truncation mid-sweep and let the shard "
+        "supervisor recover (requires --workers >= 2)",
+    )
+    exec_parser.add_argument(
+        "--chaos-kills",
+        type=int,
+        default=3,
+        metavar="N",
+        help="worker-kill budget for --chaos (default 3)",
+    )
+    exec_parser.add_argument(
+        "--chaos-hangs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker-hang budget for --chaos (default 1)",
+    )
+    exec_parser.add_argument(
+        "--chaos-truncations",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard-checkpoint truncation budget for --chaos (default 1)",
+    )
+    exec_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shuffle seed for the chaos action order (default 0)",
+    )
+    exec_parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervisor hang watchdog: recycle the pool when a shard "
+        "makes no progress for this long (default 120; 2 under --chaos)",
     )
 
     stats_parser = sub.add_parser(
@@ -714,6 +760,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
             print(f"resuming: {len(store)} trial(s) already checkpointed")
         scope = checkpointing(store)
     base = ExperimentConfig(n_networks=args.networks, seed=args.seed)
+    engine = None
     engine_cm = nullcontext()
     engine_scope = nullcontext()
     if args.workers is not None:
@@ -728,8 +775,25 @@ def _command_experiment(args: argparse.Namespace) -> int:
             workers=args.workers, use_cache=not args.no_cache
         )
         engine_scope = executing(engine)
-    with scope, engine_cm, engine_scope:
-        result = run_named(args.name, base)
+    try:
+        with scope, engine_cm, engine_scope:
+            result = run_named(args.name, base)
+    except KeyboardInterrupt:
+        # Tell --resume users exactly what state was kept: checkpointed
+        # trials resume for free, unflushed ones re-run.
+        print()
+        if engine is not None:
+            print(f"interrupted: {engine.stats.describe()}", file=sys.stderr)
+            if engine.stats.unflushed_trials:
+                print(
+                    f"unflushed trial(s) {engine.stats.unflushed_trials} "
+                    "had no checkpoint on disk and will re-run on "
+                    "--resume",
+                    file=sys.stderr,
+                )
+        else:
+            print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     if args.markdown:
         from repro.analysis import report
         from repro.experiments.sweeps import SweepResult
@@ -760,7 +824,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_exec(args: argparse.Namespace) -> int:
     import json
+    import tempfile
     import time as _time
+    from contextlib import ExitStack
 
     from repro.exec.engine import ExecutionEngine, executing, result_payload
     from repro.exec.shard import ShardPlan
@@ -769,14 +835,81 @@ def _command_exec(args: argparse.Namespace) -> int:
     plan = ShardPlan.build(args.networks, args.workers)
     print(f"experiment {args.name}: shard plan {plan.describe()}")
 
+    chaos = None
+    supervision = None
+    if args.chaos:
+        if args.workers < 2:
+            print(
+                "--chaos needs the process backend: use --workers >= 2",
+                file=sys.stderr,
+            )
+            return EXIT_VALIDATION_ERROR
+        from repro.exec.chaos import ChaosInjector
+        from repro.exec.supervisor import SupervisionPolicy
+
+        hang_timeout = (
+            args.hang_timeout if args.hang_timeout is not None else 2.0
+        )
+        # Tight backoff so the soak exercises recovery, not sleep.
+        supervision = SupervisionPolicy(
+            hang_timeout_s=hang_timeout, backoff_unit_s=0.05
+        )
+        chaos = ChaosInjector(
+            kills=args.chaos_kills,
+            hangs=args.chaos_hangs,
+            truncations=args.chaos_truncations,
+            seed=args.chaos_seed,
+            hang_sleep_s=max(30.0, hang_timeout * 10),
+        )
+        print(
+            f"chaos soak: budget {args.chaos_kills} kill(s), "
+            f"{args.chaos_hangs} hang(s), {args.chaos_truncations} "
+            f"truncation(s); hang watchdog {hang_timeout}s"
+        )
+    elif args.hang_timeout is not None:
+        from repro.exec.supervisor import SupervisionPolicy
+
+        supervision = SupervisionPolicy(hang_timeout_s=args.hang_timeout)
+
     engine = ExecutionEngine(
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_size=args.cache_size,
+        supervision=supervision,
+        chaos=chaos,
     )
     started = _time.perf_counter()
-    with engine, executing(engine):
-        result = run_named(args.name, base)
+    try:
+        with ExitStack() as stack:
+            if args.chaos and args.chaos_truncations > 0:
+                # Truncation injection needs shard checkpoint files to
+                # tear; give the soak an ephemeral store.
+                from repro.experiments.checkpoint import (
+                    CheckpointStore,
+                    checkpointing,
+                )
+
+                chaos_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-chaos-")
+                )
+                stack.enter_context(
+                    checkpointing(
+                        CheckpointStore(f"{chaos_dir}/chaos-soak.jsonl")
+                    )
+                )
+            stack.enter_context(engine)
+            stack.enter_context(executing(engine))
+            result = run_named(args.name, base)
+    except KeyboardInterrupt:
+        print()
+        print(f"interrupted: {engine.stats.describe()}", file=sys.stderr)
+        if engine.stats.unflushed_trials:
+            print(
+                f"unflushed trial(s) {engine.stats.unflushed_trials} had "
+                "no checkpoint on disk and will re-run on --resume",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     elapsed = _time.perf_counter() - started
 
     if hasattr(result, "to_table"):
@@ -784,6 +917,10 @@ def _command_exec(args: argparse.Namespace) -> int:
     print()
     print(f"wall time: {elapsed:.2f}s with {args.workers} worker(s)")
     print(f"engine: {engine.stats.describe()}")
+    if not engine.report.clean or args.chaos:
+        print(engine.report.render())
+    if chaos is not None:
+        print(chaos.summary())
 
     if args.verify_determinism:
         reference_engine = ExecutionEngine(workers=1, use_cache=False)

@@ -37,6 +37,12 @@ __all__ = [
     "executing",
     "active_engine",
     "parallel_slots_to_success",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "DispositionReport",
+    "ShardDisposition",
+    "ShardExecutionError",
+    "SupervisionPolicy",
 ]
 
 #: Lazily-resolved engine-layer exports: name → defining submodule.
@@ -46,6 +52,12 @@ _LAZY = {
     "executing": "repro.exec.engine",
     "active_engine": "repro.exec.engine",
     "parallel_slots_to_success": "repro.exec.montecarlo",
+    "ChaosInjector": "repro.exec.chaos",
+    "ChaosSchedule": "repro.exec.chaos",
+    "DispositionReport": "repro.exec.supervisor",
+    "ShardDisposition": "repro.exec.supervisor",
+    "ShardExecutionError": "repro.exec.supervisor",
+    "SupervisionPolicy": "repro.exec.supervisor",
 }
 
 

@@ -1,0 +1,184 @@
+"""Deterministic chaos injection for the execution engine.
+
+PR 1 built fault injection for the *quantum network* (fiber cuts, node
+failures); this module injects faults into the *compute substrate*
+running it, so the :class:`~repro.exec.supervisor.ShardSupervisor`'s
+recovery paths are exercised on demand rather than waiting for a real
+OOM kill.  Three actions, matching the three real-world failure modes
+the supervisor recovers from:
+
+* ``kill`` — the worker process exits with a nonzero status at shard
+  entry (models a crash / OOM kill; the pool breaks, the shard and any
+  collateral peers are retried on a rebuilt pool);
+* ``hang`` — the worker stalls without heartbeating (models a wedged
+  process; the hang watchdog recycles the pool);
+* ``truncate`` — the shard's private checkpoint file is torn after a
+  successful run (models a torn write / disk fault; the merge-side
+  self-healing quarantines the file and re-records from memory).
+
+Two injectors share the ``draw(shard_key, attempt, has_checkpoint)``
+protocol the supervisor consults on every pool submission:
+
+* :class:`ChaosSchedule` targets exact ``(shard, attempt)`` pairs —
+  the surgical form used by unit and property tests;
+* :class:`ChaosInjector` spreads a fault *budget* across a soak run —
+  the form behind ``repro exec --chaos``.
+
+Recoverability by construction: :class:`ChaosInjector` only ever
+injects into a shard's **first** attempt, so with the default
+supervision policy (three pool attempts, then serial quarantine) every
+injected fault is survivable and the sweep's merged results stay
+byte-identical to a fault-free run.  Which submission receives which
+fault depends on scheduling, but the *results* never do — retries
+re-run the same pure shard function on the same arguments.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.utils.rng import ensure_rng
+
+logger = logging.getLogger("repro.exec.chaos")
+
+__all__ = ["CHAOS_ACTIONS", "ChaosInjector", "ChaosSchedule"]
+
+#: Supported injection actions.
+CHAOS_ACTIONS = ("kill", "hang", "truncate")
+
+
+def _check_action(action: str) -> str:
+    if action not in CHAOS_ACTIONS:
+        raise ValueError(
+            f"unknown chaos action {action!r}; expected one of {CHAOS_ACTIONS}"
+        )
+    return action
+
+
+class ChaosSchedule:
+    """Inject exact faults at exact ``(shard_key, attempt)`` pairs.
+
+    Args:
+        actions: ``(shard_key, attempt) → action`` map; attempts are
+            1-based, actions one of :data:`CHAOS_ACTIONS`.
+        hang_sleep_s: How long an injected hang stalls the worker.
+            Must exceed the supervision policy's ``hang_timeout_s`` for
+            the watchdog to fire before the sleep ends.
+        truncate_fraction: Fraction of the checkpoint file kept by an
+            injected truncation.
+    """
+
+    def __init__(
+        self,
+        actions: Dict[Tuple[int, int], str],
+        hang_sleep_s: float = 30.0,
+        truncate_fraction: float = 0.5,
+    ) -> None:
+        self.actions = {
+            key: _check_action(action) for key, action in actions.items()
+        }
+        self.hang_sleep_s = hang_sleep_s
+        self.truncate_fraction = truncate_fraction
+
+    def draw(
+        self, shard_key: int, attempt: int, has_checkpoint: bool
+    ) -> Optional[str]:
+        action = self.actions.get((shard_key, attempt))
+        if action == "truncate" and not has_checkpoint:
+            return None
+        return action
+
+
+class ChaosInjector:
+    """Spread a budget of faults across a soak run, deterministically.
+
+    The budget (``kills + hangs + truncations`` actions, shuffled by a
+    seeded generator) is drained across first-attempt submissions, one
+    action every *spacing* submissions, so faults land spread through
+    the sweep rather than clustered at its start.  Retried attempts are
+    never injected — every fault is recoverable by construction.
+
+    Args:
+        kills: Worker-kill budget.
+        hangs: Worker-hang budget.
+        truncations: Checkpoint-truncation budget.
+        seed: Shuffle seed for the action order.
+        spacing: Inject into every *spacing*-th first-attempt
+            submission (1 = every submission until the budget drains).
+        hang_sleep_s: See :class:`ChaosSchedule`.
+        truncate_fraction: See :class:`ChaosSchedule`.
+    """
+
+    def __init__(
+        self,
+        kills: int = 0,
+        hangs: int = 0,
+        truncations: int = 0,
+        seed: int = 0,
+        spacing: int = 2,
+        hang_sleep_s: float = 30.0,
+        truncate_fraction: float = 0.5,
+    ) -> None:
+        if min(kills, hangs, truncations) < 0:
+            raise ValueError("chaos budgets must be >= 0")
+        if spacing < 1:
+            raise ValueError(f"spacing must be >= 1, got {spacing}")
+        plan = (
+            ["kill"] * kills + ["hang"] * hangs + ["truncate"] * truncations
+        )
+        rng = ensure_rng(seed)
+        order = rng.permutation(len(plan))
+        self._queue: Deque[str] = deque(plan[i] for i in order)
+        self.spacing = spacing
+        self.hang_sleep_s = hang_sleep_s
+        self.truncate_fraction = truncate_fraction
+        self.injected: Dict[str, int] = {a: 0 for a in CHAOS_ACTIONS}
+        self._seen = 0
+
+    @property
+    def remaining(self) -> int:
+        """Actions still waiting to be injected."""
+        return len(self._queue)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._queue
+
+    def draw(
+        self, shard_key: int, attempt: int, has_checkpoint: bool
+    ) -> Optional[str]:
+        if attempt != 1 or not self._queue:
+            return None
+        self._seen += 1
+        if (self._seen - 1) % self.spacing != 0:
+            return None
+        # Truncation needs a checkpoint file to tear; if this shard has
+        # none, look deeper into the queue for an applicable action.
+        for offset in range(len(self._queue)):
+            action = self._queue[offset]
+            if action == "truncate" and not has_checkpoint:
+                continue
+            del self._queue[offset]
+            self.injected[action] += 1
+            logger.info(
+                "chaos: %s → shard %d attempt %d (%d action(s) left)",
+                action,
+                shard_key,
+                attempt,
+                len(self._queue),
+            )
+            return action
+        return None
+
+    def summary(self) -> str:
+        spent = ", ".join(
+            f"{count} {action}(s)"
+            for action, count in self.injected.items()
+            if count
+        )
+        return (
+            f"chaos: injected {spent or 'nothing'}; "
+            f"{len(self._queue)} action(s) unspent"
+        )

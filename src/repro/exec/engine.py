@@ -24,7 +24,19 @@ atomic-rename JSONL target, so each shard writes a private sibling file
 :meth:`~repro.experiments.checkpoint.CheckpointStore.merge_from` — after
 success, and for completed shards on ``KeyboardInterrupt`` (outstanding
 futures are cancelled, the pool is torn down, finished work is flushed,
-and the interrupt re-raises).
+and the interrupt re-raises).  The merge is *self-healing*: a corrupt
+or torn shard file is quarantined to ``<store>.shards/quarantine/`` and
+its trials are re-recorded from the in-memory shard result (or simply
+re-executed on the next resume), so one bad file never poisons a sweep.
+
+Fault tolerance: the process backend is driven by a
+:class:`~repro.exec.supervisor.ShardSupervisor` — per-shard heartbeat
+files with a hang watchdog, crash detection, bounded retry with
+backoff reusing the :mod:`repro.resilience` policy family, and
+poison-shard quarantine with graceful degradation to in-process serial
+execution.  Every recovery is attributed in the engine-lifetime
+:attr:`ExecutionEngine.report` (a
+:class:`~repro.exec.supervisor.DispositionReport`).
 
 The engine can be made *ambient* with :func:`executing`, mirroring the
 checkpoint/metrics idiom, so sweep drivers that call
@@ -40,7 +52,7 @@ without threading an engine through every signature::
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,6 +71,13 @@ import repro.obs.metrics as obs_metrics
 from repro.exec.cache import CacheStats, ChannelCache
 from repro.exec import cache as exec_cache
 from repro.exec.shard import Shard, ShardPlan
+from repro.exec.supervisor import (
+    COMPLETED,
+    DispositionReport,
+    ShardDisposition,
+    ShardSupervisor,
+    SupervisionPolicy,
+)
 
 __all__ = [
     "EngineStats",
@@ -66,6 +85,7 @@ __all__ = [
     "ShardResult",
     "active_engine",
     "executing",
+    "result_payload",
 ]
 
 
@@ -76,13 +96,20 @@ class EngineStats:
     shards_run: int = 0
     items_run: int = 0
     items_resumed: int = 0
+    retries: int = 0
+    quarantines: int = 0
+    checkpoint_heals: int = 0
+    checkpoint_records_skipped: int = 0
+    #: Trial indices whose results never reached the checkpoint store
+    #: when a run was interrupted — exactly what ``--resume`` re-runs.
+    unflushed_trials: List[int] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
 
     def absorb_cache(self, delta: CacheStats) -> None:
         self.cache = self.cache.merged(delta)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.items_run} item(s) in {self.shards_run} shard(s), "
             f"{self.items_resumed} resumed; cache: "
             f"{self.cache.hits}/{self.cache.lookups} hits "
@@ -90,12 +117,36 @@ class EngineStats:
             f"{self.cache.invalidations} invalidation(s), "
             f"{self.cache.evictions} eviction(s)"
         )
+        if (
+            self.retries
+            or self.quarantines
+            or self.checkpoint_heals
+            or self.checkpoint_records_skipped
+        ):
+            text += (
+                f"; recovery: {self.retries} retry(ies), "
+                f"{self.quarantines} quarantine(s), "
+                f"{self.checkpoint_heals} trial(s) healed, "
+                f"{self.checkpoint_records_skipped} corrupt record(s) "
+                f"skipped"
+            )
+        if self.unflushed_trials:
+            text += (
+                f"; {len(self.unflushed_trials)} unflushed trial(s) "
+                f"re-run on resume: {self.unflushed_trials}"
+            )
+        return text
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "shards_run": self.shards_run,
             "items_run": self.items_run,
             "items_resumed": self.items_resumed,
+            "retries": self.retries,
+            "quarantines": self.quarantines,
+            "checkpoint_heals": self.checkpoint_heals,
+            "checkpoint_records_skipped": self.checkpoint_records_skipped,
+            "unflushed_trials": list(self.unflushed_trials),
             "cache": self.cache.to_dict(),
         }
 
@@ -162,12 +213,20 @@ def _run_generic_shard(
     shard: Shard,
     fn: Callable[[Any], Any],
     payloads: Dict[int, Any],
+    progress: Optional[Callable[[int], None]] = None,
 ) -> ShardResult:
-    """Run ``fn(payload)`` for every item of *shard*, in item order."""
+    """Run ``fn(payload)`` for every item of *shard*, in item order.
+
+    *progress* (injected by the shard supervisor) is called with the
+    number of completed items after each one — the worker-side
+    heartbeat that feeds the hang watchdog.
+    """
     before = _cache_stats_snapshot()
     results: Dict[int, Any] = {}
-    for item in shard.items:
+    for done, item in enumerate(shard.items, start=1):
         results[item] = fn(payloads[item])
+        if progress is not None:
+            progress(done)
     return ShardResult(
         shard_index=shard.index,
         results=results,
@@ -179,12 +238,14 @@ def _run_experiment_shard(
     shard: Shard,
     config: "ExperimentConfig",
     checkpoint_path: Optional[str],
+    progress: Optional[Callable[[int], None]] = None,
 ) -> ShardResult:
     """Run the experiment trials of *shard*; checkpoint each locally.
 
     Uses :func:`repro.experiments.runner.run_trial`, the same work unit
     the serial runner executes, so a shard's rates are bit-equal to the
-    serial loop's for the same trial indices.
+    serial loop's for the same trial indices.  *progress* is the
+    supervisor-injected heartbeat callback.
     """
     from repro.experiments.checkpoint import CheckpointStore
     from repro.experiments.runner import run_trial
@@ -194,11 +255,13 @@ def _run_experiment_shard(
         CheckpointStore(checkpoint_path) if checkpoint_path is not None else None
     )
     results: Dict[int, Dict[str, float]] = {}
-    for trial in shard.items:
+    for done, trial in enumerate(shard.items, start=1):
         rates = run_trial(config, trial)
         results[trial] = rates
         if store is not None:
             store.record(config, trial, rates)
+        if progress is not None:
+            progress(done)
     return ShardResult(
         shard_index=shard.index,
         results=results,
@@ -220,13 +283,23 @@ class ExecutionEngine:
         use_cache: Memoize channel searches (serial: one engine-lifetime
             cache; process: one cache per worker process).
         cache_size: LRU bound per cache.
+        supervision: Fault-tolerance knobs for the process backend
+            (retry budget, backoff, hang watchdog, quarantine).  The
+            default :class:`~repro.exec.supervisor.SupervisionPolicy`
+            retries each shard up to three pool attempts, then
+            quarantines it to in-process serial execution.
+        chaos: Optional fault injector (see :mod:`repro.exec.chaos`)
+            consulted on every pool submission — used by the chaos-soak
+            harness and tests, ``None`` in production.
 
     The engine is reusable across calls (the pool and the serial cache
     persist) and is a context manager; :meth:`close` tears the pool
     down.  Determinism contract: for a fixed grid, results and
     aggregates are identical for every ``workers`` value and for
     ``use_cache`` on or off — parallelism and caching are pure
-    wall-clock optimizations.
+    wall-clock optimizations.  Recovery preserves the contract: retries
+    and quarantine fallbacks re-run the same pure shard function on the
+    same index-derived arguments.
     """
 
     def __init__(
@@ -234,13 +307,23 @@ class ExecutionEngine:
         workers: int = 1,
         use_cache: bool = True,
         cache_size: int = 4096,
+        supervision: Optional[SupervisionPolicy] = None,
+        chaos: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.use_cache = use_cache
         self.cache_size = cache_size
+        self.supervision = (
+            supervision if supervision is not None else SupervisionPolicy()
+        )
+        self.chaos = chaos
         self.stats = EngineStats()
+        #: Engine-lifetime ledger of what happened to every shard.
+        self.report = DispositionReport()
+        self._run_seq = 0
+        self._current_dispositions: Dict[int, ShardDisposition] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_cache: Optional[ChannelCache] = (
             ChannelCache(max_entries=cache_size) if use_cache else None
@@ -270,6 +353,29 @@ class ExecutionEngine:
             )
         return self._pool
 
+    def _abandon_pool(self, terminate: bool) -> None:
+        """Discard the current pool (it broke, or a worker is wedged).
+
+        With ``terminate=True`` the worker processes are killed first —
+        the only way to reclaim a hung worker, since a submitted call
+        cannot be recalled.  The next :meth:`_ensure_pool` builds a
+        fresh pool; the supervisor resubmits affected shards to it.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("repro.exec.supervisor.pool_rebuilds")
+
     @property
     def cache(self) -> Optional[ChannelCache]:
         """The serial-backend cache (``None`` for process backends)."""
@@ -283,13 +389,23 @@ class ExecutionEngine:
         shard_fn: Callable[..., ShardResult],
         shard_args: Sequence[Tuple],
         on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+        checkpoint_paths: Optional[Dict[int, str]] = None,
     ) -> List[ShardResult]:
         """Execute ``shard_fn(*args)`` for every entry of *shard_args*.
 
         Returns results ordered by submission index (not completion
         order).  *on_shard_done* fires in the parent as each shard
         completes — the engine uses it to flush merged checkpoints
-        incrementally.
+        incrementally.  *checkpoint_paths* (shard index → private
+        checkpoint file) lets the supervisor's chaos harness target
+        shard checkpoints for truncation injection.
+
+        On the process backend each shard runs under the
+        :class:`~repro.exec.supervisor.ShardSupervisor`: worker crashes
+        and hangs are detected, the shard is retried with backoff, and
+        a poison shard degrades to in-process serial execution instead
+        of failing the run.  Every shard's story lands in
+        :attr:`report`.
 
         ``KeyboardInterrupt`` while shards are outstanding cancels the
         queued ones, tears the pool down (no orphaned workers), then
@@ -298,9 +414,26 @@ class ExecutionEngine:
         *inside* a worker propagates out of its future and is treated
         identically.
         """
+        self._run_seq += 1
+        dispositions: Dict[int, ShardDisposition] = {}
+        for position, args in enumerate(shard_args):
+            first = args[0] if args else None
+            if isinstance(first, Shard):
+                key, items = first.index, len(first)
+            else:
+                key, items = position, 1
+            dispositions[key] = self.report.ensure(self._run_seq, key, items)
+        self._current_dispositions = dispositions
         if self.workers == 1:
             return self._run_shards_serial(shard_fn, shard_args, on_shard_done)
-        return self._run_shards_pool(shard_fn, shard_args, on_shard_done)
+        supervisor = ShardSupervisor(
+            self,
+            self.supervision,
+            dispositions,
+            chaos=self.chaos,
+            checkpoint_paths=checkpoint_paths,
+        )
+        return supervisor.run(shard_fn, shard_args, on_shard_done)
 
     def _absorb(self, result: ShardResult) -> None:
         self.stats.shards_run += 1
@@ -344,43 +477,17 @@ class ExecutionEngine:
                 # deltas against the shared serial cache.
                 result = shard_fn(*args)
                 results.append(result)
+                disposition = self._current_dispositions.get(
+                    result.shard_index
+                )
+                if disposition is not None:
+                    disposition.attempts = max(disposition.attempts, 1)
+                    disposition.backend = "serial"
+                    disposition.outcome = COMPLETED
                 self._absorb(result)
                 if on_shard_done is not None:
                     on_shard_done(result)
         return results
-
-    def _run_shards_pool(
-        self,
-        shard_fn: Callable[..., ShardResult],
-        shard_args: Sequence[Tuple],
-        on_shard_done: Optional[Callable[[ShardResult], None]],
-    ) -> List[ShardResult]:
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(shard_fn, *args): index
-            for index, args in enumerate(shard_args)
-        }
-        ordered: List[Optional[ShardResult]] = [None] * len(shard_args)
-        pending = set(futures)
-        try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    result = future.result()
-                    ordered[futures[future]] = result
-                    self._absorb(result)
-                    if on_shard_done is not None:
-                        on_shard_done(result)
-        except BaseException:
-            # Cancel whatever has not started, stop accepting work, and
-            # kill the pool so no orphaned worker outlives the run.
-            for future in pending:
-                future.cancel()
-            pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            raise
-        assert all(r is not None for r in ordered)
-        return ordered  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Generic item mapping
@@ -432,6 +539,12 @@ class ExecutionEngine:
 
         store = checkpoint if checkpoint is not None else active_store()
         metrics = obs_metrics.active()
+        # Self-healing pass: a previous run that died between a shard's
+        # completion and its merge leaves shard-*.jsonl files behind.
+        # Absorb them (tolerantly — corrupt files are quarantined) so
+        # their trials resume instead of re-running, and so corrupt
+        # records simply fall into the pending set below and re-execute.
+        self._absorb_leftover_shards(store)
         rates_by_trial: Dict[int, Dict[str, float]] = {}
         pending: List[int] = []
         for trial in range(config.n_networks):
@@ -456,6 +569,7 @@ class ExecutionEngine:
                 self._merge_shard_checkpoint(
                     store, shard_paths.get(result.shard_index)
                 )
+                self._heal_shard_records(store, config, result)
 
             shard_args = [
                 (shard, config, shard_paths.get(shard.index))
@@ -463,7 +577,10 @@ class ExecutionEngine:
             ]
             try:
                 self.run_shards(
-                    _run_experiment_shard, shard_args, on_shard_done=flush
+                    _run_experiment_shard,
+                    shard_args,
+                    on_shard_done=flush,
+                    checkpoint_paths=shard_paths,
                 )
             except BaseException:
                 # Late flush: shards that completed after the failing /
@@ -473,6 +590,20 @@ class ExecutionEngine:
                 for path in shard_paths.values():
                     self._merge_shard_checkpoint(store, path)
                 self._cleanup_shard_dir(shard_dir, shard_paths)
+                # Surface what was lost: trials with no flushed
+                # checkpoint are exactly what --resume re-runs.
+                if store is not None:
+                    unflushed = [
+                        t for t in pending if not store.has(config, t)
+                    ]
+                else:
+                    unflushed = list(pending)
+                self.stats.unflushed_trials = sorted(unflushed)
+                if metrics is not None:
+                    metrics.set_gauge(
+                        "repro.exec.checkpoint.unflushed_trials",
+                        len(unflushed),
+                    )
                 raise
             self._cleanup_shard_dir(shard_dir, shard_paths)
             if metrics is not None:
@@ -536,14 +667,76 @@ class ExecutionEngine:
             for shard in plan
         }
 
-    @staticmethod
-    def _merge_shard_checkpoint(store, path: Optional[str]) -> None:
-        from repro.experiments.checkpoint import CheckpointStore
+    def _merge_shard_checkpoint(self, store, path: Optional[str]):
+        """Fold one shard checkpoint into the main store, tolerantly.
 
+        A clean file merges and is removed; a corrupt or torn one has
+        its valid records salvaged, then the file itself is quarantined
+        to ``<store>.shards/quarantine/`` for post-mortems instead of
+        poisoning the merge.  Returns the
+        :class:`~repro.experiments.checkpoint.MergeReport` (or ``None``
+        when there was nothing to merge).
+        """
         if store is None or path is None or not os.path.exists(path):
+            return None
+        report = store.merge_from(path)
+        if report.clean:
+            os.unlink(path)
+        else:
+            self.stats.checkpoint_records_skipped += report.skipped
+            self._quarantine_checkpoint_file(store, path)
+        return report
+
+    @staticmethod
+    def _quarantine_checkpoint_file(store, path: str) -> Path:
+        quarantine_dir = (
+            Path(str(store.path) + ".shards") / "quarantine"
+        )
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        source = Path(path)
+        target = quarantine_dir / source.name
+        serial = 1
+        while target.exists():
+            target = quarantine_dir / f"{source.stem}-{serial}{source.suffix}"
+            serial += 1
+        os.replace(path, target)
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("repro.exec.checkpoint.files_quarantined")
+        return target
+
+    def _heal_shard_records(self, store, config, result: ShardResult) -> None:
+        """Re-record trials the shard's checkpoint file failed to carry.
+
+        The in-memory :class:`ShardResult` is authoritative — if the
+        on-disk shard file was truncated or corrupted (torn write,
+        chaos injection, disk fault), the missing trials are simply
+        written again from memory, so the main store stays complete
+        without re-executing anything.
+        """
+        if store is None:
             return
-        store.merge_from(CheckpointStore(path))
-        os.unlink(path)
+        healed = 0
+        for trial in sorted(result.results):
+            if not store.has(config, trial):
+                store.record(config, trial, result.results[trial])
+                healed += 1
+        if not healed:
+            return
+        self.stats.checkpoint_heals += healed
+        disposition = self._current_dispositions.get(result.shard_index)
+        if disposition is not None:
+            disposition.healed_trials += healed
+        metrics = obs_metrics.active()
+        if metrics is not None:
+            metrics.inc("repro.exec.supervisor.checkpoint_heals", healed)
+
+    def _absorb_leftover_shards(self, store) -> None:
+        shard_dir = self._shard_checkpoint_dir(store)
+        if shard_dir is None or not shard_dir.is_dir():
+            return
+        for path in sorted(shard_dir.glob("shard-*.jsonl")):
+            self._merge_shard_checkpoint(store, str(path))
 
     @staticmethod
     def _cleanup_shard_dir(

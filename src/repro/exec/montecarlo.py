@@ -19,7 +19,7 @@ those simulations must stay on the serial method.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,8 +41,13 @@ def _run_mc_shard(
     seed: int,
     runs: int,
     max_slots: int,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> "ShardResult":
-    """Execute the protocol runs of *shard*; one index-seeded RNG each."""
+    """Execute the protocol runs of *shard*; one index-seeded RNG each.
+
+    *progress* is the supervisor-injected heartbeat callback (see
+    :mod:`repro.exec.supervisor`).
+    """
     from repro.exec.engine import ShardResult, _cache_stats_snapshot
     from repro.sim.engine import SlottedEntanglementSimulator
     from repro.utils.rng import spawn_rngs
@@ -50,12 +55,14 @@ def _run_mc_shard(
     before = _cache_stats_snapshot()
     rngs = spawn_rngs(seed, runs)
     results: Dict[int, Tuple[bool, int]] = {}
-    for run in shard.items:
+    for done, run in enumerate(shard.items, start=1):
         simulator = SlottedEntanglementSimulator(
             network, solution, rng=rngs[run]
         )
         outcome = simulator.run(max_slots)
         results[run] = (outcome.succeeded, outcome.slots_used)
+        if progress is not None:
+            progress(done)
     return ShardResult(
         shard_index=shard.index,
         results=results,

@@ -29,13 +29,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+import repro.obs.metrics as obs_metrics
 from repro.experiments.config import ExperimentConfig
+
+logger = logging.getLogger("repro.experiments.checkpoint")
 
 
 class CheckpointCorruption(RuntimeError):
@@ -75,6 +80,86 @@ def _line_hash(entry_payload: str) -> str:
     return hashlib.sha256(entry_payload.encode("utf-8")).hexdigest()
 
 
+@dataclass
+class MergeReport:
+    """What a tolerant checkpoint parse/merge absorbed — and dropped.
+
+    Returned by :meth:`CheckpointStore.merge_from`.  ``skipped`` counts
+    decodable-but-invalid records (bad envelope, hash mismatch), while
+    ``torn`` flags an undecodable tail — a truncated file parses
+    "cleanly" record-by-record, so the flag is what tells the caller
+    the file is incomplete and must be quarantined.
+    """
+
+    absorbed: int = 0
+    skipped: int = 0
+    torn: bool = False
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.skipped == 0 and not self.torn
+
+
+def _parse_lines(
+    path: Union[str, Path], raw: str, strict: bool
+) -> Tuple[Dict[Tuple[str, int], Dict[str, object]], MergeReport]:
+    """Parse checkpoint JSONL into entries, strictly or tolerantly.
+
+    ``strict=True`` is the single-store read path: any corruption other
+    than a torn final write raises :class:`CheckpointCorruption`.
+    ``strict=False`` is the merge path: bad records are skipped and
+    attributed in the returned :class:`MergeReport` so one corrupt
+    shard file cannot poison a whole sweep's merge.
+    """
+    entries: Dict[Tuple[str, int], Dict[str, object]] = {}
+    report = MergeReport()
+
+    def reject(line_no: int, reason: str) -> None:
+        if strict:
+            raise CheckpointCorruption(path, line_no, reason)
+        report.skipped += 1
+        report.reasons.append(f"line {line_no}: {reason}")
+        logger.warning("checkpoint %s: line %d skipped: %s", path, line_no, reason)
+
+    lines = raw.split("\n")
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) or all(
+                not rest.strip() for rest in lines[i:]
+            ):
+                # Torn final write from a kill — drop and move on (but
+                # remember: the file is incomplete).
+                report.torn = True
+                continue
+            reject(i, "undecodable line before end of file")
+            continue
+        if (
+            not isinstance(record, dict)
+            or "sha256" not in record
+            or "entry" not in record
+        ):
+            reject(i, "record missing sha256/entry envelope")
+            continue
+        payload = _canonical(record["entry"])
+        if _line_hash(payload) != record["sha256"]:
+            reject(i, "integrity hash mismatch (file was modified)")
+            continue
+        entry = record["entry"]
+        try:
+            key = (str(entry["config_key"]), int(entry["trial"]))
+        except (KeyError, TypeError, ValueError):
+            reject(i, "entry missing config_key/trial")
+            continue
+        entries[key] = entry
+        report.absorbed += 1
+    return entries, report
+
+
 class CheckpointStore:
     """Append-oriented JSONL store of completed experiment trials.
 
@@ -102,37 +187,7 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     def _load(self) -> None:
         raw = self.path.read_text(encoding="utf-8")
-        lines = raw.split("\n")
-        for i, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if i == len(lines) or all(
-                    not rest.strip() for rest in lines[i:]
-                ):
-                    # Torn final write from a kill — drop and move on.
-                    continue
-                raise CheckpointCorruption(
-                    self.path, i, "undecodable line before end of file"
-                )
-            if (
-                not isinstance(record, dict)
-                or "sha256" not in record
-                or "entry" not in record
-            ):
-                raise CheckpointCorruption(
-                    self.path, i, "record missing sha256/entry envelope"
-                )
-            payload = _canonical(record["entry"])
-            if _line_hash(payload) != record["sha256"]:
-                raise CheckpointCorruption(
-                    self.path, i, "integrity hash mismatch (file was modified)"
-                )
-            entry = record["entry"]
-            key = (str(entry["config_key"]), int(entry["trial"]))
-            self._entries[key] = entry
+        self._entries, _ = _parse_lines(self.path, raw, strict=True)
 
     # ------------------------------------------------------------------
     # Queries
@@ -178,7 +233,9 @@ class CheckpointStore:
         self._entries[(str(entry["config_key"]), int(trial))] = entry
         self._flush()
 
-    def merge_from(self, other: "CheckpointStore") -> int:
+    def merge_from(
+        self, other: Union["CheckpointStore", str, Path]
+    ) -> MergeReport:
         """Absorb every record of *other* into this store (one flush).
 
         The parallel execution engine gives each worker shard a private
@@ -187,15 +244,38 @@ class CheckpointStore:
         after a completed run, or for whatever shards finished when a
         run is interrupted.  Records are keyed by ``(config_key,
         trial)`` so merging is idempotent; *other*'s records win on
-        collision (last write wins, as with :meth:`record`).  Returns
-        the number of records absorbed.
+        collision (last write wins, as with :meth:`record`).
+
+        *other* may be a loaded store, or a path — the path form parses
+        **tolerantly**: a corrupt record is skipped (and counted in the
+        ``repro.exec.checkpoint.quarantined`` metric) rather than
+        raising :class:`CheckpointCorruption`, so one bad shard file
+        never poisons a sweep's merge.  The strict typed error remains
+        the contract of the single-store read path
+        (``CheckpointStore(path)``).  Returns a :class:`MergeReport`
+        attributing what was absorbed and what was dropped.
         """
-        if not other._entries:
-            return 0
-        for key, entry in other._entries.items():
-            self._entries[key] = entry
-        self._flush()
-        return len(other._entries)
+        if isinstance(other, CheckpointStore):
+            entries = dict(other._entries)
+            report = MergeReport(absorbed=len(entries))
+        else:
+            source = Path(other)
+            raw = (
+                source.read_text(encoding="utf-8")
+                if source.exists()
+                else ""
+            )
+            entries, report = _parse_lines(source, raw, strict=False)
+        if report.skipped:
+            metrics = obs_metrics.active()
+            if metrics is not None:
+                metrics.inc(
+                    "repro.exec.checkpoint.quarantined", report.skipped
+                )
+        if entries:
+            self._entries.update(entries)
+            self._flush()
+        return report
 
     def _flush(self) -> None:
         """Rewrite the store via temp-file + fsync + atomic rename."""

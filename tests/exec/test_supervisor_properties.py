@@ -1,0 +1,102 @@
+"""Property: any recoverable fault schedule merges byte-identically.
+
+The supervisor's determinism argument is that recovery re-runs the
+*same* pure shard function on the *same* index-derived arguments, so
+for **any** injected (kill, hang, truncate) schedule that eventually
+allows success, the merged report is byte-identical to the fault-free
+serial reference.  Hypothesis draws random schedules over the shard ×
+attempt grid and checks exactly that.
+
+Schedules are kept recoverable by construction: faults only target
+attempts strictly below the policy's ``max_attempts``, so every shard
+retains at least one fault-free pool attempt — and even a shard driven
+into quarantine degrades to the serial fallback, which is fault-free
+by definition.  Hangs are drawn rarely (each one costs a real watchdog
+timeout of wall-clock).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.chaos import ChaosSchedule
+from repro.exec.engine import ExecutionEngine, result_payload
+from repro.exec.supervisor import SupervisionPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+SMALL = ExperimentConfig(
+    n_switches=10,
+    n_users=4,
+    n_networks=4,
+    seed=11,
+    methods=("prim", "nfusion"),
+)
+
+WORKERS = 2
+N_SHARDS = 2  # ShardPlan.build(n_networks, WORKERS) → one shard/worker
+
+FAST = SupervisionPolicy(
+    max_attempts=3,
+    backoff_unit_s=0.0,
+    hang_timeout_s=0.75,
+    poll_interval_s=0.02,
+)
+
+#: Fault actions, weighted away from hangs (each costs a watchdog
+#: timeout of real wall-clock).
+_ACTIONS = st.sampled_from(
+    ["kill", "kill", "truncate", "truncate", "hang"]
+)
+
+#: (shard, attempt) targets: attempts strictly below max_attempts so
+#: every shard keeps at least one fault-free pool attempt.
+_TARGETS = st.tuples(
+    st.integers(min_value=0, max_value=N_SHARDS - 1),
+    st.integers(min_value=1, max_value=FAST.max_attempts - 1),
+)
+
+_SCHEDULES = st.dictionaries(_TARGETS, _ACTIONS, min_size=1, max_size=4)
+
+
+def _reference_bytes() -> bytes:
+    return json.dumps(
+        result_payload(run_experiment(SMALL)), sort_keys=True
+    ).encode()
+
+
+_REFERENCE = _reference_bytes()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=_SCHEDULES)
+def test_recoverable_schedules_merge_byte_identical(tmp_path_factory, schedule):
+    tmp_path = tmp_path_factory.mktemp("chaos-prop")
+    from repro.experiments.checkpoint import CheckpointStore
+
+    store = CheckpointStore(tmp_path / "ck.jsonl")
+    chaos = ChaosSchedule(schedule, hang_sleep_s=30.0, truncate_fraction=0.5)
+    with ExecutionEngine(
+        workers=WORKERS, supervision=FAST, chaos=chaos
+    ) as engine:
+        result = engine.run_experiment(SMALL, checkpoint=store)
+    merged = json.dumps(result_payload(result), sort_keys=True).encode()
+    assert merged == _REFERENCE, (
+        f"schedule {schedule} broke byte-equality despite being "
+        "recoverable"
+    )
+    # The checkpoint store must also be complete — truncated shard
+    # files were healed from the in-memory results.
+    assert store.completed_trials(SMALL) == list(range(SMALL.n_networks))
+    # Every injected fault that actually fired is attributed.
+    if not engine.report.clean:
+        for disposition in engine.report.troubled:
+            assert disposition.outcome in ("recovered", "degraded")
+            assert disposition.failures or disposition.healed_trials
