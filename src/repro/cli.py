@@ -424,6 +424,59 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    incremental_parser = sub.add_parser(
+        "incremental",
+        help=(
+            "delta-aware routing demo: replay a churn stream "
+            "incrementally and against the from-scratch reference"
+        ),
+        parents=[obs_parent],
+    )
+    incremental_parser.add_argument("--topology", default="waxman")
+    incremental_parser.add_argument(
+        "--method", default="prim", choices=("prim", "conflict_free")
+    )
+    incremental_parser.add_argument("--switches", type=int, default=40)
+    incremental_parser.add_argument("--users", type=int, default=8)
+    incremental_parser.add_argument("--qubits", type=int, default=4)
+    incremental_parser.add_argument(
+        "--events", type=int, default=60, help="churn events to generate"
+    )
+    incremental_parser.add_argument(
+        "--fault-mix",
+        default="0.5,0.2,0.3",
+        help=(
+            "comma-separated weights over fiber, switch, capacity "
+            "event families (default 0.5,0.2,0.3)"
+        ),
+    )
+    incremental_parser.add_argument(
+        "--radius",
+        type=int,
+        default=2,
+        help="fiber-hop radius of the splice search region",
+    )
+    incremental_parser.add_argument(
+        "--scope",
+        default="region",
+        choices=("region", "fingerprint"),
+        help="cache-invalidation scope for structural events",
+    )
+    incremental_parser.add_argument("--seed", type=int, default=7)
+    incremental_parser.add_argument(
+        "--skip-baseline",
+        action="store_true",
+        help="skip the from-scratch reference run (no equivalence check)",
+    )
+    incremental_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help=(
+            "replay the incremental run twice and fail unless the "
+            "aggregate digests are byte-identical"
+        ),
+    )
+
     return parser
 
 
@@ -940,6 +993,99 @@ def _command_exec(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _command_incremental(args: argparse.Namespace) -> int:
+    """Churn replay: incremental engine vs the from-scratch reference.
+
+    The two modes run the same maintenance policy over the same seeded
+    event stream (:func:`repro.sim.workload.generate_churn`); their
+    aggregate digests must be byte-identical — a mismatch exits with
+    ``EXIT_VERIFICATION_ERROR``, exactly like a failed solution audit.
+    """
+    from repro.exec import cache as exec_cache
+    from repro.incremental import IncrementalRouter, tracking
+    from repro.incremental.warmstart import WarmStartIndex
+    from repro.sim.workload import ChurnSpec, generate_churn
+
+    try:
+        mix = tuple(float(w) for w in args.fault_mix.split(","))
+        spec = ChurnSpec(n_faults=args.events, fault_mix=mix)
+    except ValueError as exc:
+        print(f"bad --fault-mix / --events: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION_ERROR
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        qubits_per_switch=args.qubits,
+    )
+
+    def one_run(mode: str):
+        network = generate(args.topology, config, rng=args.seed)
+        users = tuple(sorted(network.user_ids, key=repr))
+        events = generate_churn(network, spec, rng=args.seed + 1)
+        if mode == "from_scratch":
+            router = IncrementalRouter(
+                network,
+                users=users,
+                method=args.method,
+                seed=args.seed,
+                mode=mode,
+                radius=args.radius,
+            )
+            router.run(events)
+            return router, None
+        cache = exec_cache.ChannelCache()
+        cache.warmstart = WarmStartIndex()
+        with exec_cache.caching(cache), tracking(
+            scope=args.scope, radius=args.radius
+        ):
+            router = IncrementalRouter(
+                network,
+                users=users,
+                method=args.method,
+                seed=args.seed,
+                mode="incremental",
+                radius=args.radius,
+            )
+            router.run(events)
+        return router, cache
+
+    inc, cache = one_run("incremental")
+    print(
+        f"incremental: {len(inc.outcomes)} events applied, "
+        f"final tree {'feasible' if inc.solution.feasible else 'INFEASIBLE'} "
+        f"({inc.solution.method})"
+    )
+    for name in sorted(inc.counters):
+        print(f"  {name}: {inc.counters[name]}")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"  cache: {stats.hits} hits / {stats.misses} misses, "
+            f"{stats.invalidations} invalidations "
+            f"{stats.invalidations_by_cause}"
+        )
+        if cache.warmstart is not None:
+            print(f"  warmstart: {cache.warmstart.stats()}")
+    print(f"digest: {inc.digest()}")
+
+    if not args.skip_baseline:
+        ref, _ = one_run("from_scratch")
+        if ref.digest() != inc.digest():
+            print(
+                "equivalence check: FAILED (incremental and from-scratch "
+                "aggregates differ)"
+            )
+            return EXIT_VERIFICATION_ERROR
+        print("equivalence check: ok (byte-identical aggregates)")
+    if args.verify_determinism:
+        again, _ = one_run("incremental")
+        if again.digest() != inc.digest():
+            print("determinism check: FAILED (replay digest differs)")
+            return EXIT_VERIFICATION_ERROR
+        print("determinism check: ok (identical replay)")
+    return EXIT_OK
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _command_list()
@@ -959,6 +1105,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_resilience(args)
     if args.command == "admit":
         return _command_admit(args)
+    if args.command == "incremental":
+        return _command_incremental(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

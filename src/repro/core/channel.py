@@ -103,6 +103,9 @@ def dijkstra(
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
+        warmed = cache.warm_lookup(cache_key, network)
+        if warmed is not None:
+            return warmed
     alpha = network.params.alpha
     minus_ln_q = -swap_log_rate(network.params.swap_prob)  # in [0, +inf]
 

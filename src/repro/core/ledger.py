@@ -221,11 +221,29 @@ class CapacityLedger:
         # polarity in every channel-cache blocked-set signature: tell
         # the active cache so stranded entries are dropped eagerly.
         if (old >= QUBITS_PER_CHANNEL) != (new >= QUBITS_PER_CHANNEL):
+            now_blocked = new < QUBITS_PER_CHANNEL
             cache = exec_cache.active()
             if cache is not None:
-                cache.invalidate_switch(
-                    switch, now_blocked=new < QUBITS_PER_CHANNEL
-                )
+                cache.invalidate_switch(switch, now_blocked=now_blocked)
+            self._publish_crossing(switch, now_blocked)
+
+    @staticmethod
+    def _publish_crossing(switch: Hashable, now_blocked: bool) -> None:
+        """Emit a capacity-crossing delta event when a bus is active.
+
+        Residual-only: the routing fingerprint is unchanged, so the bus
+        performs no cache hygiene beyond the ``invalidate_switch`` the
+        caller already did — subscribers (e.g. the incremental router's
+        event log) just learn the polarity flip.
+        """
+        from repro.incremental import delta as incremental_delta
+
+        bus = incremental_delta.active()
+        if bus is None:
+            return
+        from repro.incremental.events import DeltaEvent
+
+        bus.publish(DeltaEvent.capacity_crossing(switch, now_blocked))
 
     def can_reserve(self, usage: Mapping[Hashable, int]) -> bool:
         """Whether every switch in *usage* has the requested headroom."""
@@ -362,12 +380,11 @@ class CapacityLedger:
             old = self._avail.get(switch, 0)
             new = old - delta
             self._avail[switch] = new
-            if cache is not None and (old >= QUBITS_PER_CHANNEL) != (
-                new >= QUBITS_PER_CHANNEL
-            ):
-                cache.invalidate_switch(
-                    switch, now_blocked=new < QUBITS_PER_CHANNEL
-                )
+            if (old >= QUBITS_PER_CHANNEL) != (new >= QUBITS_PER_CHANNEL):
+                now_blocked = new < QUBITS_PER_CHANNEL
+                if cache is not None:
+                    cache.invalidate_switch(switch, now_blocked=now_blocked)
+                self._publish_crossing(switch, now_blocked)
         journal.clear()
 
     # ------------------------------------------------------------------

@@ -61,6 +61,7 @@ from typing import (
     Dict,
     FrozenSet,
     Hashable,
+    Iterable,
     Iterator,
     Mapping,
     Optional,
@@ -76,6 +77,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CacheStats",
     "ChannelCache",
+    "INVALIDATION_CAUSES",
     "active",
     "enable",
     "disable",
@@ -101,11 +103,23 @@ CacheKey = Tuple[
 CacheValue = Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]
 
 
+#: The invalidation causes broken out in :class:`CacheStats`.
+INVALIDATION_CAUSES = (
+    "graph_fingerprint",
+    "switch_region",
+    "capacity_crossing",
+    "manual",
+)
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Point-in-time counters of one :class:`ChannelCache`.
 
     ``hit_rate`` is hits over lookups (0.0 before the first lookup).
+    ``invalidations_by_cause`` breaks the invalidation total out by why
+    entries were dropped (see :data:`INVALIDATION_CAUSES`), so the
+    region-scoping win of the incremental layer stays measurable.
     """
 
     hits: int = 0
@@ -114,6 +128,7 @@ class CacheStats:
     invalidations: int = 0
     entries: int = 0
     max_entries: int = 0
+    invalidations_by_cause: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -124,8 +139,17 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    def cause(self, name: str) -> int:
+        """Invalidations attributed to *name* (0 when never seen)."""
+        return self.invalidations_by_cause.get(name, 0)
+
     def delta(self, since: "CacheStats") -> "CacheStats":
         """Counters accumulated between *since* and this snapshot."""
+        causes = {
+            cause: count - since.invalidations_by_cause.get(cause, 0)
+            for cause, count in self.invalidations_by_cause.items()
+            if count - since.invalidations_by_cause.get(cause, 0)
+        }
         return CacheStats(
             hits=self.hits - since.hits,
             misses=self.misses - since.misses,
@@ -133,10 +157,14 @@ class CacheStats:
             invalidations=self.invalidations - since.invalidations,
             entries=self.entries,
             max_entries=self.max_entries,
+            invalidations_by_cause=causes,
         )
 
     def merged(self, other: "CacheStats") -> "CacheStats":
         """Counter-wise sum (aggregating per-worker cache stats)."""
+        causes = dict(self.invalidations_by_cause)
+        for cause, count in other.invalidations_by_cause.items():
+            causes[cause] = causes.get(cause, 0) + count
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
@@ -144,6 +172,7 @@ class CacheStats:
             invalidations=self.invalidations + other.invalidations,
             entries=max(self.entries, other.entries),
             max_entries=max(self.max_entries, other.max_entries),
+            invalidations_by_cause=causes,
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -155,6 +184,10 @@ class CacheStats:
             "entries": self.entries,
             "max_entries": self.max_entries,
             "hit_rate": self.hit_rate,
+            "invalidations_by_cause": {
+                cause: self.invalidations_by_cause[cause]
+                for cause in sorted(self.invalidations_by_cause)
+            },
         }
 
 
@@ -179,6 +212,11 @@ class ChannelCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._invalidations_by_cause: Dict[str, int] = {}
+        #: Optional :class:`~repro.incremental.warmstart.WarmStartIndex`
+        #: consulted (via :meth:`warm_lookup`) after an exact-key miss
+        #: and fed by :meth:`put`.  ``None`` disables warm starts.
+        self.warmstart = None
 
     # ------------------------------------------------------------------
     # Key derivation
@@ -240,7 +278,12 @@ class ChannelCache:
         return dict(dist), dict(prev)
 
     def put(self, key: CacheKey, value: CacheValue) -> None:
-        """Store ``(dist, prev)`` under *key*, evicting LRU overflow."""
+        """Store ``(dist, prev)`` under *key*, evicting LRU overflow.
+
+        Also records the result in the attached warm-start index (if
+        any), so later searches in the same family can reuse it across
+        blocked-set drift.
+        """
         dist, prev = value
         evicted = 0
         with self._lock:
@@ -250,28 +293,57 @@ class ChannelCache:
                 self._entries.popitem(last=False)
                 evicted += 1
             self._evictions += evicted
+        warmstart = self.warmstart
+        if warmstart is not None:
+            warmstart.record(key, value)
         if evicted:
             metrics = obs_metrics.active()
             if metrics is not None:
                 metrics.inc("repro.exec.cache.evictions", evicted)
 
+    def warm_lookup(
+        self, key: CacheKey, network: "QuantumNetwork"
+    ) -> Optional[CacheValue]:
+        """Provably-identical result from the warm-start index, or None.
+
+        Consulted by the channel search after an exact-key miss; a warm
+        hit is re-stored under *key* so the exact cache serves repeats.
+        """
+        warmstart = self.warmstart
+        if warmstart is None:
+            return None
+        value = warmstart.lookup(key, network)
+        if value is None:
+            return None
+        self.put(key, value)
+        return value
+
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
-    def _drop(self, keys) -> int:
+    def _drop(self, keys, cause: str) -> int:
         """Remove *keys* (already materialized) and count invalidations."""
         for key in keys:
             del self._entries[key]
         self._invalidations += len(keys)
+        if keys:
+            self._invalidations_by_cause[cause] = (
+                self._invalidations_by_cause.get(cause, 0) + len(keys)
+            )
         return len(keys)
 
-    def _publish_invalidations(self, count: int) -> None:
+    def _publish_invalidations(self, count: int, cause: str) -> None:
         if count:
             metrics = obs_metrics.active()
             if metrics is not None:
                 metrics.inc("repro.exec.cache.invalidations", count)
+                metrics.inc(
+                    f"repro.exec.cache.invalidations.{cause}", count
+                )
 
-    def invalidate_graph(self, fingerprint: str) -> int:
+    def invalidate_graph(
+        self, fingerprint: str, cause: str = "graph_fingerprint"
+    ) -> int:
         """Drop every entry computed over *fingerprint* (routing scope).
 
         Called when a topology mutates or a structural fault fires: the
@@ -281,12 +353,44 @@ class ChannelCache:
         """
         with self._lock:
             doomed = [k for k in self._entries if k[0] == fingerprint]
-            dropped = self._drop(doomed)
-        self._publish_invalidations(dropped)
+            dropped = self._drop(doomed, cause)
+        self._publish_invalidations(dropped, cause)
+        return dropped
+
+    def invalidate_region(
+        self,
+        nodes: Iterable[Hashable],
+        fingerprint: Optional[str] = None,
+    ) -> int:
+        """Drop entries plausibly stranded by a change inside *nodes*.
+
+        The incremental delta layer calls this instead of
+        :meth:`invalidate_graph` on single-element structural events:
+        only entries whose source lies in the region or whose
+        blocked-set intersects it are dropped.  *fingerprint* (when
+        given) further restricts the sweep to entries computed over that
+        routing fingerprint.  Correctness never depends on the choice —
+        exact keys already guarantee stale entries cannot be hit — this
+        only trades LRU hygiene for retained useful entries.  Returns
+        the number of entries dropped.
+        """
+        region = frozenset(nodes)
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if (fingerprint is None or k[0] == fingerprint)
+                and (k[1] in region or not region.isdisjoint(k[2]))
+            ]
+            dropped = self._drop(doomed, "switch_region")
+        self._publish_invalidations(dropped, "switch_region")
         return dropped
 
     def invalidate_switch(
-        self, switch: Hashable, now_blocked: Optional[bool] = None
+        self,
+        switch: Hashable,
+        now_blocked: Optional[bool] = None,
+        cause: str = "capacity_crossing",
     ) -> int:
         """Drop entries stranded by a relay-capability flip at *switch*.
 
@@ -307,17 +411,21 @@ class ChannelCache:
                     for k in self._entries
                     if (switch in k[2]) != now_blocked
                 ]
-            dropped = self._drop(doomed)
-        self._publish_invalidations(dropped)
+            dropped = self._drop(doomed, cause)
+        self._publish_invalidations(dropped, cause)
         return dropped
 
-    def invalidate_all(self) -> int:
+    def invalidate_all(self, cause: str = "manual") -> int:
         """Drop everything (e.g. on an unattributable mutation)."""
         with self._lock:
             count = len(self._entries)
             self._entries.clear()
             self._invalidations += count
-        self._publish_invalidations(count)
+            if count:
+                self._invalidations_by_cause[cause] = (
+                    self._invalidations_by_cause.get(cause, 0) + count
+                )
+        self._publish_invalidations(count, cause)
         return count
 
     # ------------------------------------------------------------------
@@ -337,6 +445,7 @@ class ChannelCache:
                 invalidations=self._invalidations,
                 entries=len(self._entries),
                 max_entries=self.max_entries,
+                invalidations_by_cause=dict(self._invalidations_by_cause),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import logging
 import math
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
@@ -64,17 +65,28 @@ def apply_failures(
 
     Failed switches stay in the graph but lose all incident fibers and
     their qubits (a dark node); failed fibers are simply removed.
+
+    When a :class:`~repro.incremental.delta.DeltaBus` is active, the
+    copy's mutations run under :meth:`~repro.incremental.delta.DeltaBus.
+    suspended` — building a damaged *view* is bookkeeping, not a new
+    physical change, so it must neither re-publish delta events nor
+    re-invalidate cache regions the original fault already handled.
     """
-    damaged = network.copy()
-    for u, v in failed_fibers:
-        if damaged.has_fiber(u, v):
-            damaged.remove_fiber(u, v)
-    dead = set(failed_switches)
-    for switch in dead:
-        if switch not in damaged or not damaged.is_switch(switch):
-            raise ValueError(f"{switch!r} is not a switch")
-        for fiber in list(damaged.incident_fibers(switch)):
-            damaged.remove_fiber(fiber.u, fiber.v)
+    from repro.incremental import delta as incremental_delta
+
+    bus = incremental_delta.active()
+    guard = bus.suspended() if bus is not None else _nullcontext()
+    with guard:
+        damaged = network.copy()
+        for u, v in failed_fibers:
+            if damaged.has_fiber(u, v):
+                damaged.remove_fiber(u, v)
+        dead = set(failed_switches)
+        for switch in dead:
+            if switch not in damaged or not damaged.is_switch(switch):
+                raise ValueError(f"{switch!r} is not a switch")
+            for fiber in list(damaged.incident_fibers(switch)):
+                damaged.remove_fiber(fiber.u, fiber.v)
     return damaged
 
 
@@ -84,6 +96,7 @@ def repair_solution(
     failed_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
     failed_switches: Iterable[Hashable] = (),
     residual: Optional[Dict[Hashable, int]] = None,
+    damaged: Optional[QuantumNetwork] = None,
 ) -> RepairReport:
     """Incrementally repair *solution* after the given failures.
 
@@ -98,6 +111,11 @@ def repair_solution(
             online scheduler relies on so repairs never overbook
             switches shared with other in-flight requests.  Defaults to
             the damaged network's full budget (single-tenant repair).
+        damaged: Optional pre-built damaged view (exactly what
+            :func:`apply_failures` over the same failure sets would
+            return).  Callers that already maintain one — the online
+            scheduler rebuilds it once per fault signature — pass it to
+            skip an O(V + E) topology copy per repair.
 
     Returns:
         A :class:`RepairReport`; its solution is infeasible when the
@@ -109,7 +127,8 @@ def repair_solution(
         fiber_key(u, v) for u, v in failed_fibers
     }
     dead_switches = set(failed_switches)
-    damaged = apply_failures(network, dead_fibers, dead_switches)
+    if damaged is None:
+        damaged = apply_failures(network, dead_fibers, dead_switches)
 
     kept: List[Channel] = []
     broken: List[Channel] = []

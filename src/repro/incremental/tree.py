@@ -1,0 +1,191 @@
+"""Dynamic maintenance of a served entanglement tree under deltas.
+
+A served MUERP solution is a tree of user-to-user channels.  When a
+structural event fires, recomputing the whole tree wastes nearly all
+work if the event touched at most one channel — the regime the dynamic
+multi-tree literature (Yang et al., arXiv:2408.06207) identifies as the
+common case.  This module implements the classify-then-repair ladder:
+
+====================  ===========================================
+break count           classification / action
+====================  ===========================================
+0 channels broken     **tree-disjoint** — no-op, the tree stands
+1 channel broken      **replaceable** — splice one reconnecting
+                      channel found by a neighborhood-bounded
+                      search (escalate if none verifies)
+>= 2 channels broken  **structural** — full re-solve
+====================  ===========================================
+
+The splice search is *masked*: switches farther than ``radius`` fiber
+hops from the broken channel's path get zero residual qubits, so the
+search can only relay through the local neighborhood (global repairs
+belong to escalation).  Both the incremental router and the from-scratch
+reference run exactly this policy code — byte-equality between the two
+modes then exercises the caching/delta machinery, not policy luck.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.channel import best_channels_from
+from repro.core.optimal import channel_sort_key
+from repro.core.problem import Channel, MUERPSolution
+from repro.incremental.delta import region_of
+from repro.network.link import fiber_key
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "DISJOINT",
+    "REPLACEABLE",
+    "STRUCTURAL",
+    "broken_channels",
+    "classify_break",
+    "splice_region",
+    "splice_solution",
+]
+
+DISJOINT = "disjoint"
+REPLACEABLE = "replaceable"
+STRUCTURAL = "structural"
+
+
+def channel_broken(
+    channel: Channel,
+    dead_fibers: Set[Tuple[Hashable, Hashable]],
+    dead_switches: Set[Hashable],
+) -> bool:
+    """Whether *channel* uses any failed fiber or switch."""
+    if any(s in dead_switches for s in channel.switches):
+        return True
+    return any(
+        fiber_key(u, v) in dead_fibers
+        for u, v in zip(channel.path, channel.path[1:])
+    )
+
+
+def broken_channels(
+    solution: MUERPSolution,
+    dead_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
+    dead_switches: Iterable[Hashable] = (),
+) -> Tuple[Channel, ...]:
+    """The channels of *solution* that use a failed element (in order)."""
+    fibers = {fiber_key(u, v) for u, v in dead_fibers}
+    switches = set(dead_switches)
+    return tuple(
+        c
+        for c in solution.channels
+        if channel_broken(c, fibers, switches)
+    )
+
+
+def classify_break(
+    solution: MUERPSolution,
+    dead_fibers: Iterable[Tuple[Hashable, Hashable]] = (),
+    dead_switches: Iterable[Hashable] = (),
+) -> Tuple[str, Tuple[Channel, ...]]:
+    """Classify a structural event against a served tree.
+
+    Returns ``(classification, broken_channels)`` with the
+    classification one of :data:`DISJOINT`, :data:`REPLACEABLE`,
+    :data:`STRUCTURAL`.
+    """
+    broken = broken_channels(solution, dead_fibers, dead_switches)
+    if not broken:
+        return DISJOINT, broken
+    if len(broken) == 1:
+        return REPLACEABLE, broken
+    return STRUCTURAL, broken
+
+
+def splice_region(
+    network, channel: Channel, radius: int = 2
+) -> FrozenSet[Hashable]:
+    """Nodes within *radius* fiber hops of the broken channel's path."""
+    return region_of(network, channel.path, radius)
+
+
+def splice_solution(
+    damaged,
+    solution: MUERPSolution,
+    broken: Channel,
+    residual: Dict[Hashable, int],
+    radius: int = 2,
+) -> Optional[MUERPSolution]:
+    """Replace one broken channel by a neighborhood-bounded search.
+
+    Args:
+        damaged: The post-event topology (failed elements removed).
+        solution: The served tree, exactly one channel of which is
+            *broken*.
+        broken: The casualty channel.
+        residual: Free-qubit budget *including* this tree's own
+            reservations (the caller's ledger view plus its usage, the
+            same contract as :func:`repro.extensions.recovery.
+            repair_solution`).
+        radius: Fiber-hop radius of the search region around the broken
+            channel's path.
+
+    Returns:
+        The spliced tree (kept channels + one replacement, in
+        deterministic order), or ``None`` when no replacement exists
+        inside the region — the caller escalates to a full re-solve.
+    """
+    kept = [c for c in solution.channels if c != broken]
+    if len(kept) != len(solution.channels) - 1:
+        return None  # broken channel not in (or duplicated in) the tree
+    avail = dict(residual)
+    for channel in kept:
+        for switch in channel.switches:
+            avail[switch] = avail.get(switch, 0) - 2
+
+    region = splice_region(damaged, broken, radius)
+    masked = {
+        switch: (avail.get(switch, 0) if switch in region else 0)
+        for switch in damaged.switch_ids
+    }
+
+    users = sorted(solution.users, key=repr)
+    unions = UnionFind(users)
+    for channel in kept:
+        unions.union(*channel.endpoints)
+    if unions.n_components != 2:
+        return None  # not a single-edge break of a spanning tree
+
+    best: Optional[Channel] = None
+    for index, source in enumerate(users):
+        targets = [
+            t
+            for t in users[index + 1 :]
+            if not unions.connected(source, t)
+        ]
+        if not targets:
+            continue
+        found = best_channels_from(damaged, source, targets, masked)
+        for candidate in found.values():
+            if best is None or channel_sort_key(candidate) < channel_sort_key(
+                best
+            ):
+                best = candidate
+    if best is None:
+        return None
+    return MUERPSolution(
+        channels=tuple(kept) + (best,),
+        users=solution.users,
+        method=_spliced_method(solution.method),
+        feasible=True,
+        extra_log_rate=solution.extra_log_rate,
+    )
+
+
+def _spliced_method(method: str) -> str:
+    """Tag a method name as spliced exactly once (idempotent)."""
+    return method if method.endswith("+splice") else method + "+splice"

@@ -38,6 +38,24 @@ from repro.network.node import Node, QuantumSwitch, QuantumUser
 from repro.utils.validation import require_positive, require_probability
 
 
+def _fiber_event(key: Tuple[Hashable, Hashable], restored: bool):
+    """The DeltaEvent for a fiber add/remove, or None when no bus runs.
+
+    The event object is only materialized while a
+    :class:`~repro.incremental.delta.DeltaBus` is active, so plain
+    topology construction pays one module-dict lookup per mutation.
+    """
+    from repro.incremental import delta as incremental_delta
+
+    if incremental_delta.active() is None:
+        return None
+    from repro.incremental.events import DeltaEvent
+
+    if restored:
+        return DeltaEvent.fiber_restore(*key)
+    return DeltaEvent.fiber_cut(*key)
+
+
 @dataclass(frozen=True)
 class NetworkParams:
     """Physical parameters shared by the whole network.
@@ -102,23 +120,39 @@ class QuantumNetwork:
         self._adjacency[node.id] = {}
         self._content_changed()
 
-    def _content_changed(self) -> None:
+    def _content_changed(self, event=None) -> None:
         """Invalidate memoized fingerprints after a structural mutation.
 
-        Also notifies the active channel cache (if any) that entries
-        computed over the previous routing fingerprint are now
-        unreachable, so they stop crowding the LRU window.
+        With an active :class:`~repro.incremental.delta.DeltaBus`, the
+        mutation is published as the typed *event* (a
+        :class:`~repro.incremental.events.DeltaEvent`, when the mutator
+        can name one) and the bus performs region-scoped cache hygiene.
+        Otherwise this falls back to the legacy behaviour: tell the
+        active channel cache that entries computed over the previous
+        routing fingerprint are now unreachable, so they stop crowding
+        the LRU window.
         """
         old_routing = self._fingerprints.pop("routing", None)
         self._fingerprints.clear()
-        if old_routing is not None:
-            # Lazy import: repro.exec.cache depends only on repro.obs,
-            # so this cannot cycle back into the network package.
-            from repro.exec import cache as exec_cache
+        # Lazy imports: neither repro.exec.cache nor the incremental
+        # delta layer imports the network package at module level, so
+        # these cannot cycle back here.
+        if event is not None:
+            from repro.incremental import delta as incremental_delta
 
-            cache = exec_cache.active()
-            if cache is not None:
-                cache.invalidate_graph(old_routing)
+            bus = incremental_delta.active()
+            if bus is not None:
+                bus.publish(event, network=self, fingerprint=old_routing)
+                return
+        if old_routing is None:
+            # Never fingerprinted: no cache entry can reference this
+            # topology, so there is nothing to invalidate.
+            return
+        from repro.exec import cache as exec_cache
+
+        cache = exec_cache.active()
+        if cache is not None:
+            cache.invalidate_graph(old_routing)
 
     def add_fiber(
         self,
@@ -146,7 +180,7 @@ class QuantumNetwork:
         self._fibers[key] = fiber
         self._adjacency[u][v] = fiber
         self._adjacency[v][u] = fiber
-        self._content_changed()
+        self._content_changed(event=_fiber_event(key, restored=True))
         return fiber
 
     def remove_fiber(self, u: Hashable, v: Hashable) -> OpticalFiber:
@@ -158,8 +192,43 @@ class QuantumNetwork:
             raise UnknownNodeError((u, v)) from None
         del self._adjacency[u][v]
         del self._adjacency[v][u]
-        self._content_changed()
+        self._content_changed(event=_fiber_event(key, restored=False))
         return fiber
+
+    def align_fiber_order(
+        self,
+        reference: "QuantumNetwork",
+        nodes: Optional[Iterable[Hashable]] = None,
+    ) -> None:
+        """Reorder fiber iteration to match *reference*.
+
+        Path algorithms that scan incident fibers break equal-cost ties
+        by insertion order, so a view that removes and later re-adds a
+        fiber must restore the reference ordering to stay byte-identical
+        with a fresh rebuild of the same topology.  Pass *nodes* to
+        realign only those adjacency rows (removals never reorder, so
+        after a re-add only the two endpoints can be out of order).
+        """
+        ordered = {
+            key: self._fibers[key]
+            for key in reference._fibers
+            if key in self._fibers
+        }
+        for key, fiber in self._fibers.items():
+            ordered.setdefault(key, fiber)
+        self._fibers = ordered
+        node_ids = self._adjacency if nodes is None else nodes
+        for node_id in node_ids:
+            row = self._adjacency.get(node_id)
+            if row is None:
+                continue
+            ref_row = reference._adjacency.get(node_id, ())
+            aligned = {
+                other: row[other] for other in ref_row if other in row
+            }
+            for other, fiber in row.items():
+                aligned.setdefault(other, fiber)
+            self._adjacency[node_id] = aligned
 
     # ------------------------------------------------------------------
     # Queries

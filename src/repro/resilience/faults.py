@@ -322,6 +322,7 @@ class FaultInjector:
         # Repair expired transients first so a flap of duration k is
         # down for exactly k slots.
         structural_change = False
+        repaired_structural: List[FaultEvent] = []
         still_active = []
         for event in self._active:
             repair = event.repair_slot
@@ -329,6 +330,7 @@ class FaultInjector:
                 self.faults_repaired += 1
                 if event.kind is not FaultKind.DECOHERENCE_STORM:
                     structural_change = True
+                    repaired_structural.append(event)
                 logger.info("slot %d: repaired %s", slot, event.describe())
             else:
                 still_active.append(event)
@@ -365,8 +367,55 @@ class FaultInjector:
             e.kind is not FaultKind.DECOHERENCE_STORM for e in fired
         )
         if structural_change:
-            self._invalidate_channel_cache()
+            self._notify_structural(fired, repaired_structural, slot)
         return fired
+
+    def _notify_structural(
+        self,
+        fired: Sequence[FaultEvent],
+        repaired: Sequence[FaultEvent],
+        slot: int,
+    ) -> None:
+        """Tell the incremental layer which elements changed this slot.
+
+        With an active :class:`~repro.incremental.delta.DeltaBus`, each
+        structural fire/repair becomes one typed delta event — region
+        hygiene then evicts only cache entries near the element instead
+        of the whole fingerprint generation.  Without a bus, fall back
+        to the legacy fingerprint-wide invalidation.
+        """
+        from repro.incremental import delta as incremental_delta
+
+        bus = incremental_delta.active()
+        if bus is None:
+            self._invalidate_channel_cache()
+            return
+        from repro.incremental.events import DeltaEvent
+
+        fingerprint = (
+            self._network.fingerprint(scope="routing")
+            if self._network is not None
+            else None
+        )
+        deltas: List[DeltaEvent] = []
+        for event in fired:
+            if event.kind in _FIBER_KINDS:
+                deltas.append(DeltaEvent.fiber_cut(*event.target, slot=slot))
+            elif event.kind is FaultKind.SWITCH_DARK:
+                deltas.append(DeltaEvent.switch_dark(event.target, slot=slot))
+        for event in repaired:
+            if event.kind in _FIBER_KINDS:
+                deltas.append(
+                    DeltaEvent.fiber_restore(*event.target, slot=slot)
+                )
+            elif event.kind is FaultKind.SWITCH_DARK:
+                deltas.append(
+                    DeltaEvent.switch_recover(event.target, slot=slot)
+                )
+        for delta_event in deltas:
+            bus.publish(
+                delta_event, network=self._network, fingerprint=fingerprint
+            )
 
     def _invalidate_channel_cache(self) -> None:
         """Drop channel-cache entries outdated by a structural fault.

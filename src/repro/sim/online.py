@@ -440,6 +440,7 @@ class OnlineScheduler:
         )
         from repro.extensions.recovery import apply_failures, repair_solution
         from repro.resilience import report as report_mod
+        from repro.resilience.faults import _FIBER_KINDS, FaultKind
         from repro.resilience.report import (
             RequestDisposition,
             ResilienceReport,
@@ -606,11 +607,38 @@ class OnlineScheduler:
             reservations = still
 
             # 2. Mid-service faults: repair, degrade, or abandon.
+            #
+            # Tree-disjoint pre-check (the incremental fast path): only
+            # elements that fired *this jump* and are *still active* can
+            # newly break a serving tree — every surviving reservation
+            # was routed, repaired, or degraded on a damaged view that
+            # already excluded the previously-active elements.  The
+            # intersection with the active sets matters: a transient
+            # that fires and expires within one clock jump shows up in
+            # ``fired`` but is back up, so it must not trigger repairs.
+            fired_cuts: Set[Tuple[Hashable, Hashable]] = set()
+            fired_darks: Set[Hashable] = set()
             if injector is not None and fired:
+                cuts, darks = active_sig
+                fired_cuts = {
+                    e.target for e in fired if e.kind in _FIBER_KINDS
+                } & cuts
+                fired_darks = {
+                    e.target
+                    for e in fired
+                    if e.kind is FaultKind.SWITCH_DARK
+                } & darks
+            if fired_cuts or fired_darks:
                 cuts, darks = active_sig
                 surviving: List[_Reservation] = []
                 for res in reservations:
-                    if not _solution_broken(res.solution, cuts, darks):
+                    if not _solution_broken(
+                        res.solution, fired_cuts, fired_darks
+                    ):
+                        if metrics is not None:
+                            metrics.inc(
+                                "repro.incremental.online.disjoint_noop"
+                            )
                         surviving.append(res)
                         continue
                     res.hit_by_fault = True
@@ -625,6 +653,10 @@ class OnlineScheduler:
                         cuts,
                         darks,
                         residual=avail,
+                        # Step 0 rebuilt the damaged view for this fault
+                        # signature; reuse it instead of re-copying the
+                        # topology once per broken reservation.
+                        damaged=damaged,
                     )
                     repaired_ok = rep.repaired
                     if repaired_ok and verifier is not None:

@@ -135,6 +135,153 @@ def generate_workload(
     return requests
 
 
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Statistical shape of a structural/residual churn stream.
+
+    Drives :func:`generate_churn`, the shared event source behind the
+    ``repro incremental`` CLI (``--verify-determinism``) and the
+    ``benchmarks/test_incremental.py`` churn benchmark — one generator,
+    so the two always exercise identical event streams for a seed.
+
+    Attributes:
+        n_faults: Total number of delta events to emit.
+        fault_mix: Relative weights over the event families
+            ``("fiber", "switch", "capacity")`` — fiber cut/restore
+            pairs, switch dark/recover pairs, and capacity-crossing
+            polarity flips.  Weights are normalized; a zero weight
+            disables the family.
+        restore_bias: Probability that, when the chosen family has an
+            element currently down, the event restores it rather than
+            taking a new element down.  Keeps long streams from
+            monotonically draining the topology.
+        max_concurrent_down: Cap on simultaneously-failed elements per
+            family (new failures are skipped in favor of restores when
+            the cap is hit).
+    """
+
+    n_faults: int = 50
+    fault_mix: Sequence[float] = (0.5, 0.2, 0.3)
+    restore_bias: float = 0.5
+    max_concurrent_down: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        mix = tuple(float(w) for w in self.fault_mix)
+        if len(mix) != 3:
+            raise ValueError(
+                "fault_mix needs 3 weights (fiber, switch, capacity), "
+                f"got {len(mix)}"
+            )
+        if any(w < 0 for w in mix) or sum(mix) <= 0:
+            raise ValueError("fault_mix weights must be >= 0 and sum > 0")
+        object.__setattr__(self, "fault_mix", mix)
+        require_probability(self.restore_bias, "restore_bias")
+        if self.max_concurrent_down < 1:
+            raise ValueError("max_concurrent_down must be >= 1")
+
+
+def generate_churn(
+    network,
+    spec: Optional[ChurnSpec] = None,
+    rng: RngLike = None,
+) -> list:
+    """Draw a valid, reproducible delta-event stream for *network*.
+
+    The stream is *stateful-valid*: a fiber is never cut twice without
+    an intervening restore, a switch never goes dark twice, capacity
+    crossings alternate polarity per switch, and restore events only
+    target elements that are currently down.  Deterministic under a
+    seed.
+
+    Returns a list of :class:`~repro.incremental.events.DeltaEvent`.
+    """
+    from repro.incremental.events import DeltaEvent
+
+    spec = spec or ChurnSpec()
+    generator = ensure_rng(rng)
+    fibers = sorted(
+        ((fiber.u, fiber.v) for fiber in network.fibers), key=repr
+    )
+    switches = sorted(network.switch_ids, key=repr)
+    weights = np.asarray(spec.fault_mix, dtype=float)
+    if not fibers:
+        weights[0] = 0.0
+    if not switches:
+        weights[1] = weights[2] = 0.0
+    if weights.sum() <= 0:
+        raise ValueError("network has no elements for the requested mix")
+    weights = weights / weights.sum()
+
+    down_fibers: List[tuple] = []  # insertion-ordered for determinism
+    down_switches: List[Hashable] = []
+    blocked: List[Hashable] = []
+    events: list = []
+    for index in range(spec.n_faults):
+        family = int(generator.choice(3, p=weights))
+        restore = bool(generator.random() < spec.restore_bias)
+        if family == 0:
+            if down_fibers and (
+                restore or len(down_fibers) >= spec.max_concurrent_down
+            ):
+                pick = int(generator.integers(len(down_fibers)))
+                u, v = down_fibers.pop(pick)
+                events.append(DeltaEvent.fiber_restore(u, v, slot=index))
+            else:
+                up = [f for f in fibers if f not in down_fibers]
+                if not up:
+                    continue
+                u, v = up[int(generator.integers(len(up)))]
+                down_fibers.append((u, v))
+                events.append(DeltaEvent.fiber_cut(u, v, slot=index))
+        elif family == 1:
+            if down_switches and (
+                restore or len(down_switches) >= spec.max_concurrent_down
+            ):
+                pick = int(generator.integers(len(down_switches)))
+                switch = down_switches.pop(pick)
+                events.append(DeltaEvent.switch_recover(switch, slot=index))
+            else:
+                up_switches = [
+                    s for s in switches if s not in down_switches
+                ]
+                if not up_switches:
+                    continue
+                switch = up_switches[
+                    int(generator.integers(len(up_switches)))
+                ]
+                down_switches.append(switch)
+                events.append(DeltaEvent.switch_dark(switch, slot=index))
+        else:
+            if blocked and (
+                restore or len(blocked) >= spec.max_concurrent_down
+            ):
+                pick = int(generator.integers(len(blocked)))
+                switch = blocked.pop(pick)
+                events.append(
+                    DeltaEvent.capacity_crossing(
+                        switch, now_blocked=False, slot=index
+                    )
+                )
+            else:
+                free = [
+                    s
+                    for s in switches
+                    if s not in blocked and s not in down_switches
+                ]
+                if not free:
+                    continue
+                switch = free[int(generator.integers(len(free)))]
+                blocked.append(switch)
+                events.append(
+                    DeltaEvent.capacity_crossing(
+                        switch, now_blocked=True, slot=index
+                    )
+                )
+    return events
+
+
 def offered_load_summary(
     requests: Sequence[EntanglementRequest],
 ) -> dict:

@@ -1,0 +1,88 @@
+"""DeltaEvent unit tests: validation, normalization, views, specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental.events import STRUCTURAL_KINDS, DeltaEvent, DeltaKind
+
+
+class TestConstruction:
+    def test_fiber_targets_are_canonicalized(self):
+        forward = DeltaEvent.fiber_cut("b", "a")
+        backward = DeltaEvent.fiber_cut("a", "b")
+        assert forward.target == backward.target
+        assert forward == backward
+
+    def test_fiber_kind_rejects_non_pair_target(self):
+        with pytest.raises(ValueError, match="fiber target"):
+            DeltaEvent(DeltaKind.FIBER_CUT, "just-a-node")
+        with pytest.raises(ValueError, match="fiber target"):
+            DeltaEvent(DeltaKind.FIBER_RESTORE, ("a", "b", "c"))
+
+    def test_switch_kind_rejects_missing_target(self):
+        with pytest.raises(ValueError, match="node target"):
+            DeltaEvent(DeltaKind.SWITCH_DARK, None)
+
+    def test_capacity_crossing_requires_polarity(self):
+        with pytest.raises(ValueError, match="now_blocked"):
+            DeltaEvent(DeltaKind.CAPACITY_CROSSING, "s0")
+        event = DeltaEvent.capacity_crossing("s0", now_blocked=True)
+        assert event.now_blocked is True
+
+    def test_structural_kinds_reject_polarity(self):
+        with pytest.raises(ValueError, match="now_blocked"):
+            DeltaEvent(DeltaKind.SWITCH_DARK, "s0", now_blocked=True)
+
+    def test_kind_coerced_from_string(self):
+        event = DeltaEvent("switch-dark", "s0")
+        assert event.kind is DeltaKind.SWITCH_DARK
+
+
+class TestViews:
+    def test_structural_partition(self):
+        assert DeltaEvent.fiber_cut("a", "b").structural
+        assert DeltaEvent.fiber_restore("a", "b").structural
+        assert DeltaEvent.switch_dark("s").structural
+        assert DeltaEvent.switch_recover("s").structural
+        assert not DeltaEvent.capacity_crossing("s", True).structural
+        assert DeltaKind.CAPACITY_CROSSING not in STRUCTURAL_KINDS
+
+    def test_element_nodes_seed_the_region(self):
+        assert set(DeltaEvent.fiber_cut("a", "b").element_nodes()) == {
+            "a",
+            "b",
+        }
+        assert DeltaEvent.switch_dark("s0").element_nodes() == ("s0",)
+        assert DeltaEvent.capacity_crossing(
+            "s0", False
+        ).element_nodes() == ("s0",)
+
+    def test_events_are_hashable_and_frozen(self):
+        event = DeltaEvent.switch_dark("s0", slot=3)
+        assert event in {event}
+        with pytest.raises(AttributeError):
+            event.target = "s1"
+
+
+class TestSpecs:
+    def test_to_spec_round_trips_fields(self):
+        event = DeltaEvent.capacity_crossing("s0", True, slot=5)
+        spec = event.to_spec()
+        assert spec == {
+            "kind": "capacity-crossing",
+            "target": "s0",
+            "slot": 5,
+            "now_blocked": True,
+        }
+
+    def test_fiber_spec_uses_list_target(self):
+        spec = DeltaEvent.fiber_cut("b", "a").to_spec()
+        assert spec["target"] == list(DeltaEvent.fiber_cut("a", "b").target)
+
+    def test_describe_mentions_polarity(self):
+        assert "blocked" in DeltaEvent.capacity_crossing("s", True).describe()
+        assert (
+            "unblocked"
+            in DeltaEvent.capacity_crossing("s", False).describe()
+        )

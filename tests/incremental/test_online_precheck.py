@@ -1,0 +1,151 @@
+"""Regression: the online repair path no-ops on tree-disjoint faults.
+
+Before the incremental subsystem, every fired fault walked the full
+repair machinery; now a fault whose fired-and-active elements miss the
+serving tree must short-circuit without invoking the repair solver at
+all.  The test counts ``repair_solution`` invocations directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.extensions.recovery as recovery
+import repro.obs.metrics as obs_metrics
+from repro.network import NetworkBuilder, NetworkParams
+from repro.resilience.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.sim.online import EntanglementRequest, OnlineScheduler
+
+
+def dual_path_network():
+    """alice/bob joined by a short (s0) and a long (s1) relay path.
+
+    The initial tree routes via s0; cutting alice-s0 forces one repair
+    onto s1, after which cutting s0-bob is tree-disjoint.
+    """
+    return (
+        NetworkBuilder(NetworkParams(alpha=1e-4, swap_prob=0.9))
+        .user("alice", (0, 0))
+        .user("bob", (2000, 0))
+        .switch("s0", (1000, 0), qubits=4)
+        .switch("s1", (1000, 900), qubits=4)
+        .fiber("alice", "s0", 1000.0)
+        .fiber("s0", "bob", 1000.0)
+        .fiber("alice", "s1", 1400.0)
+        .fiber("s1", "bob", 1400.0)
+        .build()
+    )
+
+
+@pytest.fixture
+def repair_counter(monkeypatch):
+    """Count repair_solution calls without changing behavior."""
+    calls = []
+    original = recovery.repair_solution
+
+    def counting(*args, **kwargs):
+        calls.append((args, kwargs))
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(recovery, "repair_solution", counting)
+    return calls
+
+
+def run_with_schedule(network, schedule):
+    injector = FaultInjector(FaultSchedule(schedule), network)
+    scheduler = OnlineScheduler(
+        network, method="prim", rng=7, fault_injector=injector
+    )
+    request = EntanglementRequest(
+        name="req-0", users=("alice", "bob"), arrival=0, hold=12
+    )
+    return scheduler.run([request])
+
+
+def test_disjoint_fault_skips_the_repair_solver(repair_counter):
+    network = dual_path_network()
+    result = run_with_schedule(
+        network,
+        [
+            # Breaks the serving tree (alice-s0-bob): one repair.
+            FaultEvent(2, FaultKind.FIBER_CUT, ("alice", "s0")),
+            # The repaired tree runs via s1; this one is disjoint.
+            FaultEvent(5, FaultKind.FIBER_CUT, ("s0", "bob")),
+        ],
+    )
+    assert result.n_accepted == 1
+    assert len(repair_counter) == 1  # only the breaking fault repaired
+
+
+def test_disjoint_noop_metric_counts_skips(repair_counter):
+    network = dual_path_network()
+    registry = obs_metrics.enable()
+    try:
+        run_with_schedule(
+            network,
+            [
+                FaultEvent(2, FaultKind.FIBER_CUT, ("alice", "s0")),
+                FaultEvent(5, FaultKind.FIBER_CUT, ("s0", "bob")),
+            ],
+        )
+    finally:
+        obs_metrics.disable()
+    counters = registry.counters()
+    assert counters.get("repro.incremental.online.disjoint_noop", 0) >= 1
+    assert len(repair_counter) == 1
+
+
+def test_fired_but_expired_flap_is_not_active():
+    # A flap that fires and is repaired inside one clock jump appears in
+    # ``fired`` but is back up; the pre-check intersects fired targets
+    # with the *active* sets, so such an event contributes nothing.
+    network = dual_path_network()
+    injector = FaultInjector(
+        FaultSchedule(
+            [
+                FaultEvent(
+                    2,
+                    FaultKind.TRANSIENT_FLAP,
+                    ("alice", "s0"),
+                    duration=1,
+                )
+            ]
+        ),
+        network,
+    )
+    fired = injector.advance(3)  # fires at 2, repairs at 3 -> same jump
+    assert [e.kind for e in fired] == [FaultKind.TRANSIENT_FLAP]
+    assert not injector.active_fiber_cuts
+
+def test_transient_flap_repair_keeps_request_alive(repair_counter):
+    network = dual_path_network()
+    result = run_with_schedule(
+        network,
+        [
+            FaultEvent(
+                2,
+                FaultKind.TRANSIENT_FLAP,
+                ("alice", "s0"),
+                duration=3,
+            )
+        ],
+    )
+    assert result.n_accepted == 1
+    assert len(repair_counter) == 1  # the flap broke the tree exactly once
+
+
+def test_storm_only_fired_set_never_touches_repair(repair_counter):
+    network = dual_path_network()
+    result = run_with_schedule(
+        network,
+        [
+            FaultEvent(
+                2,
+                FaultKind.DECOHERENCE_STORM,
+                duration=3,
+                severity=0.5,
+            )
+        ],
+    )
+    assert result.n_accepted == 1
+    assert repair_counter == []

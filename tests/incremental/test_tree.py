@@ -1,0 +1,194 @@
+"""classify/splice ladder unit tests on hand-checkable topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prim_based import solve_prim
+from repro.extensions.recovery import apply_failures
+from repro.incremental.tree import (
+    DISJOINT,
+    REPLACEABLE,
+    STRUCTURAL,
+    broken_channels,
+    classify_break,
+    splice_region,
+    splice_solution,
+)
+from repro.network import NetworkBuilder, NetworkParams
+from repro.verify.verifier import SolutionVerifier
+
+
+def diamond():
+    """alice/bob reachable via a short (s0) and a long (s1) relay.
+
+    The optimal tree uses s0; cutting an s0-side fiber leaves the s1
+    detour as the unique splice.
+    """
+    return (
+        NetworkBuilder(NetworkParams(alpha=1e-4, swap_prob=0.9))
+        .user("alice", (0, 0))
+        .user("bob", (2000, 0))
+        .switch("s0", (1000, 0), qubits=4)
+        .switch("s1", (1000, 900), qubits=4)
+        .fiber("alice", "s0", 1000.0)
+        .fiber("s0", "bob", 1000.0)
+        .fiber("alice", "s1", 1400.0)
+        .fiber("s1", "bob", 1400.0)
+        .build()
+    )
+
+
+def three_user_y():
+    """Three users on a Y through a hub, plus a detour around the hub."""
+    return (
+        NetworkBuilder(NetworkParams(alpha=1e-4, swap_prob=0.9))
+        .user("a", (0, 0))
+        .user("b", (2000, 0))
+        .user("c", (1000, 1800))
+        .switch("hub", (1000, 600), qubits=6)
+        .switch("alt", (1000, -600), qubits=4)
+        .fiber("a", "hub", 1100.0)
+        .fiber("b", "hub", 1100.0)
+        .fiber("c", "hub", 1200.0)
+        .fiber("a", "alt", 1300.0)
+        .fiber("b", "alt", 1300.0)
+        .build()
+    )
+
+
+class TestClassify:
+    def test_disjoint_when_no_tree_element_fails(self):
+        net = diamond()
+        solution = solve_prim(net)
+        label, broken = classify_break(
+            solution, dead_fibers=[("alice", "s1")]
+        )
+        assert label == DISJOINT
+        assert broken == ()
+
+    def test_replaceable_on_single_channel_break(self):
+        net = diamond()
+        solution = solve_prim(net)
+        assert len(solution.channels) == 1
+        label, broken = classify_break(
+            solution, dead_fibers=[("alice", "s0")]
+        )
+        assert label == REPLACEABLE
+        assert broken == solution.channels
+
+    def test_structural_on_multi_channel_break(self):
+        net = three_user_y()
+        solution = solve_prim(net)
+        assert len(solution.channels) == 2
+        label, broken = classify_break(solution, dead_switches=["hub"])
+        if all("hub" in c.switches for c in solution.channels):
+            assert label == STRUCTURAL
+            assert len(broken) == 2
+
+    def test_broken_channels_canonicalizes_fiber_order(self):
+        net = diamond()
+        solution = solve_prim(net)
+        assert broken_channels(
+            solution, dead_fibers=[("s0", "alice")]
+        ) == broken_channels(solution, dead_fibers=[("alice", "s0")])
+
+
+class TestSplice:
+    def test_splice_reconnects_through_the_detour(self):
+        net = diamond()
+        solution = solve_prim(net)
+        assert solution.channels[0].switches == ("s0",)
+        damaged = apply_failures(net, [("alice", "s0")])
+        broken = solution.channels[0]
+        spliced = splice_solution(
+            damaged, solution, broken, damaged.residual_qubits()
+        )
+        assert spliced is not None
+        assert spliced.feasible
+        assert spliced.method.endswith("+splice")
+        assert spliced.channels[-1].switches == ("s1",)
+        assert not SolutionVerifier().audit(
+            damaged, spliced, users=sorted(solution.users, key=repr)
+        )
+
+    def test_splice_method_tag_is_idempotent(self):
+        net = diamond()
+        solution = solve_prim(net)
+        damaged = apply_failures(net, [("alice", "s0")])
+        once = splice_solution(
+            damaged,
+            solution,
+            solution.channels[0],
+            damaged.residual_qubits(),
+        )
+        damaged2 = apply_failures(net, [("alice", "s0"), ("alice", "s1")])
+        assert once.method.count("+splice") == 1
+
+    def test_splice_fails_outside_the_region_mask(self):
+        # Radius 0 keeps only the broken channel's own path in the
+        # region; the detour switch s1 is masked to zero qubits.
+        net = diamond()
+        solution = solve_prim(net)
+        damaged = apply_failures(net, [("alice", "s0")])
+        spliced = splice_solution(
+            damaged,
+            solution,
+            solution.channels[0],
+            damaged.residual_qubits(),
+            radius=0,
+        )
+        assert spliced is None
+
+    def test_splice_region_bounds_the_search(self):
+        net = diamond()
+        solution = solve_prim(net)
+        region = splice_region(net, solution.channels[0], radius=1)
+        assert {"alice", "s0", "bob"} <= set(region)
+
+    def test_splice_refuses_unknown_channel(self):
+        net = diamond()
+        solution = solve_prim(net)
+        damaged = apply_failures(net, [("alice", "s0")])
+        other = three_user_y()
+        foreign = solve_prim(other).channels[0]
+        assert (
+            splice_solution(
+                damaged, solution, foreign, damaged.residual_qubits()
+            )
+            is None
+        )
+
+    def test_splice_respects_residual_budget(self):
+        # With the detour switch's qubits already consumed, the splice
+        # has nowhere to route and must escalate.
+        net = diamond()
+        solution = solve_prim(net)
+        damaged = apply_failures(net, [("alice", "s0")])
+        residual = damaged.residual_qubits()
+        residual["s1"] = 0
+        spliced = splice_solution(
+            damaged, solution, solution.channels[0], residual
+        )
+        assert spliced is None
+
+    def test_multiuser_single_break_splices_one_edge(self):
+        net = three_user_y()
+        solution = solve_prim(net)
+        target = solution.channels[0]
+        dead = [
+            (u, v)
+            for u, v in zip(target.path, target.path[1:])
+        ][:1]
+        label, broken = classify_break(solution, dead_fibers=dead)
+        if label != REPLACEABLE:
+            pytest.skip("fault hit both channels on this topology")
+        damaged = apply_failures(net, dead)
+        spliced = splice_solution(
+            damaged, solution, broken[0], damaged.residual_qubits()
+        )
+        if spliced is not None:
+            assert len(spliced.channels) == len(solution.channels)
+            assert not SolutionVerifier().audit(
+                damaged, spliced, users=sorted(solution.users, key=repr)
+            )

@@ -136,7 +136,11 @@ def test_kbest_first_equals_algorithm1_everywhere(seed):
             assert first.log_rate >= second.log_rate - 1e-12
 
 
-@settings(max_examples=10, deadline=None)
+# derandomize: the consistency check is statistical (a 3σ band), so a
+# tiny fraction of random seeds legitimately land outside it; pinning
+# hypothesis to its deterministic example set keeps the property
+# meaningful without the ~percent-level per-run flake rate.
+@settings(max_examples=10, deadline=None, derandomize=True)
 @given(
     seed=st.integers(0, 100_000),
     trials=st.sampled_from([20_000, 40_000]),
