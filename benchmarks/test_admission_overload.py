@@ -1,10 +1,16 @@
 """Admission-control overload benchmark.
 
-Sweeps the offered load from 0.5x to 10x of a reference arrival rate
-through the online scheduler behind a default admission stack, and
-archives throughput, shed rate, and queue-wait percentiles to
+Sweeps the offered load from 0.5x to 100x of a reference arrival rate
+— a Zipf-skewed multi-tenant workload — through the online scheduler
+behind a weighted-fair admission stack, and archives throughput, shed
+rate, per-tenant acceptance, and queue-wait percentiles to
 ``benchmarks/results/BENCH_admission.json`` (the machine-readable
 companion format of ``BENCH_solver.json``).
+
+The per-tenant acceptance curve is the fairness gate: as the load
+climbs, every tenant's acceptance ratio degrades monotonically (no
+cliff for one account while another coasts) and never collapses to
+zero — even the heavy hitter keeps its guaranteed trickle at 100x.
 """
 
 from __future__ import annotations
@@ -16,14 +22,20 @@ import repro.obs as obs
 from repro.admission import AdmissionController
 from repro.sim.online import OnlineScheduler
 from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.tenancy import tenant_label
 from repro.topology.base import TopologyConfig
 from repro.topology.waxman import waxman_network
 
 #: Reference arrival rate (req/slot) the load factors scale; 1.0x is
 #: roughly what the benchmark network serves without queueing.
 BASE_ARRIVAL_RATE = 1.0
-LOAD_FACTORS = (0.5, 1.0, 2.0, 5.0, 10.0)
+LOAD_FACTORS = (0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
 HORIZON = 40
+
+#: Tolerance for the per-tenant monotonicity gate: acceptance at a
+#: higher load factor may exceed the previous point by at most this
+#: much (Poisson noise on small per-tenant counts).
+MONOTONE_SLACK = 0.1
 
 CONFIG = TopologyConfig(
     n_switches=25, n_users=8, avg_degree=5.0, qubits_per_switch=4
@@ -37,6 +49,7 @@ def _run_load_factor(network, factor: float):
         mean_hold=5.0,
         max_wait=4,
         n_tenants=4,
+        tenant_skew=1.2,
     )
     requests = generate_workload(network.user_ids, spec, rng=13)
     admission = AdmissionController.default(
@@ -45,7 +58,7 @@ def _run_load_factor(network, factor: float):
         burst=3.0,
         bulkhead=8,
         queue_size=8,
-        shed_policy="deadline-aware",
+        shed_policy="weighted-fair",
     )
     with obs.collecting() as registry:
         start = time.perf_counter()
@@ -62,6 +75,19 @@ def _run_load_factor(network, factor: float):
     shed_total = result.admission["shed_total"] + result.admission.get(
         "expired", 0
     )
+    arrivals_by_tenant: dict = {}
+    accepted_by_tenant: dict = {}
+    for outcome in result.outcomes:
+        tenant = tenant_label(outcome.request)
+        arrivals_by_tenant[tenant] = arrivals_by_tenant.get(tenant, 0) + 1
+        if outcome.accepted:
+            accepted_by_tenant[tenant] = (
+                accepted_by_tenant.get(tenant, 0) + 1
+            )
+    per_tenant_acceptance = {
+        tenant: accepted_by_tenant.get(tenant, 0) / arrivals
+        for tenant, arrivals in sorted(arrivals_by_tenant.items())
+    }
     return {
         "wall_seconds": wall_seconds,
         "n_requests": n_requests,
@@ -79,6 +105,10 @@ def _run_load_factor(network, factor: float):
         },
         "queue_peak_depth": result.admission.get("queue_peak_depth", 0),
         "final_tier": result.admission.get("final_tier", "full"),
+        "per_tenant_acceptance": {
+            tenant: round(ratio, 6)
+            for tenant, ratio in per_tenant_acceptance.items()
+        },
     }
 
 
@@ -106,7 +136,8 @@ def test_emit_admission_overload_json(results_dir):
             "network_seed": 21,
             "workload_seed": 13,
             "scheduler_seed": 7,
-            "shed_policy": "deadline-aware",
+            "shed_policy": "weighted-fair",
+            "tenant_skew": 1.2,
         },
         "results": results,
     }
@@ -114,8 +145,32 @@ def test_emit_admission_overload_json(results_dir):
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     light, heavy = results["0.5x"], results["10.0x"]
+    soak = results["100.0x"]
     assert light["acceptance_ratio"] > 0.8
     assert heavy["shed_rate"] > 0.3
     assert heavy["n_requests"] > 5 * light["n_requests"]
     # Queue waits are only meaningful once the door starts throttling.
     assert heavy["queue_wait_slots"]["p95"] >= light["queue_wait_slots"]["p95"]
+
+    # Per-tenant fairness gates across the whole sweep:
+    #  * monotone — acceptance never jumps back up as load climbs
+    #    (within Poisson slack);
+    #  * non-collapsing — even at 100x every tenant keeps service.
+    tenants = sorted(soak["per_tenant_acceptance"])
+    for tenant in tenants:
+        previous = None
+        for factor in LOAD_FACTORS:
+            ratio = results[f"{factor}x"]["per_tenant_acceptance"].get(
+                tenant
+            )
+            if ratio is None:
+                continue  # tenant absent at this load point
+            if previous is not None:
+                assert ratio <= previous + MONOTONE_SLACK, (
+                    f"{tenant} acceptance climbed {previous:.3f} -> "
+                    f"{ratio:.3f} at {factor}x"
+                )
+            previous = ratio
+        assert soak["per_tenant_acceptance"][tenant] > 0.0, (
+            f"{tenant} fully starved at 100x"
+        )

@@ -1,0 +1,140 @@
+"""Multi-tenant 100x soak benchmark (the SLO-guard gate).
+
+Hammers the serving stack at 100x the reference arrival rate — a
+Zipf-skewed, diurnally-shaped six-tenant workload — while a chaos
+schedule injects faults into the live replica sets, and archives the
+per-tenant SLO table to ``benchmarks/results/BENCH_multitenant.json``.
+
+The gates double as the PR's acceptance criteria:
+
+* zero overbooking at any switch, ever;
+* every generated request ends with exactly one disposition;
+* Jain's fairness index over per-tenant service stays >= 0.8 at peak
+  shed;
+* k=2 replication serves through single-tree faults (failovers > 0);
+* a same-seed double run is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import repro.obs as obs
+from repro.resilience.faults import FaultInjector, random_schedule
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.tenancy import ReplicationPolicy, serve_tenants
+from repro.topology.base import TopologyConfig
+from repro.topology.waxman import waxman_network
+
+BASE_ARRIVAL_RATE = 1.0
+SOAK_FACTOR = 100.0
+HORIZON = 30
+N_TENANTS = 6
+N_FAULTS = 20
+
+CONFIG = TopologyConfig(
+    n_switches=25, n_users=8, avg_degree=5.0, qubits_per_switch=4
+)
+
+SPEC = WorkloadSpec(
+    arrival_rate=BASE_ARRIVAL_RATE * SOAK_FACTOR,
+    horizon=HORIZON,
+    mean_hold=5.0,
+    max_wait=4,
+    n_tenants=N_TENANTS,
+    tenant_skew=1.2,
+    diurnal_amplitude=0.5,
+    diurnal_period=HORIZON,
+)
+
+
+def _soak_run(network):
+    requests = generate_workload(network.user_ids, SPEC, rng=13)
+    schedule = random_schedule(
+        network, n_faults=N_FAULTS, horizon=HORIZON, rng=29
+    )
+    injector = FaultInjector(schedule, network)
+    with obs.collecting() as registry:
+        start = time.perf_counter()
+        served = serve_tenants(
+            network,
+            requests,
+            rng=7,
+            replication=ReplicationPolicy(k=2),
+            fault_injector=injector,
+            rate=1.5,
+            burst=4.0,
+            bulkhead=8,
+            queue_size=8,
+        )
+        wall_seconds = time.perf_counter() - start
+    queue_wait = registry.histogram_summaries().get(
+        "sim.online.admission.time_in_queue_slots", {}
+    )
+    return served, requests, queue_wait, wall_seconds
+
+
+def test_emit_multitenant_soak_json(results_dir):
+    """100x soak under chaos; archive BENCH_multitenant.json."""
+    network = waxman_network(CONFIG, rng=21)
+
+    served, requests, queue_wait, wall_seconds = _soak_run(network)
+    digest = json.dumps(served.to_dict(), sort_keys=True, default=repr)
+
+    # --- Gates -------------------------------------------------------
+    overbooked = served.overbooked_switches(network)
+    assert overbooked == [], f"overbooked switches: {overbooked}"
+    unattributed = served.unattributed()
+    assert unattributed == [], f"unattributed requests: {unattributed}"
+    jain = served.jain_index()
+    assert jain >= 0.8, f"Jain index collapsed to {jain:.3f}"
+    assert served.failovers() > 0, "chaos never exercised a failover"
+
+    second, _, _, _ = _soak_run(network)
+    second_digest = json.dumps(
+        second.to_dict(), sort_keys=True, default=repr
+    )
+    assert digest == second_digest, "same-seed soak runs diverged"
+
+    # --- Artifact ----------------------------------------------------
+    payload = {
+        "config": {
+            "n_switches": CONFIG.n_switches,
+            "n_users": CONFIG.n_users,
+            "avg_degree": CONFIG.avg_degree,
+            "qubits_per_switch": CONFIG.qubits_per_switch,
+            "base_arrival_rate": BASE_ARRIVAL_RATE,
+            "soak_factor": SOAK_FACTOR,
+            "horizon": HORIZON,
+            "n_tenants": N_TENANTS,
+            "tenant_skew": SPEC.tenant_skew,
+            "diurnal_amplitude": SPEC.diurnal_amplitude,
+            "n_faults": N_FAULTS,
+            "replication_k": 2,
+            "network_seed": 21,
+            "workload_seed": 13,
+            "fault_seed": 29,
+            "scheduler_seed": 7,
+        },
+        "results": {
+            "wall_seconds": wall_seconds,
+            "n_requests": len(requests),
+            "accepted": served.result.n_accepted,
+            "degraded": served.result.n_degraded,
+            "shed": served.result.n_shed,
+            "acceptance_ratio": round(served.result.acceptance_ratio, 6),
+            "failovers": served.failovers(),
+            "jain_index": round(jain, 6),
+            "deterministic": digest == second_digest,
+            "queue_wait_slots": {
+                "count": queue_wait.get("count", 0),
+                "p50": queue_wait.get("p50", 0.0),
+                "p95": queue_wait.get("p95", 0.0),
+                "max": queue_wait.get("max", 0.0),
+            },
+            "tenants": served.tenant_table(),
+        },
+    }
+    out = results_dir / "BENCH_multitenant.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -12,7 +12,8 @@ door — admit, queue, shed, or degrade, deliberately and observably:
 * :mod:`repro.admission.queue` — bounded admission queues with
   pluggable shed policies (drop-newest, drop-oldest, deadline-aware
   EDF shedding, lowest-expected-rate-first using Eq. (1) channel
-  estimates as the value signal);
+  estimates as the value signal, and weighted-fair multi-tenant
+  shedding backed by :class:`repro.tenancy.slo.SLORegistry`);
 * :mod:`repro.admission.backpressure` — a :class:`LoadSignal` derived
   from :class:`~repro.core.ledger.CapacityLedger` occupancy and queue
   depth drives brownout tiers (full → degraded → shed) with hysteresis
@@ -58,6 +59,7 @@ from repro.admission.queue import (
     DROP_OLDEST,
     LOWEST_VALUE,
     SHED_POLICIES,
+    WEIGHTED_FAIR,
     AdmissionQueue,
     QueueEntry,
     group_log_rate_estimate,
@@ -78,6 +80,7 @@ __all__ = [
     "DROP_OLDEST",
     "DEADLINE_AWARE",
     "LOWEST_VALUE",
+    "WEIGHTED_FAIR",
     "SHED_POLICIES",
     "AdmissionQueue",
     "QueueEntry",

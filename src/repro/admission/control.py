@@ -49,8 +49,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.ledger import CapacityLedger
     from repro.network.graph import QuantumNetwork
     from repro.sim.online import EntanglementRequest
+    from repro.tenancy.slo import SLORegistry
 
 logger = logging.getLogger("repro.admission.control")
+
+
+def _tenant_label(request: "EntanglementRequest") -> str:
+    from repro.tenancy.slo import tenant_label
+
+    return tenant_label(request)
 
 
 class AdmissionController:
@@ -65,6 +72,13 @@ class AdmissionController:
             (``None`` = always ``full`` service).
         hedge: Near-deadline alternate-solver policy (``None`` = no
             hedging).
+        slo: Per-tenant SLO account book
+            (:class:`~repro.tenancy.slo.SLORegistry`).  When set, the
+            controller records every arrival and disposition per
+            tenant, the ``weighted-fair`` queue policy sees live shed
+            fractions, and the scheduler's brownout SHED tier spares
+            contract-compliant arrivals (the SLO guard).  ``None``
+            keeps the single-tenant behaviour.
     """
 
     def __init__(
@@ -73,14 +87,18 @@ class AdmissionController:
         queue: Optional[AdmissionQueue] = None,
         brownout: Optional[BrownoutController] = None,
         hedge: Optional[HedgePolicy] = None,
+        slo: Optional["SLORegistry"] = None,
     ) -> None:
         self.policy = policy
         self.queue = queue
         self.brownout = brownout
         self.hedge = hedge
+        self.slo = slo
         self.admitted = 0
         self.throttled = 0
         self.shed: Dict[str, int] = {}
+        #: tenant → cause → sheds (the SLO-attribution breakdown).
+        self.shed_by_tenant: Dict[str, Dict[str, int]] = {}
         self.expired = 0
         self._open: Set[str] = set()
 
@@ -97,14 +115,18 @@ class AdmissionController:
         queue_size: int = 16,
         shed_policy: str = DROP_NEWEST,
         hedge_methods: Tuple[str, ...] = ("conflict_free",),
+        slo: Optional["SLORegistry"] = None,
     ) -> "AdmissionController":
         """A full admission stack with conservative defaults.
 
         *network* enables the Eq. (1) value signal for
         ``lowest-rate-first`` shedding; it is required for that policy
-        and ignored by the others.
+        and ignored by the others.  *slo* enables tenant-level
+        accounting; ``weighted-fair`` shedding creates a default
+        registry when none is given, so victim selection and the
+        controller always share one account book.
         """
-        from repro.admission.queue import LOWEST_VALUE
+        from repro.admission.queue import LOWEST_VALUE, WEIGHTED_FAIR
 
         value_fn = None
         if shed_policy == LOWEST_VALUE:
@@ -114,6 +136,10 @@ class AdmissionController:
                     "its Eq. (1) value estimates"
                 )
             value_fn = request_value_fn(network)
+        if shed_policy == WEIGHTED_FAIR and slo is None:
+            from repro.tenancy.slo import SLORegistry
+
+            slo = SLORegistry()
         return cls(
             policy=PolicyChain(
                 [
@@ -122,10 +148,14 @@ class AdmissionController:
                 ]
             ),
             queue=AdmissionQueue(
-                queue_size, shed_policy=shed_policy, value_fn=value_fn
+                queue_size,
+                shed_policy=shed_policy,
+                value_fn=value_fn,
+                fairness=slo,
             ),
             brownout=BrownoutController(),
             hedge=HedgePolicy(methods=hedge_methods),
+            slo=slo,
         )
 
     # ------------------------------------------------------------------
@@ -141,9 +171,12 @@ class AdmissionController:
             self.brownout.reset()
         if self.hedge is not None:
             self.hedge.reset()
+        if self.slo is not None:
+            self.slo.reset()
         self.admitted = 0
         self.throttled = 0
         self.shed = {}
+        self.shed_by_tenant = {}
         self.expired = 0
         self._open = set()
 
@@ -178,6 +211,18 @@ class AdmissionController:
             )
         return tier
 
+    def on_arrival(
+        self, request: "EntanglementRequest", slot: int
+    ) -> None:
+        """Account one arrival against its tenant's contract."""
+        if self.slo is not None:
+            self.slo.record_arrival(_tenant_label(request), slot)
+        metrics = obs_metrics.active()
+        if metrics is not None and request.tenant:
+            metrics.inc(
+                f"sim.online.tenant.{request.tenant}.arrivals"
+            )
+
     def decide(
         self, request: "EntanglementRequest", slot: int
     ) -> AdmissionDecision:
@@ -197,15 +242,27 @@ class AdmissionController:
             if metrics is not None:
                 metrics.inc("sim.online.admission.throttled")
         else:
-            self.count_shed(decision.policy or "policy")
+            self.count_shed(decision.policy or "policy", request=request)
         return decision
 
-    def count_shed(self, cause: str) -> None:
-        """Account one shed decision under *cause*."""
+    def count_shed(
+        self,
+        cause: str,
+        request: Optional["EntanglementRequest"] = None,
+    ) -> None:
+        """Account one shed decision under *cause* (and its tenant)."""
         self.shed[cause] = self.shed.get(cause, 0) + 1
         metrics = obs_metrics.active()
         if metrics is not None:
             metrics.inc(f"sim.online.admission.shed.{cause}")
+        if request is not None:
+            tenant = _tenant_label(request)
+            bucket = self.shed_by_tenant.setdefault(tenant, {})
+            bucket[cause] = bucket.get(cause, 0) + 1
+            if metrics is not None and request.tenant:
+                metrics.inc(
+                    f"sim.online.tenant.{request.tenant}.shed.{cause}"
+                )
 
     def count_expired(self) -> None:
         self.expired += 1
@@ -213,14 +270,38 @@ class AdmissionController:
         if metrics is not None:
             metrics.inc("sim.online.admission.expired")
 
-    def on_closed(
-        self, request: "EntanglementRequest", slot: int
+    def observe_queue_wait(
+        self, request: "EntanglementRequest", slots: int
     ) -> None:
-        """A request reached a terminal disposition; free its slots."""
+        """Record time a request spent in the admission queue."""
+        metrics = obs_metrics.active()
+        if metrics is None:
+            return
+        metrics.observe("sim.online.admission.time_in_queue_slots", slots)
+        if request.tenant:
+            metrics.observe(
+                f"sim.online.tenant.{request.tenant}"
+                ".time_in_queue_slots",
+                slots,
+            )
+
+    def on_closed(
+        self,
+        request: "EntanglementRequest",
+        slot: int,
+        status: str = "",
+    ) -> None:
+        """A request reached a terminal disposition; free its slots.
+
+        *status* (a :data:`repro.resilience.report.DISPOSITIONS` value)
+        feeds the tenant's SLO account when a registry is wired in.
+        """
         if request.name in self._open:
             self._open.discard(request.name)
             if self.policy is not None:
                 self.policy.on_released(request, slot)
+        if status and self.slo is not None:
+            self.slo.record_disposition(_tenant_label(request), status)
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -234,6 +315,14 @@ class AdmissionController:
             "shed_total": sum(self.shed.values()),
             "expired": self.expired,
         }
+        if self.shed_by_tenant:
+            out["shed_by_tenant"] = {
+                tenant: dict(sorted(causes.items()))
+                for tenant, causes in sorted(self.shed_by_tenant.items())
+            }
+        if self.slo is not None:
+            out["slo"] = self.slo.table()
+            out["jain_index"] = round(self.slo.jain_index(), 6)
         if self.queue is not None:
             out["queue_peak_depth"] = self.queue.peak_depth
             out["queue_sheds"] = self.queue.sheds

@@ -14,6 +14,12 @@ a deterministic victim among the queued entries plus the newcomer:
   entanglement value, where value is the Eq. (1) channel-rate estimate
   from :func:`group_log_rate_estimate`; the queue drains
   highest-value-first.
+* ``weighted-fair`` — multi-tenant fairness: shed from the tenant that
+  has absorbed the least ``shed_fraction × weight`` so far, never from
+  a contract-compliant tenant while a non-compliant one is present
+  (anti-starvation); needs an
+  :class:`~repro.tenancy.slo.SLORegistry` (the ``fairness`` argument).
+  The queue drains most-pain-absorbed-first.
 
 All victim selection and drain ordering is deterministic (ties break on
 arrival sequence), so same-seed runs shed identically.
@@ -38,6 +44,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.graph import QuantumNetwork
     from repro.sim.online import EntanglementRequest
+    from repro.tenancy.slo import SLORegistry
 
 logger = logging.getLogger("repro.admission.queue")
 
@@ -46,7 +53,14 @@ DROP_NEWEST = "drop-newest"
 DROP_OLDEST = "drop-oldest"
 DEADLINE_AWARE = "deadline-aware"
 LOWEST_VALUE = "lowest-rate-first"
-SHED_POLICIES = (DROP_NEWEST, DROP_OLDEST, DEADLINE_AWARE, LOWEST_VALUE)
+WEIGHTED_FAIR = "weighted-fair"
+SHED_POLICIES = (
+    DROP_NEWEST,
+    DROP_OLDEST,
+    DEADLINE_AWARE,
+    LOWEST_VALUE,
+    WEIGHTED_FAIR,
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +128,11 @@ class AdmissionQueue:
         shed_policy: One of :data:`SHED_POLICIES`.
         value_fn: Request valuer, required for ``lowest-rate-first``
             (see :func:`request_value_fn`); ignored otherwise.
+        fairness: Tenant account book for ``weighted-fair`` shedding
+            (share it with the admission controller so victim
+            selection sees live shed fractions); a fresh default
+            registry — every tenant on the default contract — is
+            created when omitted.
     """
 
     def __init__(
@@ -121,6 +140,7 @@ class AdmissionQueue:
         maxsize: int,
         shed_policy: str = DROP_NEWEST,
         value_fn: Optional[Callable[["EntanglementRequest"], float]] = None,
+        fairness: Optional["SLORegistry"] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -134,9 +154,14 @@ class AdmissionQueue:
                 f"{LOWEST_VALUE!r} needs a value_fn "
                 "(see request_value_fn)"
             )
+        if shed_policy == WEIGHTED_FAIR and fairness is None:
+            from repro.tenancy.slo import SLORegistry
+
+            fairness = SLORegistry()
         self.maxsize = maxsize
         self.shed_policy = shed_policy
         self.value_fn = value_fn
+        self.fairness = fairness
         self._entries: List[QueueEntry] = []
         self._seq = 0
         self.peak_depth = 0
@@ -185,7 +210,7 @@ class AdmissionQueue:
             self._entries.append(entry)
             self.peak_depth = max(self.peak_depth, len(self._entries))
             return True, None
-        victim = self._pick_victim(entry)
+        victim = self._pick_victim(entry, slot)
         self.sheds += 1
         if victim is entry:
             logger.debug(
@@ -205,7 +230,7 @@ class AdmissionQueue:
         )
         return True, victim
 
-    def _pick_victim(self, newcomer: QueueEntry) -> QueueEntry:
+    def _pick_victim(self, newcomer: QueueEntry, slot: int) -> QueueEntry:
         """Deterministic victim among queued entries + *newcomer*."""
         if self.shed_policy == DROP_NEWEST:
             return newcomer
@@ -217,6 +242,10 @@ class AdmissionQueue:
             return max(
                 pool, key=lambda e: (e.request.last_start_slot, e.seq)
             )
+        if self.shed_policy == WEIGHTED_FAIR:
+            from repro.tenancy.fairness import pick_weighted_fair_victim
+
+            return pick_weighted_fair_victim(pool, self.fairness, slot)
         # LOWEST_VALUE: cheapest expected rate goes first; newest on ties.
         return min(pool, key=lambda e: (e.value, -e.seq))
 
@@ -243,6 +272,10 @@ class AdmissionQueue:
             )
         if self.shed_policy == LOWEST_VALUE:
             return sorted(self._entries, key=lambda e: (-e.value, e.seq))
+        if self.shed_policy == WEIGHTED_FAIR:
+            from repro.tenancy.fairness import weighted_fair_drain_order
+
+            return weighted_fair_drain_order(self._entries, self.fairness)
         return sorted(self._entries, key=lambda e: e.seq)
 
     def remove(self, entry: QueueEntry) -> None:

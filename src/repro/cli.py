@@ -477,6 +477,99 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help=(
+            "multi-tenant demo: SLO-guarded serving with k-redundant "
+            "trees, weighted-fair shedding and chaos faults"
+        ),
+        parents=[obs_parent],
+    )
+    serve_parser.add_argument("--topology", default="waxman")
+    serve_parser.add_argument(
+        "--method", default="prim", choices=("prim", "conflict_free")
+    )
+    serve_parser.add_argument("--switches", type=int, default=25)
+    serve_parser.add_argument("--users", type=int, default=10)
+    serve_parser.add_argument("--qubits", type=int, default=4)
+    serve_parser.add_argument(
+        "--horizon", type=int, default=48, help="arrival horizon (slots)"
+    )
+    serve_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        help="mean requests per slot (Poisson)",
+    )
+    serve_parser.add_argument(
+        "--tenants", type=int, default=4, help="number of tenant labels"
+    )
+    serve_parser.add_argument(
+        "--tenant-skew",
+        type=float,
+        default=1.1,
+        help="Zipf exponent over tenant popularity (0 = uniform)",
+    )
+    serve_parser.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.5,
+        help="sinusoidal load swing in [0, 1] (0 = flat rate)",
+    )
+    serve_parser.add_argument(
+        "--diurnal-period",
+        type=int,
+        default=24,
+        help="slots per diurnal cycle",
+    )
+    serve_parser.add_argument(
+        "--max-wait", type=int, default=5, help="blocked-request patience"
+    )
+    serve_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="trees reserved per admitted group (k-redundancy; 1 = off)",
+    )
+    serve_parser.add_argument(
+        "--faults",
+        type=int,
+        default=12,
+        help="chaos faults injected over the horizon (0 = no chaos)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="token-bucket refill per tenant per slot",
+    )
+    serve_parser.add_argument(
+        "--burst", type=float, default=4.0, help="token-bucket capacity"
+    )
+    serve_parser.add_argument(
+        "--bulkhead",
+        type=int,
+        default=32,
+        help="max in-system requests per tenant",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=16, help="admission queue bound"
+    )
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full serving summary as JSON instead of the table",
+    )
+    serve_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help=(
+            "run the scenario twice and fail unless the serving "
+            "summaries are byte-identical"
+        ),
+    )
+
     return parser
 
 
@@ -789,6 +882,97 @@ def _command_admit(args: argparse.Namespace) -> int:
             print("determinism check: FAILED (reports differ)")
             return EXIT_FAILURE
         print("determinism check: ok (identical shed decisions)")
+    return EXIT_OK
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Multi-tenant demo: SLO-guarded serving over redundant trees."""
+    import json
+
+    from repro.resilience.faults import FaultInjector, random_schedule
+    from repro.sim.workload import WorkloadSpec, generate_workload
+    from repro.tenancy import ReplicationPolicy, serve_tenants
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        qubits_per_switch=args.qubits,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    spec = WorkloadSpec(
+        arrival_rate=args.arrival_rate,
+        horizon=args.horizon,
+        mean_hold=6.0,
+        max_wait=args.max_wait,
+        n_tenants=args.tenants,
+        tenant_skew=args.tenant_skew,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period=args.diurnal_period,
+    )
+
+    def one_run():
+        requests = generate_workload(
+            network.user_ids, spec, rng=args.seed + 1
+        )
+        injector = None
+        if args.faults > 0:
+            schedule = random_schedule(
+                network,
+                n_faults=args.faults,
+                horizon=args.horizon,
+                rng=args.seed + 2,
+            )
+            injector = FaultInjector(schedule, network)
+        served = serve_tenants(
+            network,
+            requests,
+            method=args.method,
+            rng=args.seed,
+            replication=ReplicationPolicy(k=max(1, args.replicas)),
+            fault_injector=injector,
+            rate=args.rate,
+            burst=args.burst,
+            bulkhead=args.bulkhead,
+            queue_size=args.queue_size,
+        )
+        return served, requests
+
+    served, requests = one_run()
+    summary = served.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=repr))
+    else:
+        print(network)
+        print(
+            f"workload: {len(requests)} requests over {args.horizon} "
+            f"slots ({args.arrival_rate} req/slot, {args.tenants} "
+            f"tenant(s), skew {args.tenant_skew})"
+        )
+        print(served.render())
+
+    # Safety gates the multi-tenant scenario must hold:
+    overbooked = served.overbooked_switches(network)
+    print(
+        "capacity overbooked: "
+        f"{'YES ' + repr(overbooked) if overbooked else 'no'}"
+    )
+    unattributed = served.unattributed()
+    print(
+        "unattributed requests: "
+        f"{'YES ' + repr(unattributed) if unattributed else 'none'}"
+    )
+    if overbooked or unattributed:
+        return EXIT_VERIFICATION_ERROR
+
+    if args.verify_determinism:
+        second, _ = one_run()
+        same = json.dumps(
+            second.to_dict(), sort_keys=True, default=repr
+        ) == json.dumps(summary, sort_keys=True, default=repr)
+        if not same:
+            print("determinism check: FAILED (serving summaries differ)")
+            return EXIT_FAILURE
+        print("determinism check: ok (identical serving summaries)")
     return EXIT_OK
 
 
@@ -1105,6 +1289,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_resilience(args)
     if args.command == "admit":
         return _command_admit(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "incremental":
         return _command_incremental(args)
     raise AssertionError(f"unhandled command {args.command!r}")

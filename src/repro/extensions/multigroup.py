@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.conflict_free import solve_conflict_free
+from repro.core.ledger import CapacityLedger
 from repro.core.prim_based import solve_prim
 from repro.core.problem import MUERPSolution
 from repro.network.graph import QuantumNetwork
@@ -82,6 +83,7 @@ def route_groups(
     method: str = "prim",
     order: str = "largest_first",
     rng: RngLike = None,
+    ledger: Optional[CapacityLedger] = None,
 ) -> GroupRoutingResult:
     """Route every group over a shared switch budget.
 
@@ -93,11 +95,19 @@ def route_groups(
         order: Scheduling order — ``"largest_first"``,
             ``"smallest_first"`` or ``"given"``.
         rng: Random source forwarded to the per-group solver.
+        ledger: Shared :class:`~repro.core.ledger.CapacityLedger` to
+            reserve against (e.g. the serving layer's live account); a
+            private one over the idle network is built when omitted.
 
     Returns:
         A :class:`GroupRoutingResult`; groups that cannot be routed under
         the remaining budget get infeasible (rate 0) solutions, later
         groups still get their chance with whatever capacity remains.
+
+    The whole sequence runs inside one ledger transaction: every
+    per-group reservation lands in ``repro.core.ledger.*`` telemetry,
+    and an exception mid-sequence rolls *all* groups back instead of
+    leaving phantom reservations in a caller-supplied ledger.
     """
     names = [g.name for g in groups]
     if len(set(names)) != len(names):
@@ -115,21 +125,22 @@ def route_groups(
         raise ValueError(f"unknown order {order!r}")
 
     generator = ensure_rng(rng)
-    residual = network.residual_qubits()
+    account = CapacityLedger.adopt(ledger, network)
     solutions: Dict[str, MUERPSolution] = {}
-    for group in scheduled:
-        # The solvers are transactional (CapacityLedger): an infeasible
-        # group — or a mid-solve exception — publishes nothing into the
-        # shared residual map, so no snapshot/restore dance is needed.
-        if method == "prim":
-            solution = solve_prim(
-                network, group.users, rng=generator, residual=residual
-            )
-        else:
-            solution = solve_conflict_free(
-                network, group.users, rng=generator, residual=residual
-            )
-        solutions[group.name] = solution
+    with account.transaction():
+        for group in scheduled:
+            # The solvers adopt the ledger directly and are themselves
+            # transactional: an infeasible group — or a mid-solve
+            # exception — publishes nothing into the shared account.
+            if method == "prim":
+                solution = solve_prim(
+                    network, group.users, rng=generator, residual=account
+                )
+            else:
+                solution = solve_conflict_free(
+                    network, group.users, rng=generator, residual=account
+                )
+            solutions[group.name] = solution
     return GroupRoutingResult(
         solutions=solutions, order=tuple(g.name for g in scheduled)
     )

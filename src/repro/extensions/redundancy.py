@@ -71,6 +71,7 @@ def add_redundancy(
     network: QuantumNetwork,
     solution: MUERPSolution,
     max_backups: Optional[int] = None,
+    residual: Optional[Dict[Hashable, int]] = None,
 ) -> RedundantTree:
     """Greedily add backup channels to *solution* within leftover capacity.
 
@@ -78,14 +79,23 @@ def add_redundancy(
     gain in total log success (backups may take different paths than the
     originals — they only share endpoints).  Stops when no admissible
     backup improves the rate or *max_backups* is reached.
+
+    *residual* is the free-qubit pool backups may draw from, with the
+    base tree (and anything else in service) **already deducted** — the
+    shared-ledger case of the multi-tenant serving layer.  ``None``
+    preserves the historical behaviour: assume an otherwise idle
+    network and deduct the base tree here.
     """
     if not solution.feasible:
         raise ValueError("cannot add redundancy to an infeasible solution")
     groups: List[List[Channel]] = [[c] for c in solution.channels]
-    residual = network.residual_qubits()
-    for channel in solution.channels:
-        for switch in channel.switches:
-            residual[switch] -= 2
+    if residual is None:
+        residual = network.residual_qubits()
+        for channel in solution.channels:
+            for switch in channel.switches:
+                residual[switch] -= 2
+    else:
+        residual = dict(residual)
 
     added = 0
     while max_backups is None or added < max_backups:

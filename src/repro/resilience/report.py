@@ -48,6 +48,10 @@ class RequestDisposition:
         reroutes: Successful mid-service re-routes.
         served_users: Users actually served (may be a strict subset of
             the requested group when degraded; empty when never served).
+        tenant: Account label the disposition bills to ("" when the
+            request carried no tenant tag).
+        failovers: Replica promotions absorbed mid-service (k-redundant
+            serving; 0 for unreplicated requests).
     """
 
     name: str
@@ -57,6 +61,8 @@ class RequestDisposition:
     retries: int = 0
     reroutes: int = 0
     served_users: Tuple[Hashable, ...] = ()
+    tenant: str = ""
+    failovers: int = 0
 
     def __post_init__(self) -> None:
         if self.status not in DISPOSITIONS:
@@ -75,6 +81,7 @@ class ResilienceReport:
     faults_repaired: int = 0
     retries_spent: int = 0
     reroutes: int = 0
+    failovers: int = 0
     degradations: int = 0
     recovered: int = 0
     abandoned: int = 0
@@ -102,6 +109,15 @@ class ResilienceReport:
         if description:
             self.fault_log.append(f"reroute[{name}]: {description}")
         logger.info("request %s re-routed (%s)", name, description or "n/a")
+
+    def record_failover(self, name: str, description: str = "") -> None:
+        """A serving tree died and a hot standby was promoted in place."""
+        self.failovers += 1
+        if description:
+            self.fault_log.append(f"failover[{name}]: {description}")
+        logger.info(
+            "request %s failed over (%s)", name, description or "n/a"
+        )
 
     def record_degradation(self, name: str, description: str = "") -> None:
         self.degradations += 1
@@ -158,6 +174,21 @@ class ResilienceReport:
             1 for d in self.dispositions.values() if d.status == status
         )
 
+    def tenant_rollup(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant disposition counts (tenant → status → count).
+
+        Requests without a tenant tag roll up under ``""``; the result
+        is sorted on both axes so it serializes deterministically.
+        """
+        rollup: Dict[str, Dict[str, int]] = {}
+        for d in self.dispositions.values():
+            bucket = rollup.setdefault(d.tenant, {})
+            bucket[d.status] = bucket.get(d.status, 0) + 1
+        return {
+            tenant: dict(sorted(statuses.items()))
+            for tenant, statuses in sorted(rollup.items())
+        }
+
     def to_dict(self) -> Dict[str, object]:
         """Stable, serializable summary (sorted by request name)."""
         return {
@@ -165,12 +196,14 @@ class ResilienceReport:
             "faults_repaired": self.faults_repaired,
             "retries_spent": self.retries_spent,
             "reroutes": self.reroutes,
+            "failovers": self.failovers,
             "degradations": self.degradations,
             "recovered": self.recovered,
             "abandoned": self.abandoned,
             "verifications": self.verifications,
             "verification_failures": self.verification_failures,
             "fault_log": list(self.fault_log),
+            "tenants": self.tenant_rollup(),
             "dispositions": {
                 name: {
                     "status": d.status,
@@ -179,6 +212,8 @@ class ResilienceReport:
                     "retries": d.retries,
                     "reroutes": d.reroutes,
                     "served_users": sorted(d.served_users, key=repr),
+                    "tenant": d.tenant,
+                    "failovers": d.failovers,
                 }
                 for name, d in sorted(self.dispositions.items())
             },
@@ -192,6 +227,7 @@ class ResilienceReport:
             f" (repaired {self.faults_repaired})",
             f"  retries spent   : {self.retries_spent}",
             f"  re-routes       : {self.reroutes}",
+            f"  failovers       : {self.failovers}",
             f"  degradations    : {self.degradations}",
             f"  recovered       : {self.recovered}",
             f"  abandoned       : {self.abandoned}",

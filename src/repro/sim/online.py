@@ -59,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.faults import FaultInjector
     from repro.resilience.report import ResilienceReport
     from repro.resilience.retry import RetryPolicy
+    from repro.tenancy.replicas import ReplicaSet, ReplicationPolicy
 
 logger = logging.getLogger("repro.sim.online")
 
@@ -138,6 +139,8 @@ class RequestOutcome:
     degraded: bool = False
     served_users: Tuple[Hashable, ...] = ()
     reroutes: int = 0
+    #: Mid-service standby promotions (k-redundant serving only).
+    failovers: int = 0
 
     @property
     def waited(self) -> int:
@@ -209,6 +212,10 @@ class _Reservation:
     reroutes: int = 0
     degraded: bool = False
     hit_by_fault: bool = False
+    #: Live replica set under k-redundant serving (``usage`` then
+    #: covers *all* replicas, and ``solution`` mirrors the serving one).
+    replicas: Optional["ReplicaSet"] = None
+    failovers: int = 0
 
 
 @dataclass
@@ -290,6 +297,14 @@ class OnlineScheduler:
             brownout, or hedged with alternate solvers near their
             deadline.  ``None`` preserves the historical
             admit-everything behaviour byte for byte.
+        replication: Optional
+            :class:`~repro.tenancy.replicas.ReplicationPolicy`; each
+            admitted group is served by up to *k* redundant trees
+            reserved through the shared ledger.  A mid-service fault
+            that breaks only some replicas **fails over** to a
+            surviving standby in place; the structural repair /
+            degradation ladder is invoked only once every replica is
+            dead.  ``None`` keeps single-tree serving byte for byte.
     """
 
     def __init__(
@@ -302,6 +317,7 @@ class OnlineScheduler:
         allow_degradation: bool = True,
         verify: bool = True,
         admission: Optional["AdmissionController"] = None,
+        replication: Optional["ReplicationPolicy"] = None,
     ) -> None:
         if method not in ("prim", "conflict_free"):
             raise ValueError(f"unsupported method {method!r}")
@@ -313,6 +329,7 @@ class OnlineScheduler:
         self.allow_degradation = allow_degradation
         self.verify = verify
         self.admission = admission
+        self.replication = replication
 
     def run(self, requests: Sequence[EntanglementRequest]) -> OnlineResult:
         """Simulate the whole arrival stream; returns the telemetry."""
@@ -323,6 +340,7 @@ class OnlineScheduler:
             self.fault_injector is not None
             or self.retry_policy is not None
             or self.admission is not None
+            or self.replication is not None
             or any(r.deadline is not None for r in requests)
         )
         with obs_trace.span(
@@ -445,6 +463,19 @@ class OnlineScheduler:
             RequestDisposition,
             ResilienceReport,
         )
+        from repro.tenancy.slo import tenant_label
+
+        replication = self.replication
+        plan_replicas = None
+        if replication is not None and replication.k > 1:
+            from repro.tenancy.replicas import (
+                EXHAUSTED,
+                FAILOVER,
+                INTACT,
+                plan_replica_set,
+            )
+
+            plan_replicas = plan_replica_set
 
         metrics = obs_metrics.active()
         injector = self.fault_injector
@@ -503,6 +534,7 @@ class OnlineScheduler:
                 degraded=res.degraded,
                 served_users=served,
                 reroutes=res.reroutes,
+                failovers=res.failovers,
             )
             report.close_request(
                 RequestDisposition(
@@ -513,12 +545,19 @@ class OnlineScheduler:
                     retries=res.retries,
                     reroutes=res.reroutes,
                     served_users=served,
+                    tenant=res.request.tenant or "",
+                    failovers=res.failovers,
                 )
             )
             if metrics is not None:
                 metrics.inc(f"sim.online.dispositions.{status}")
+                if res.request.tenant:
+                    metrics.inc(
+                        f"sim.online.tenant.{res.request.tenant}"
+                        f".dispositions.{status}"
+                    )
             if admission is not None:
-                admission.on_closed(res.request, slot)
+                admission.on_closed(res.request, slot, status)
             if res.hit_by_fault and not res.degraded:
                 report.record_recovery(res.request.name)
 
@@ -530,6 +569,7 @@ class OnlineScheduler:
             retries: int = 0,
             reroutes: int = 0,
             start_slot: Optional[int] = None,
+            failovers: int = 0,
         ) -> None:
             outcomes[request.name] = RequestOutcome(
                 request=request,
@@ -539,6 +579,7 @@ class OnlineScheduler:
                 release_slot=None,
                 disposition=status,
                 reroutes=reroutes,
+                failovers=failovers,
             )
             report.close_request(
                 RequestDisposition(
@@ -548,12 +589,19 @@ class OnlineScheduler:
                     slot=slot,
                     retries=retries,
                     reroutes=reroutes,
+                    tenant=request.tenant or "",
+                    failovers=failovers,
                 )
             )
             if metrics is not None:
                 metrics.inc(f"sim.online.dispositions.{status}")
+                if request.tenant:
+                    metrics.inc(
+                        f"sim.online.tenant.{request.tenant}"
+                        f".dispositions.{status}"
+                    )
             if admission is not None:
-                admission.on_closed(request, slot)
+                admission.on_closed(request, slot, status)
             logger.info(
                 "request %s lost at slot %d: %s (%s)",
                 request.name,
@@ -632,6 +680,60 @@ class OnlineScheduler:
                 cuts, darks = active_sig
                 surviving: List[_Reservation] = []
                 for res in reservations:
+                    if res.replicas is not None:
+                        # k-redundant serving: absorb the fault at the
+                        # replica layer first.  Only when every replica
+                        # is dead does the request fall through to the
+                        # structural repair ladder below.
+                        event, released = res.replicas.handle_faults(
+                            fired_cuts, fired_darks
+                        )
+                        if released:
+                            with ledger.transaction():
+                                for extra_usage in released:
+                                    ledger.release(extra_usage)
+                        if event == INTACT:
+                            if metrics is not None:
+                                metrics.inc(
+                                    "repro.incremental.online.disjoint_noop"
+                                )
+                            surviving.append(res)
+                            continue
+                        res.hit_by_fault = True
+                        res.usage = res.replicas.total_usage()
+                        if event != EXHAUSTED:
+                            res.solution = res.replicas.serving_solution
+                            if event == FAILOVER:
+                                res.failovers += 1
+                                if metrics is not None:
+                                    metrics.inc("sim.online.failovers")
+                                    if res.request.tenant:
+                                        metrics.inc(
+                                            "sim.online.tenant."
+                                            f"{res.request.tenant}"
+                                            ".failovers"
+                                        )
+                                if (
+                                    admission is not None
+                                    and admission.slo is not None
+                                ):
+                                    admission.slo.record_failover(
+                                        tenant_label(res.request)
+                                    )
+                                report.record_failover(
+                                    res.request.name,
+                                    f"slot {slot}: promoted standby "
+                                    f"({res.replicas.k} replicas left)",
+                                )
+                            elif metrics is not None:
+                                metrics.inc("sim.online.replicas_pruned")
+                            surviving.append(res)
+                            continue
+                        # All replicas dead: collapse to a plain
+                        # single-tree reservation and escalate.
+                        res.replicas = None
+                        if metrics is not None:
+                            metrics.inc("sim.online.replicas_exhausted")
                     if not _solution_broken(
                         res.solution, fired_cuts, fired_darks
                     ):
@@ -763,6 +865,7 @@ class OnlineScheduler:
                         retries=res.retries,
                         reroutes=res.reroutes,
                         start_slot=res.start_slot,
+                        failovers=res.failovers,
                     )
                 reservations = surviving
 
@@ -775,11 +878,9 @@ class OnlineScheduler:
                 if aqueue is not None:
                     for entry in aqueue.expired(slot):
                         admission.count_expired()
-                        if metrics is not None:
-                            metrics.observe(
-                                "sim.online.admission.time_in_queue_slots",
-                                slot - entry.enqueued_slot,
-                            )
+                        admission.observe_queue_wait(
+                            entry.request, slot - entry.enqueued_slot
+                        )
                         status = (
                             report_mod.DEADLINE_EXCEEDED
                             if entry.request.deadline is not None
@@ -810,11 +911,9 @@ class OnlineScheduler:
                     if not decision.admitted:
                         break
                     admission.queue.remove(entry)
-                    if metrics is not None:
-                        metrics.observe(
-                            "sim.online.admission.time_in_queue_slots",
-                            slot - entry.enqueued_slot,
-                        )
+                    admission.observe_queue_wait(
+                        entry.request, slot - entry.enqueued_slot
+                    )
                     candidates.append(
                         _Waiter(request=entry.request, next_slot=slot)
                     )
@@ -824,16 +923,31 @@ class OnlineScheduler:
                         _Waiter(request=request, next_slot=slot)
                     )
                     continue
+                admission.on_arrival(request, slot)
                 if tier == TIER_SHED:
-                    admission.count_shed("brownout")
-                    _close_lost(
-                        request,
-                        report_mod.SHED,
-                        f"brownout tier {TIER_SHED!r} at slot {slot}: "
-                        "new arrivals refused under overload",
-                        slot,
-                    )
-                    continue
+                    # SLO guard: arrivals within their tenant's
+                    # contracted rate are spared the wholesale brownout
+                    # refusal and still face the limiter chain — a
+                    # compliant tenant is never starved by a flooding
+                    # neighbour.
+                    slo = admission.slo
+                    if slo is not None and slo.within_guarantee(
+                        tenant_label(request), slot
+                    ):
+                        if metrics is not None:
+                            metrics.inc(
+                                "sim.online.admission.slo_guard_passes"
+                            )
+                    else:
+                        admission.count_shed("brownout", request=request)
+                        _close_lost(
+                            request,
+                            report_mod.SHED,
+                            f"brownout tier {TIER_SHED!r} at slot {slot}: "
+                            "new arrivals refused under overload",
+                            slot,
+                        )
+                        continue
                 decision = admission.decide(request, slot)
                 if decision.admitted:
                     candidates.append(
@@ -852,7 +966,7 @@ class OnlineScheduler:
                 # Throttled: park in the bounded queue (or shed if none).
                 aqueue = admission.queue
                 if aqueue is None:
-                    admission.count_shed("no-queue")
+                    admission.count_shed("no-queue", request=request)
                     _close_lost(
                         request,
                         report_mod.SHED,
@@ -864,11 +978,12 @@ class OnlineScheduler:
                     continue
                 queued, victim = aqueue.offer(request, slot)
                 if victim is not None:
-                    admission.count_shed(aqueue.shed_policy)
-                    if queued and metrics is not None:
-                        metrics.observe(
-                            "sim.online.admission.time_in_queue_slots",
-                            slot - victim.enqueued_slot,
+                    admission.count_shed(
+                        aqueue.shed_policy, request=victim.request
+                    )
+                    if queued:
+                        admission.observe_queue_wait(
+                            victim.request, slot - victim.enqueued_slot
                         )
                     _close_lost(
                         victim.request,
@@ -948,8 +1063,30 @@ class OnlineScheduler:
                                 degraded_admit = True
                                 break
                 if solution is not None:
-                    usage = solution.switch_usage()
-                    ledger.reserve(usage)
+                    rset = None
+                    if plan_replicas is not None and not degraded_admit:
+                        rset = plan_replicas(
+                            damaged,
+                            solution,
+                            ledger,
+                            replication,
+                            lambda view: self._route(
+                                request, ledger, network=view
+                            ),
+                        )
+                        usage = rset.total_usage()
+                        if metrics is not None:
+                            metrics.inc(
+                                "sim.online.replicas_planned", rset.k
+                            )
+                            if rset.shortfall:
+                                metrics.inc(
+                                    "sim.online.replica_shortfall",
+                                    rset.shortfall,
+                                )
+                    else:
+                        usage = solution.switch_usage()
+                        ledger.reserve(usage)
                     release_slot = slot + request.hold
                     if metrics is not None:
                         metrics.inc("sim.online.admitted")
@@ -977,6 +1114,7 @@ class OnlineScheduler:
                             release_slot=release_slot,
                             retries=waiter.retries,
                             degraded=degraded_admit,
+                            replicas=rset,
                         )
                     )
                     logger.debug(
@@ -1030,6 +1168,29 @@ class OnlineScheduler:
         if metrics is not None:
             metrics.inc("sim.online.slots", slot)
         ordered = tuple(outcomes[r.name] for r in requests)
+        if metrics is not None:
+            # Fairness gauge: Jain's index over per-tenant acceptance
+            # fractions (only meaningful when requests carry tenants).
+            arrivals: Dict[str, int] = {}
+            accepted: Dict[str, int] = {}
+            for outcome in ordered:
+                tenant = outcome.request.tenant
+                if not tenant:
+                    continue
+                arrivals[tenant] = arrivals.get(tenant, 0) + 1
+                if outcome.accepted:
+                    accepted[tenant] = accepted.get(tenant, 0) + 1
+            if arrivals:
+                from repro.tenancy.fairness import jain_index
+
+                fractions = [
+                    accepted.get(tenant, 0) / count
+                    for tenant, count in sorted(arrivals.items())
+                ]
+                metrics.set_gauge(
+                    "sim.online.tenant.jain_index",
+                    jain_index(fractions),
+                )
         return OnlineResult(
             outcomes=ordered,
             slots_simulated=slot - 1,

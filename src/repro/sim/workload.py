@@ -43,6 +43,16 @@ class WorkloadSpec:
             (uniformly at random); 0 leaves requests untenanted and
             the rng stream byte-identical to older versions.  Tenants
             are what per-tenant admission limiters key on.
+        tenant_skew: Zipf exponent over tenant popularity: 0 keeps the
+            historical uniform draw (and rng stream); larger values
+            concentrate traffic on the low-numbered tenants —
+            ``tenant-0`` becomes the heavy hitter the fairness gates
+            stress.  Requires ``n_tenants > 0`` to have any effect.
+        diurnal_amplitude: Relative swing of a sinusoidal load shape in
+            [0, 1]: the per-slot arrival rate becomes ``rate × (1 +
+            a·sin(2π·slot/period))``.  0 keeps the flat Poisson rate
+            (and the historical rng stream).
+        diurnal_period: Slots per diurnal cycle (>= 2).
     """
 
     arrival_rate: float = 0.5
@@ -53,6 +63,9 @@ class WorkloadSpec:
     max_wait: int = 0
     hotspot_skew: float = 0.0
     n_tenants: int = 0
+    tenant_skew: float = 0.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 24
 
     def __post_init__(self) -> None:
         require_positive(self.arrival_rate, "arrival_rate")
@@ -69,6 +82,12 @@ class WorkloadSpec:
             raise ValueError("hotspot_skew must be >= 0")
         if self.n_tenants < 0:
             raise ValueError("n_tenants must be >= 0")
+        if self.tenant_skew < 0:
+            raise ValueError("tenant_skew must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if self.diurnal_period < 2:
+            raise ValueError("diurnal_period must be >= 2")
 
 
 def user_popularity(
@@ -100,6 +119,11 @@ def generate_workload(
     spec = spec or WorkloadSpec()
     generator = ensure_rng(rng)
     popularity = user_popularity(len(users), spec.hotspot_skew)
+    tenant_popularity = None
+    if spec.n_tenants > 0 and spec.tenant_skew > 0:
+        tenant_popularity = user_popularity(
+            spec.n_tenants, spec.tenant_skew
+        )
 
     requests: List[EntanglementRequest] = []
     counter = 0
@@ -110,7 +134,15 @@ def generate_workload(
     hold_p = 1.0 / max(spec.mean_hold, 1.0)
 
     for slot in range(spec.horizon):
-        n_arrivals = int(generator.poisson(spec.arrival_rate))
+        # Diurnal shape: amplitude 0 passes the flat rate through, so
+        # the Poisson draw (and the whole rng stream) matches older
+        # versions byte for byte.
+        lam = spec.arrival_rate
+        if spec.diurnal_amplitude > 0:
+            lam *= 1.0 + spec.diurnal_amplitude * math.sin(
+                2.0 * math.pi * slot / spec.diurnal_period
+            )
+        n_arrivals = int(generator.poisson(lam))
         for _ in range(n_arrivals):
             size = 2 + int(generator.geometric(geometric_p)) - 1
             size = min(size, max_size)
@@ -119,7 +151,12 @@ def generate_workload(
             )
             hold = int(generator.geometric(hold_p))
             tenant = None
-            if spec.n_tenants > 0:
+            if tenant_popularity is not None:
+                tenant = (
+                    f"tenant-"
+                    f"{int(generator.choice(spec.n_tenants, p=tenant_popularity))}"
+                )
+            elif spec.n_tenants > 0:
                 tenant = f"tenant-{int(generator.integers(spec.n_tenants))}"
             requests.append(
                 EntanglementRequest(

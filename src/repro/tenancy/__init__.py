@@ -1,0 +1,74 @@
+"""Multi-tenant SLO-guarded serving over one shared capacity pool.
+
+The paper routes one user group; production serving means many tenant
+groups competing for the same fiber/qubit budgets, where overload and
+faults must degrade *fairly* rather than collapse onto whoever arrived
+first.  This package is that serving layer:
+
+* :mod:`repro.tenancy.slo` — per-tenant contracts
+  (:class:`TenantSLO`: weight, guaranteed rate, max shed fraction)
+  and the :class:`SLORegistry` account book with error-budget and
+  compliance accounting;
+* :mod:`repro.tenancy.fairness` — weighted-fair victim selection for
+  the admission queue (pain ∝ 1/weight, compliant tenants never
+  starved) and Jain's fairness index;
+* :mod:`repro.tenancy.replicas` — k-redundant tree planning
+  (:func:`plan_replica_set`, fiber-disjoint standbys reserved in one
+  ledger transaction) and the mid-service failover state machine
+  (:class:`ReplicaSet`), the cheap rung below the structural repair
+  ladder;
+* :mod:`repro.tenancy.serving` — the :func:`serve_tenants` facade and
+  :class:`TenantServingResult` per-tenant SLO table backing the
+  ``repro serve`` CLI and the 100x multi-tenant soak gate.
+
+See ``docs/MULTITENANCY.md`` for the tenant model, the
+failover-vs-repair decision ladder, and the fairness gates.
+"""
+
+from repro.tenancy.fairness import (
+    jain_index,
+    pick_weighted_fair_victim,
+    weighted_fair_drain_order,
+)
+from repro.tenancy.replicas import (
+    EXHAUSTED,
+    FAILOVER,
+    INTACT,
+    PRUNED,
+    ReplicaSet,
+    ReplicationPolicy,
+    plan_replica_set,
+)
+from repro.tenancy.serving import (
+    TenantServingResult,
+    default_slos,
+    serve_tenants,
+)
+from repro.tenancy.slo import (
+    UNTENANTED,
+    SLORegistry,
+    TenantAccount,
+    TenantSLO,
+    tenant_label,
+)
+
+__all__ = [
+    "TenantSLO",
+    "TenantAccount",
+    "SLORegistry",
+    "UNTENANTED",
+    "tenant_label",
+    "jain_index",
+    "pick_weighted_fair_victim",
+    "weighted_fair_drain_order",
+    "ReplicationPolicy",
+    "ReplicaSet",
+    "plan_replica_set",
+    "INTACT",
+    "PRUNED",
+    "FAILOVER",
+    "EXHAUSTED",
+    "serve_tenants",
+    "default_slos",
+    "TenantServingResult",
+]

@@ -1,0 +1,98 @@
+"""Weighted-fair victim selection and the Jain fairness index.
+
+The admission queue's ``weighted-fair`` shed policy delegates here.
+Two rules produce the fairness guarantees the tenancy suite pins down:
+
+* **Anti-starvation** — when the eviction pool contains entries from
+  both compliant and non-compliant tenants (per
+  :meth:`~repro.tenancy.slo.SLORegistry.within_guarantee`), the victim
+  always comes from a non-compliant tenant.  A tenant that stays
+  within its contracted rate is only ever shed against other compliant
+  tenants, i.e. when *everyone* is over-subscribed.
+* **Weighted pain spreading** — among eligible tenants, the one with
+  the lowest ``shed_fraction × weight`` absorbs the next shed, which
+  equalizes that product across tenants: a weight-2 tenant converges
+  to half the shed fraction of a weight-1 tenant.
+
+All tie-breaks are total orders (tenant label, then arrival sequence),
+so same-seed runs shed identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.tenancy.slo import SLORegistry, tenant_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.admission.queue import QueueEntry
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n · Σx²)`` over *values*.
+
+    1.0 when all values are equal (or the sequence is empty/all-zero —
+    vacuous fairness), approaching ``1/n`` as one value dominates.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)
+
+
+def _by_tenant(
+    pool: Sequence["QueueEntry"],
+) -> Dict[str, List["QueueEntry"]]:
+    grouped: Dict[str, List["QueueEntry"]] = {}
+    for entry in pool:
+        grouped.setdefault(tenant_label(entry.request), []).append(entry)
+    return grouped
+
+
+def pick_weighted_fair_victim(
+    pool: Sequence["QueueEntry"],
+    registry: SLORegistry,
+    slot: int,
+) -> "QueueEntry":
+    """The entry to shed from *pool* (queued entries + newcomer).
+
+    Victim tenant = the *eligible* tenant with the least weighted pain
+    (ties break on the tenant label); within that tenant, the newest
+    entry goes first (its sunk queue time is smallest).  Eligible means
+    non-compliant when any non-compliant tenant is present — the
+    anti-starvation rule — otherwise every tenant in the pool.
+    """
+    if not pool:
+        raise ValueError("cannot pick a victim from an empty pool")
+    grouped = _by_tenant(pool)
+    noncompliant = sorted(
+        t for t in grouped if not registry.within_guarantee(t, slot)
+    )
+    eligible = noncompliant or sorted(grouped)
+    victim_tenant = min(
+        eligible, key=lambda t: (registry.weighted_pain(t), t)
+    )
+    return max(grouped[victim_tenant], key=lambda e: e.seq)
+
+
+def weighted_fair_drain_order(
+    entries: Sequence["QueueEntry"],
+    registry: SLORegistry,
+) -> List["QueueEntry"]:
+    """Dequeue priority: most weighted pain absorbed drains first.
+
+    Tenants that have already shed more than their share get their
+    queued work admitted first (restitution); within a tenant, FIFO.
+    """
+    return sorted(
+        entries,
+        key=lambda e: (
+            -registry.weighted_pain(tenant_label(e.request)),
+            tenant_label(e.request),
+            e.seq,
+        ),
+    )

@@ -247,3 +247,82 @@ class TestOptimizeGroupOrder:
             eight_user_waxman, groups, max_permutations=5, rng=3
         )
         assert len(result.order) == 4
+
+
+class TestSharedLedger:
+    """route_groups over a caller-supplied transactional ledger."""
+
+    def test_supplied_ledger_keeps_successful_reservations(
+        self, eight_user_waxman
+    ):
+        from repro.core.ledger import CapacityLedger
+
+        ledger = CapacityLedger.from_network(eight_user_waxman)
+        result = route_groups(
+            eight_user_waxman,
+            two_groups(eight_user_waxman),
+            rng=0,
+            ledger=ledger,
+        )
+        assert result.all_feasible
+        total = {}
+        for solution in result.solutions.values():
+            for switch, qubits in solution.switch_usage().items():
+                total[switch] = total.get(switch, 0) + qubits
+        for switch, qubits in total.items():
+            assert ledger.used(switch) == qubits
+
+    def test_mid_sequence_exception_rolls_every_group_back(
+        self, eight_user_waxman, monkeypatch
+    ):
+        import repro.extensions.multigroup as mg
+        from repro.core.ledger import CapacityLedger
+
+        real = mg.solve_prim
+        calls = []
+
+        def explode_on_second(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 2:
+                raise RuntimeError("solver crash mid-sequence")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(mg, "solve_prim", explode_on_second)
+        ledger = CapacityLedger.from_network(eight_user_waxman)
+        with pytest.raises(RuntimeError):
+            route_groups(
+                eight_user_waxman,
+                two_groups(eight_user_waxman),
+                rng=0,
+                ledger=ledger,
+            )
+        # The first group's reservation must not leak into the
+        # caller's ledger: the whole sequence is one transaction.
+        assert all(ledger.used(s) == 0 for s in ledger)
+
+    def test_ledger_telemetry_fires(self, eight_user_waxman):
+        from repro.obs import metrics as obs_metrics
+
+        with obs_metrics.collecting() as registry:
+            route_groups(
+                eight_user_waxman, two_groups(eight_user_waxman), rng=0
+            )
+        counters = registry.counters()
+        assert counters.get("core.ledger.transactions", 0) >= 1
+        assert counters.get("core.ledger.reserves", 0) >= 1
+        assert counters.get("core.ledger.qubits_reserved", 0) > 0
+
+    def test_default_ledger_matches_legacy_behavior(self, eight_user_waxman):
+        groups = two_groups(eight_user_waxman)
+        with_default = route_groups(eight_user_waxman, groups, rng=0)
+        from repro.core.ledger import CapacityLedger
+
+        ledger = CapacityLedger.from_network(eight_user_waxman)
+        with_supplied = route_groups(
+            eight_user_waxman, groups, rng=0, ledger=ledger
+        )
+        assert {
+            name: sol.rate for name, sol in with_default.solutions.items()
+        } == {
+            name: sol.rate for name, sol in with_supplied.solutions.items()
+        }

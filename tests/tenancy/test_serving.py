@@ -1,0 +1,128 @@
+"""End-to-end tests for the serve_tenants facade and its result."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.admission import AdmissionController
+from repro.resilience.faults import FaultInjector, random_schedule
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.tenancy import (
+    ReplicationPolicy,
+    SLORegistry,
+    TenantServingResult,
+    TenantSLO,
+    default_slos,
+    serve_tenants,
+)
+from repro.topology import TopologyConfig, waxman_network
+
+SMALL = TopologyConfig(
+    n_switches=12, n_users=6, avg_degree=4.0, qubits_per_switch=4
+)
+
+SPEC = WorkloadSpec(
+    arrival_rate=2.0,
+    horizon=16,
+    mean_hold=4.0,
+    max_wait=4,
+    n_tenants=3,
+    tenant_skew=1.2,
+    diurnal_amplitude=0.4,
+)
+
+
+def _scenario(seed, faults=0):
+    network = waxman_network(SMALL, rng=seed)
+    requests = generate_workload(network.user_ids, SPEC, rng=seed + 1)
+    injector = None
+    if faults:
+        schedule = random_schedule(
+            network, n_faults=faults, horizon=SPEC.horizon, rng=seed + 2
+        )
+        injector = FaultInjector(schedule, network)
+    return network, requests, injector
+
+
+class TestServeTenants:
+    def test_returns_result_with_live_registry(self):
+        network, requests, _ = _scenario(3)
+        served = serve_tenants(network, requests, rng=3)
+        assert isinstance(served, TenantServingResult)
+        table = served.tenant_table()
+        assert sum(row["arrivals"] for row in table.values()) == len(
+            requests
+        )
+        assert 0.0 < served.jain_index() <= 1.0
+
+    def test_gates_hold_under_chaos(self):
+        network, requests, injector = _scenario(5, faults=10)
+        served = serve_tenants(
+            network, requests, rng=5, fault_injector=injector
+        )
+        assert served.overbooked_switches(network) == []
+        assert served.unattributed() == []
+
+    def test_same_seed_runs_are_byte_identical(self):
+        def run():
+            network, requests, injector = _scenario(7, faults=8)
+            served = serve_tenants(
+                network, requests, rng=7, fault_injector=injector
+            )
+            return json.dumps(served.to_dict(), sort_keys=True, default=repr)
+
+        assert run() == run()
+
+    def test_explicit_slos_apply_their_weights(self):
+        network, requests, _ = _scenario(3)
+        slos = default_slos(
+            ("tenant-0", "tenant-1", "tenant-2"),
+            weights={"tenant-2": 4.0},
+        )
+        served = serve_tenants(network, requests, slos=slos, rng=3)
+        assert served.tenant_table()["tenant-2"]["weight"] == 4.0
+
+    def test_supplied_admission_must_carry_a_registry(self):
+        network, requests, _ = _scenario(3)
+        bare = AdmissionController.default(network)
+        assert bare.slo is None
+        with pytest.raises(ValueError):
+            serve_tenants(network, requests, admission=bare)
+
+    def test_supplied_admission_registry_is_reused(self):
+        network, requests, _ = _scenario(3)
+        registry = SLORegistry([TenantSLO(tenant="tenant-0", weight=2.0)])
+        admission = AdmissionController.default(
+            network, shed_policy="weighted-fair", slo=registry
+        )
+        served = serve_tenants(network, requests, admission=admission, rng=3)
+        assert served.registry is registry
+
+    def test_k1_disables_failover_but_still_serves(self):
+        network, requests, _ = _scenario(3)
+        served = serve_tenants(
+            network, requests, rng=3, replication=ReplicationPolicy(k=1)
+        )
+        assert served.failovers() == 0
+        assert served.result.n_accepted > 0
+
+
+class TestResultReporting:
+    def test_to_dict_is_json_serializable(self):
+        network, requests, _ = _scenario(3)
+        served = serve_tenants(network, requests, rng=3)
+        payload = json.dumps(served.to_dict(), sort_keys=True, default=repr)
+        round_tripped = json.loads(payload)
+        assert round_tripped["n_requests"] == len(requests)
+        assert "tenants" in round_tripped
+        assert "jain_index" in round_tripped
+
+    def test_render_mentions_every_tenant(self):
+        network, requests, _ = _scenario(3)
+        served = serve_tenants(network, requests, rng=3)
+        text = served.render()
+        for tenant in served.tenant_table():
+            assert tenant in text
+        assert "jain" in text

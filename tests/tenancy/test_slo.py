@@ -1,0 +1,141 @@
+"""Unit tests for the per-tenant SLO contracts and account book."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import SLORegistry, TenantSLO, UNTENANTED, tenant_label
+
+
+class _Req:
+    def __init__(self, tenant=None):
+        self.tenant = tenant
+
+
+class TestTenantLabel:
+    def test_tagged_request_uses_its_tenant(self):
+        assert tenant_label(_Req("tenant-3")) == "tenant-3"
+
+    def test_untagged_request_bills_to_the_untenanted_account(self):
+        assert tenant_label(_Req(None)) == UNTENANTED
+        assert tenant_label(object()) == UNTENANTED
+
+
+class TestTenantSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSLO(tenant="")
+        with pytest.raises(ValueError):
+            TenantSLO(tenant="t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSLO(tenant="t", guaranteed_rate=-0.1)
+        with pytest.raises(ValueError):
+            TenantSLO(tenant="t", max_shed_fraction=1.5)
+
+    def test_defaults_are_sane(self):
+        slo = TenantSLO(tenant="t")
+        assert slo.weight == 1.0
+        assert 0.0 <= slo.max_shed_fraction <= 1.0
+
+
+class TestRegistryAccounting:
+    def test_duplicate_contracts_rejected(self):
+        with pytest.raises(ValueError):
+            SLORegistry([TenantSLO(tenant="a"), TenantSLO(tenant="a")])
+
+    def test_unknown_tenant_falls_back_to_default_slo(self):
+        registry = SLORegistry(
+            [TenantSLO(tenant="a", weight=3.0)],
+            default_slo=TenantSLO(tenant="(default)", weight=0.5),
+        )
+        assert registry.weight("a") == 3.0
+        assert registry.weight("never-seen") == 0.5
+
+    def test_disposition_buckets(self):
+        registry = SLORegistry()
+        for status in ("served", "served", "degraded", "shed", "abandoned"):
+            registry.record_disposition("t", status)
+        acct = registry.account("t")
+        assert acct.served == 2
+        assert acct.degraded == 1
+        assert acct.shed == 1
+        assert acct.failed == 1  # anything else counts as failed
+        assert acct.accepted == 3
+        assert acct.closed == 5
+        assert acct.dispositions["served"] == 2
+
+    def test_fractions_and_budget(self):
+        registry = SLORegistry([TenantSLO(tenant="t", max_shed_fraction=0.4)])
+        for _ in range(10):
+            registry.record_arrival("t", slot=0)
+        for _ in range(3):
+            registry.record_disposition("t", "shed")
+        assert registry.shed_fraction("t") == pytest.approx(0.3)
+        assert registry.error_budget_remaining("t") == pytest.approx(0.1)
+        assert registry.slo_met("t")
+        registry.record_disposition("t", "shed")
+        registry.record_disposition("t", "shed")
+        assert not registry.slo_met("t")
+
+    def test_zero_arrivals_is_vacuously_healthy(self):
+        registry = SLORegistry()
+        assert registry.shed_fraction("ghost") == 0.0
+        assert registry.slo_met("ghost")
+
+    def test_within_guarantee_token_bucket(self):
+        registry = SLORegistry(
+            [TenantSLO(tenant="t", guaranteed_rate=1.0, guaranteed_burst=2.0)]
+        )
+        # allowance at slot 0 is burst + rate*1 = 3 arrivals.
+        for _ in range(3):
+            registry.record_arrival("t", slot=0)
+        assert registry.within_guarantee("t", slot=0)
+        registry.record_arrival("t", slot=0)
+        assert not registry.within_guarantee("t", slot=0)
+        # ... but time refills the allowance.
+        assert registry.within_guarantee("t", slot=5)
+
+    def test_weighted_pain_scales_with_weight(self):
+        registry = SLORegistry(
+            [TenantSLO(tenant="heavy", weight=2.0), TenantSLO(tenant="light")]
+        )
+        for tenant in ("heavy", "light"):
+            for _ in range(4):
+                registry.record_arrival(tenant, slot=0)
+            registry.record_disposition(tenant, "shed")
+        assert registry.weighted_pain("heavy") == pytest.approx(
+            2.0 * registry.weighted_pain("light")
+        )
+
+    def test_reset_clears_accounts_but_keeps_contracts(self):
+        registry = SLORegistry([TenantSLO(tenant="t", weight=2.0)])
+        registry.record_arrival("t", slot=0)
+        registry.reset()
+        assert registry.account("t").arrivals == 0
+        assert registry.weight("t") == 2.0
+
+
+class TestReporting:
+    def test_table_is_deterministic_and_complete(self):
+        registry = SLORegistry([TenantSLO(tenant="b"), TenantSLO(tenant="a")])
+        registry.record_arrival("b", slot=0)
+        registry.record_disposition("b", "served")
+        table = registry.table()
+        assert list(table) == ["a", "b"]  # sorted
+        row = table["b"]
+        assert row["arrivals"] == 1
+        assert row["served"] == 1
+        assert row["slo_met"] is True
+        # round-trippable: identical on recomputation.
+        assert registry.table() == table
+
+    def test_jain_index_bounds(self):
+        registry = SLORegistry()
+        assert registry.jain_index() == 1.0  # vacuous
+        for tenant in ("a", "b"):
+            registry.record_arrival(tenant, slot=0)
+        registry.record_disposition("a", "served")
+        # one tenant served fully, the other not at all: J = 1/2.
+        assert registry.jain_index() == pytest.approx(0.5)
+        registry.record_disposition("b", "served")
+        assert registry.jain_index() == pytest.approx(1.0)

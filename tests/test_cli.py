@@ -174,6 +174,57 @@ class TestNewCommands:
             key.startswith("sim.online.admission.") for key in counters
         )
 
+    def test_serve_multitenant_demo(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--switches",
+                "15",
+                "--users",
+                "6",
+                "--horizon",
+                "20",
+                "--arrival-rate",
+                "3",
+                "--faults",
+                "6",
+                "--seed",
+                "5",
+                "--verify-determinism",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "tenant serving report" in out
+        assert "capacity overbooked: no" in out
+        assert "unattributed requests: none" in out
+        assert "determinism check: ok" in out
+
+    def test_serve_json_output(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--switches",
+                "12",
+                "--users",
+                "5",
+                "--horizon",
+                "12",
+                "--arrival-rate",
+                "3",
+                "--faults",
+                "0",
+                "--seed",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.index("capacity overbooked")])
+        assert "jain_index" in payload
+        assert "tenants" in payload
+
     def test_experiment_markdown(self, capsys):
         code = main(
             ["experiment", "fig8b", "--networks", "1", "--seed", "2", "--markdown"]
