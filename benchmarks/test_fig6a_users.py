@@ -1,7 +1,9 @@
 """Bench: Fig. 6(a) — entanglement rate vs. number of users.
 
 Paper shape: rate decreases as the user count grows (more channels
-multiply into Eq. 2).
+multiply into Eq. 2).  Runs with certified LP bounds enabled, so the
+archived table also reports each method's optimality-gap-vs-bound
+column and the run itself soundness-gates every rate.
 """
 
 from __future__ import annotations
@@ -11,9 +13,24 @@ from repro.experiments.fig6_scale import USER_COUNTS, run_fig6a
 
 def test_fig6a_users(benchmark, bench_config, archive):
     result = benchmark.pedantic(
-        run_fig6a, args=(bench_config,), rounds=1, iterations=1
+        run_fig6a,
+        args=(bench_config,),
+        kwargs={"with_bound": True},
+        rounds=1,
+        iterations=1,
     )
-    archive("fig6a_users", result.to_table("Fig. 6(a) — rate vs #users").render())
+    table = result.to_table("Fig. 6(a) — rate vs #users")
+    archive("fig6a_users", table.render())
+
+    # Bounds are on: the table must carry the gap-vs-LP-bound columns.
+    assert result.has_bounds
+    assert "LP bound" in table.columns
+    assert any("gap%" in column for column in table.columns)
+    # Soundness: no method ever beats its certified bound (capacity-
+    # exempt methods are gapped against the uncapacitated bound).
+    for point in result.results:
+        for aggregate in point.gap_aggregates().values():
+            assert aggregate.sound, aggregate
 
     series = result.series()
     for method in ("optimal", "conflict_free", "prim"):

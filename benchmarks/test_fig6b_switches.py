@@ -2,7 +2,9 @@
 
 Paper shape: rate mostly declines as switches grow 10 → 40 (channels
 cross more switches), with a possible small recovery at 50 when the
-denser plant offers better channel choices.
+denser plant offers better channel choices.  Runs with certified LP
+bounds enabled: the archived table gains gap-vs-bound columns and the
+run soundness-gates every rate.
 """
 
 from __future__ import annotations
@@ -12,12 +14,21 @@ from repro.experiments.fig6_scale import SWITCH_COUNTS, run_fig6b
 
 def test_fig6b_switches(benchmark, bench_config, archive):
     result = benchmark.pedantic(
-        run_fig6b, args=(bench_config,), rounds=1, iterations=1
+        run_fig6b,
+        args=(bench_config,),
+        kwargs={"with_bound": True},
+        rounds=1,
+        iterations=1,
     )
-    archive(
-        "fig6b_switches",
-        result.to_table("Fig. 6(b) — rate vs #switches").render(),
-    )
+    table = result.to_table("Fig. 6(b) — rate vs #switches")
+    archive("fig6b_switches", table.render())
+
+    assert result.has_bounds
+    assert "LP bound" in table.columns
+    assert any("gap%" in column for column in table.columns)
+    for point in result.results:
+        for aggregate in point.gap_aggregates().values():
+            assert aggregate.sound, aggregate
 
     series = result.series()
     # Loose trend check (the paper itself observes non-monotonicity at

@@ -120,6 +120,16 @@ from repro.admission import (
     PolicyChain,
     TokenBucketLimiter,
 )
+from repro.bounds import (
+    BoundCertificate,
+    GapAggregate,
+    LPRelaxationResult,
+    aggregate_gaps,
+    compute_bound,
+    optimality_gap,
+    solve_lp_rounding,
+    solve_relaxation,
+)
 
 __version__ = "1.0.0"
 
@@ -213,5 +223,13 @@ __all__ = [
     "ExecutionEngine",
     "ShardPlan",
     "caching",
+    "BoundCertificate",
+    "GapAggregate",
+    "LPRelaxationResult",
+    "aggregate_gaps",
+    "compute_bound",
+    "optimality_gap",
+    "solve_lp_rounding",
+    "solve_relaxation",
     "__version__",
 ]

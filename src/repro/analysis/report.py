@@ -49,13 +49,30 @@ def markdown_table(
 
 
 def sweep_markdown(result, title: str, commentary: str = "") -> str:
-    """Markdown section for a :class:`SweepResult`."""
+    """Markdown section for a :class:`SweepResult`.
+
+    Sweeps run with ``bound="lp"`` gain a certified ``LP bound`` column
+    and a per-method optimality-gap column (mean gap against each
+    trial's own certificate, in percent).
+    """
     methods = list(result.results[0].config.methods)
     columns = [result.parameter] + [DISPLAY_NAMES.get(m, m) for m in methods]
+    with_bounds = getattr(result, "has_bounds", False)
+    gaps = None
+    if with_bounds:
+        columns.append("LP bound")
+        columns += [f"{DISPLAY_NAMES.get(m, m)} gap%" for m in methods]
+        gaps = result.gap_series()
     rows: List[List[object]] = []
-    for value, point in zip(result.values, result.results):
+    for index, (value, point) in enumerate(
+        zip(result.values, result.results)
+    ):
         rates = point.mean_rates()
-        rows.append([value] + [rates[m] for m in methods])
+        row: List[object] = [value] + [rates[m] for m in methods]
+        if gaps is not None:
+            row.append(point.mean_bound)
+            row += [f"{gaps[m][index]:.2f}" for m in methods]
+        rows.append(row)
     parts = [f"### {title}", ""]
     if commentary:
         parts += [commentary, ""]
@@ -65,26 +82,26 @@ def sweep_markdown(result, title: str, commentary: str = "") -> str:
 
 def experiment_markdown(result, title: str) -> str:
     """Markdown section for a single :class:`ExperimentResult`."""
+    with_bounds = getattr(result, "has_bounds", False)
+    gaps = result.gap_aggregates() if with_bounds else None
+    columns = ["method", "mean rate", "min", "max", "failures"]
+    if with_bounds:
+        columns.append("gap vs LP bound")
     rows = []
     for outcome in result.outcomes:
         stats = outcome.stats
-        rows.append(
-            [
-                outcome.display,
-                stats.mean,
-                stats.minimum,
-                stats.maximum,
-                f"{stats.n_zero}/{stats.n}",
-            ]
-        )
-    return "\n".join(
-        [
-            f"### {title}",
-            "",
-            markdown_table(
-                ["method", "mean rate", "min", "max", "failures"], rows
-            ),
+        row = [
+            outcome.display,
+            stats.mean,
+            stats.minimum,
+            stats.maximum,
+            f"{stats.n_zero}/{stats.n}",
         ]
+        if gaps is not None:
+            row.append(f"{gaps[outcome.method].mean_gap_percent:.2f}%")
+        rows.append(row)
+    return "\n".join(
+        [f"### {title}", "", markdown_table(columns, rows)]
     )
 
 

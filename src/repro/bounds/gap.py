@@ -1,0 +1,145 @@
+"""Optimality-gap helpers: solver rates against certified LP bounds.
+
+The gap of a solution against a :class:`~repro.bounds.lp.BoundCertificate`
+is the relative shortfall in linear-rate space::
+
+    gap = 1 − rate / bound_rate        ∈ [0, 1] for a sound bound
+
+A gap of ``0.03`` reads "this tree is certified to be within 3% of the
+best achievable rate".  Negative gaps beyond :data:`SOUNDNESS_TOLERANCE`
+mean the solver *beat* the bound — impossible for a sound certificate,
+so :func:`aggregate_gaps` counts them as violations (the CI soundness
+gate asserts there are none; capacity-exempt methods must be compared
+against an uncapacitated certificate, see
+:data:`repro.core.registry.CAPACITY_EXEMPT_METHODS`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.bounds.lp import BoundCertificate
+from repro.core.problem import MUERPSolution
+
+__all__ = [
+    "SOUNDNESS_TOLERANCE",
+    "GapAggregate",
+    "aggregate_gaps",
+    "gap_percent",
+    "optimality_gap",
+]
+
+#: Relative slack allowed before a negative gap counts as a soundness
+#: violation (floating-point noise between rate and bound arithmetic).
+SOUNDNESS_TOLERANCE = 1e-7
+
+RateLike = Union[MUERPSolution, float]
+BoundLike = Union[BoundCertificate, float]
+
+
+def _as_rate(value: RateLike) -> float:
+    if isinstance(value, MUERPSolution):
+        return value.rate
+    return float(value)
+
+
+def _as_bound_rate(value: BoundLike) -> float:
+    if isinstance(value, BoundCertificate):
+        return value.rate_bound
+    return float(value)
+
+
+def optimality_gap(solution: RateLike, bound: BoundLike) -> float:
+    """Relative gap ``1 − rate/bound`` of *solution* against *bound*.
+
+    Accepts :class:`~repro.core.problem.MUERPSolution` or a raw rate,
+    and :class:`~repro.bounds.lp.BoundCertificate` or a raw bound rate.
+    Conventions for the degenerate cases:
+
+    * bound 0, rate 0 → gap 0 (both certify "nothing achievable");
+    * bound 0, rate > 0 → ``−inf`` (an unambiguous soundness violation);
+    * otherwise the plain ratio — negative gaps *within*
+      :data:`SOUNDNESS_TOLERANCE` are snapped to 0 (they are
+      floating-point noise on a tight bound, e.g. a heuristic finding
+      the LP-optimal tree exactly), while anything more negative is
+      kept so soundness checks surface it.
+    """
+    rate = _as_rate(solution)
+    bound_rate = _as_bound_rate(bound)
+    if rate < 0.0 or bound_rate < 0.0:
+        raise ValueError(
+            f"rates must be nonnegative, got rate={rate!r} "
+            f"bound={bound_rate!r}"
+        )
+    if bound_rate == 0.0:
+        return 0.0 if rate == 0.0 else -math.inf
+    gap = 1.0 - rate / bound_rate
+    if -SOUNDNESS_TOLERANCE <= gap < 0.0:
+        return 0.0
+    return gap
+
+
+def gap_percent(solution: RateLike, bound: BoundLike) -> float:
+    """:func:`optimality_gap` scaled to percent."""
+    return 100.0 * optimality_gap(solution, bound)
+
+
+@dataclass(frozen=True)
+class GapAggregate:
+    """Per-method gap statistics across a set of trials."""
+
+    method: str
+    n_trials: int
+    mean_gap: float
+    min_gap: float
+    max_gap: float
+    violations: int
+
+    @property
+    def mean_gap_percent(self) -> float:
+        return 100.0 * self.mean_gap
+
+    @property
+    def sound(self) -> bool:
+        """No trial beat its bound beyond numerical tolerance."""
+        return self.violations == 0
+
+
+def aggregate_gaps(
+    rates_by_method: Mapping[str, Sequence[float]],
+    bounds: Sequence[float],
+    tolerance: float = SOUNDNESS_TOLERANCE,
+) -> Dict[str, GapAggregate]:
+    """Per-method gap aggregation over aligned per-trial bounds.
+
+    ``rates_by_method[m][t]`` is method *m*'s rate on trial *t* and
+    ``bounds[t]`` the certified bound for the same trial's network.
+    """
+    aggregates: Dict[str, GapAggregate] = {}
+    for method, rates in rates_by_method.items():
+        if len(rates) != len(bounds):
+            raise ValueError(
+                f"method {method!r} has {len(rates)} rates but "
+                f"{len(bounds)} bounds"
+            )
+        gaps = [
+            optimality_gap(rate, bound)
+            for rate, bound in zip(rates, bounds)
+        ]
+        violations = sum(1 for g in gaps if g < -tolerance)
+        if gaps:
+            mean_gap = math.fsum(gaps) / len(gaps)
+            min_gap, max_gap = min(gaps), max(gaps)
+        else:
+            mean_gap = min_gap = max_gap = math.nan
+        aggregates[method] = GapAggregate(
+            method=method,
+            n_trials=len(gaps),
+            mean_gap=mean_gap,
+            min_gap=min_gap,
+            max_gap=max_gap,
+            violations=violations,
+        )
+    return aggregates

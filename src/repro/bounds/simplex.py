@@ -1,0 +1,280 @@
+"""Dependency-free dense two-phase revised simplex.
+
+Solves the standard-form problem
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                x >= 0
+
+and returns primal values, the optimal objective, and the dual vector
+(one multiplier per row, inequality rows first) under the convention
+
+    reduced_cost(j) = c[j] - y @ A[:, j] >= 0   at optimality,
+
+so for any dual-feasible ``y``, ``y @ b`` is a lower bound on the
+optimum (weak duality).  Under this sign convention inequality duals
+are nonpositive at the optimum.
+
+The implementation is deliberately boring: slacks turn inequalities
+into equalities, artificial variables give a feasible starting basis,
+Bland's rule guarantees termination, and an explicit basis inverse is
+maintained with eta-style row updates plus periodic refactorization.
+It only needs numpy (a hard dependency of the package) and is exact
+enough for the restricted-master LPs of :mod:`repro.bounds.lp`, which
+stay in the low hundreds of rows.  ``scipy.optimize.linprog`` can be
+swapped in as a faster backend (see :func:`repro.bounds.lp.solve_lp`)
+but is never required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LPResult", "simplex_solve"]
+
+#: Feasibility / optimality tolerance for the dense simplex.
+TOLERANCE = 1e-9
+
+#: Rebuild the basis inverse from scratch every this many pivots.
+REFACTOR_EVERY = 64
+
+#: Hard pivot ceiling (Bland's rule terminates long before this on the
+#: small master LPs this module exists for).
+MAX_PIVOTS = 50_000
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of a :func:`simplex_solve` call.
+
+    Attributes:
+        status: ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+        x: Primal solution (zeros unless ``status == "optimal"``).
+        objective: ``c @ x`` at the optimum (``nan`` otherwise).
+        duals_ub: One multiplier per inequality row (nonpositive).
+        duals_eq: One multiplier per equality row (free sign).
+        iterations: Total simplex pivots across both phases.
+    """
+
+    status: str
+    x: np.ndarray
+    objective: float
+    duals_ub: np.ndarray
+    duals_eq: np.ndarray
+    iterations: int
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def _as_matrix(a: Optional[np.ndarray], n: int) -> np.ndarray:
+    if a is None:
+        return np.zeros((0, n), dtype=float)
+    matrix = np.asarray(a, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] != n:
+        raise ValueError(f"constraint matrix shape {matrix.shape} != (m, {n})")
+    return matrix
+
+
+def _as_vector(b: Optional[np.ndarray], m: int) -> np.ndarray:
+    if b is None:
+        return np.zeros(0, dtype=float)
+    vector = np.asarray(b, dtype=float).ravel()
+    if vector.shape[0] != m:
+        raise ValueError(f"rhs length {vector.shape[0]} != {m}")
+    return vector
+
+
+def _pivot(
+    a: np.ndarray,
+    basis: np.ndarray,
+    b_inv: np.ndarray,
+    x_b: np.ndarray,
+    entering: int,
+    leaving_row: int,
+    direction: np.ndarray,
+) -> None:
+    """Replace ``basis[leaving_row]`` with *entering* and update B⁻¹."""
+    step = x_b[leaving_row] / direction[leaving_row]
+    x_b -= step * direction
+    x_b[leaving_row] = step
+    # Eta update: eliminate the entering column from every other row.
+    pivot_value = direction[leaving_row]
+    b_inv[leaving_row] /= pivot_value
+    for row in range(b_inv.shape[0]):
+        if row != leaving_row and abs(direction[row]) > 0.0:
+            b_inv[row] -= direction[row] * b_inv[leaving_row]
+    basis[leaving_row] = entering
+
+
+def _run_phase(
+    a: np.ndarray,
+    b: np.ndarray,
+    cost: np.ndarray,
+    basis: np.ndarray,
+    b_inv: np.ndarray,
+    x_b: np.ndarray,
+    allowed: np.ndarray,
+    start_iteration: int,
+) -> Tuple[str, int]:
+    """Bland-rule simplex loop on one phase; mutates basis/b_inv/x_b."""
+    m = a.shape[0]
+    iterations = start_iteration
+    pivots_since_refactor = 0
+    while True:
+        if iterations - start_iteration > MAX_PIVOTS:  # pragma: no cover
+            raise RuntimeError("simplex pivot limit exceeded")
+        y = cost[basis] @ b_inv
+        reduced = cost - y @ a
+        reduced[basis] = 0.0
+        candidates = np.flatnonzero(allowed & (reduced < -TOLERANCE))
+        if candidates.size == 0:
+            return "optimal", iterations
+        entering = int(candidates[0])  # Bland: smallest eligible index
+        direction = b_inv @ a[:, entering]
+        positive = direction > TOLERANCE
+        if not positive.any():
+            return "unbounded", iterations
+        ratios = np.full(m, np.inf)
+        ratios[positive] = x_b[positive] / direction[positive]
+        best = ratios.min()
+        # Bland tie-break: among minimizing rows, evict the basic
+        # variable with the smallest index.
+        tied = np.flatnonzero(ratios <= best + TOLERANCE)
+        leaving_row = int(tied[np.argmin(basis[tied])])
+        _pivot(a, basis, b_inv, x_b, entering, leaving_row, direction)
+        iterations += 1
+        pivots_since_refactor += 1
+        if pivots_since_refactor >= REFACTOR_EVERY:
+            b_inv[:, :] = np.linalg.inv(a[:, basis])
+            x_b[:] = b_inv @ b
+            pivots_since_refactor = 0
+
+
+def simplex_solve(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+) -> LPResult:
+    """Solve ``min c@x s.t. A_ub@x <= b_ub, A_eq@x == b_eq, x >= 0``."""
+    c = np.asarray(c, dtype=float).ravel()
+    n = c.shape[0]
+    a_ub = _as_matrix(a_ub, n)
+    b_ub = _as_vector(b_ub, a_ub.shape[0])
+    a_eq = _as_matrix(a_eq, n)
+    b_eq = _as_vector(b_eq, a_eq.shape[0])
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+    if m == 0:
+        # No constraints: optimum is all-zeros unless some cost is
+        # negative, in which case the problem is unbounded.
+        if (c < -TOLERANCE).any():
+            return LPResult(
+                "unbounded", np.zeros(n), float("nan"),
+                np.zeros(0), np.zeros(0), 0,
+            )
+        return LPResult(
+            "optimal", np.zeros(n), 0.0, np.zeros(0), np.zeros(0), 0
+        )
+
+    # Standard form: structural columns, then slacks, then artificials.
+    # Inequality rows get a +1 slack; rows whose slack cannot start
+    # basic (negative rhs) and every equality row get an artificial
+    # with sign matching the rhs, so the all-identity-ish starting
+    # basis is primal feasible without negating any row (which keeps
+    # dual extraction in the original row orientation).
+    rows = np.vstack([a_ub, a_eq]) if m_ub and m_eq else (
+        a_ub if m_ub else a_eq
+    )
+    rhs = np.concatenate([b_ub, b_eq])
+    slack_block = np.zeros((m, m_ub))
+    for i in range(m_ub):
+        slack_block[i, i] = 1.0
+    needs_artificial = [
+        i for i in range(m)
+        if i >= m_ub or rhs[i] < -TOLERANCE
+    ]
+    art_block = np.zeros((m, len(needs_artificial)))
+    for col, row in enumerate(needs_artificial):
+        art_block[row, col] = 1.0 if rhs[row] >= 0.0 else -1.0
+    a = np.hstack([rows, slack_block, art_block])
+    total = a.shape[1]
+    art_start = n + m_ub
+
+    basis = np.empty(m, dtype=int)
+    for col, row in enumerate(needs_artificial):
+        basis[row] = art_start + col
+    for i in range(m_ub):
+        if rhs[i] >= -TOLERANCE:
+            basis[i] = n + i  # slack starts basic
+    b_inv = np.linalg.inv(a[:, basis])
+    x_b = b_inv @ rhs
+
+    iterations = 0
+    if needs_artificial:
+        phase1_cost = np.zeros(total)
+        phase1_cost[art_start:] = 1.0
+        allowed = np.ones(total, dtype=bool)
+        status, iterations = _run_phase(
+            a, rhs, phase1_cost, basis, b_inv, x_b, allowed, iterations
+        )
+        if status != "optimal":  # pragma: no cover - phase 1 is bounded
+            raise RuntimeError(f"phase-1 simplex returned {status}")
+        if float(phase1_cost[basis] @ x_b) > 1e-7:
+            return LPResult(
+                "infeasible", np.zeros(n), float("nan"),
+                np.zeros(m_ub), np.zeros(m_eq), iterations,
+            )
+        # Drive artificials still basic at zero out of the basis with
+        # degenerate pivots; a later phase-2 pivot could otherwise push
+        # one positive and silently violate its row.  Rows where no
+        # structural/slack column has a nonzero tableau entry are
+        # redundant: their artificial stays pinned at zero forever.
+        np.maximum(x_b, 0.0, out=x_b)
+        in_basis = set(int(v) for v in basis)
+        for row in range(m):
+            if basis[row] < art_start:
+                continue
+            tableau_row = b_inv[row] @ a[:, :art_start]
+            for j in np.flatnonzero(np.abs(tableau_row) > 1e-7):
+                if int(j) in in_basis:
+                    continue
+                direction = b_inv @ a[:, int(j)]
+                in_basis.discard(int(basis[row]))
+                in_basis.add(int(j))
+                _pivot(a, basis, b_inv, x_b, int(j), row, direction)
+                np.maximum(x_b, 0.0, out=x_b)
+                break
+
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n] = c
+    allowed = np.ones(total, dtype=bool)
+    allowed[art_start:] = False  # artificials may never re-enter
+    status, iterations = _run_phase(
+        a, rhs, phase2_cost, basis, b_inv, x_b, allowed, iterations
+    )
+    if status == "unbounded":
+        return LPResult(
+            "unbounded", np.zeros(n), float("nan"),
+            np.zeros(m_ub), np.zeros(m_eq), iterations,
+        )
+
+    x = np.zeros(total)
+    x[basis] = np.maximum(x_b, 0.0)
+    y = phase2_cost[basis] @ b_inv
+    objective = float(c @ x[:n])
+    return LPResult(
+        status="optimal",
+        x=x[:n].copy(),
+        objective=objective,
+        duals_ub=y[:m_ub].copy(),
+        duals_eq=y[m_ub:].copy(),
+        iterations=iterations,
+    )

@@ -570,6 +570,49 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    bounds_parser = sub.add_parser(
+        "bounds",
+        help=(
+            "certify one network: LP relaxation bound, per-method "
+            "optimality gaps and the rounding-based solver"
+        ),
+        parents=[obs_parent],
+    )
+    bounds_parser.add_argument("--topology", default="waxman")
+    bounds_parser.add_argument("--switches", type=int, default=50)
+    bounds_parser.add_argument("--users", type=int, default=10)
+    bounds_parser.add_argument("--degree", type=float, default=6.0)
+    bounds_parser.add_argument("--qubits", type=int, default=4)
+    bounds_parser.add_argument("--swap-prob", type=float, default=0.9)
+    bounds_parser.add_argument("--seed", type=int, default=7)
+    bounds_parser.add_argument(
+        "--backend",
+        choices=("auto", "simplex", "scipy"),
+        default="auto",
+        help="LP backend (auto prefers scipy when installed)",
+    )
+    bounds_parser.add_argument(
+        "--method",
+        action="append",
+        default=None,
+        metavar="METHOD",
+        help="solver to gap against the bound (repeatable; default "
+        "conflict_free, prim, lp_rounding)",
+    )
+    bounds_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the certificate and gaps as JSON instead of a table",
+    )
+    bounds_parser.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help=(
+            "solve the relaxation and the rounding solver twice and "
+            "fail unless certificates and trees are byte-identical"
+        ),
+    )
+
     return parser
 
 
@@ -1270,6 +1313,139 @@ def _command_incremental(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _command_bounds(args: argparse.Namespace) -> int:
+    """Certify one network and gap the requested solvers against it.
+
+    Computes both the capacitated and the uncapacitated LP bound (the
+    latter is what capacity-exempt methods are measured against), runs
+    every ``--method`` plus the LP-rounding solver, and prints the gap
+    table.  Any solver beating its certified bound exits with
+    ``EXIT_VERIFICATION_ERROR`` — that is a library bug, never a
+    legitimate outcome.  ``--verify-determinism`` re-solves relaxation
+    and rounding and fails the same way unless byte-identical.
+    """
+    import dataclasses
+    import json
+
+    from repro.bounds.gap import SOUNDNESS_TOLERANCE, gap_percent
+    from repro.bounds.lp import solve_relaxation
+    from repro.bounds.rounding import solve_lp_rounding
+
+    try:
+        from repro.bounds.lp import _resolve_backend
+
+        _resolve_backend(args.backend)
+    except ImportError as exc:
+        print(f"backend error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION_ERROR
+
+    config = TopologyConfig(
+        n_switches=args.switches,
+        n_users=args.users,
+        avg_degree=args.degree,
+        qubits_per_switch=args.qubits,
+        swap_prob=args.swap_prob,
+    )
+    network = generate(args.topology, config, rng=args.seed)
+    relaxation = solve_relaxation(network, backend=args.backend)
+    uncap = solve_relaxation(
+        network, backend=args.backend, capacitated=False
+    )
+    certificate = relaxation.certificate
+
+    def _comparable(cert):
+        return dataclasses.replace(cert, solve_seconds=0.0)
+
+    if args.verify_determinism:
+        again = solve_relaxation(network, backend=args.backend)
+        rounded_a = solve_lp_rounding(
+            network, rng=args.seed, backend=args.backend
+        )
+        rounded_b = solve_lp_rounding(
+            network, rng=args.seed, backend=args.backend
+        )
+        if (
+            _comparable(again.certificate) != _comparable(certificate)
+            or again.columns != relaxation.columns
+            or again.values != relaxation.values
+        ):
+            print("determinism check: FAILED (relaxation differs)")
+            return EXIT_VERIFICATION_ERROR
+        if (
+            rounded_a.channels != rounded_b.channels
+            or rounded_a.log_rate != rounded_b.log_rate
+        ):
+            print("determinism check: FAILED (rounding differs)")
+            return EXIT_VERIFICATION_ERROR
+        print("determinism check: ok (identical certificate and tree)")
+
+    methods = tuple(args.method or ("conflict_free", "prim", "lp_rounding"))
+    rows = []
+    violations = 0
+    for method in methods:
+        solution = solve(method, network, rng=args.seed)
+        bound = (
+            uncap.certificate
+            if method in CAPACITY_EXEMPT_METHODS
+            else certificate
+        )
+        gap = gap_percent(solution.rate, bound)
+        if gap < -100.0 * SOUNDNESS_TOLERANCE:
+            violations += 1
+        rows.append((method, solution.rate, bound.rate_bound, gap))
+
+    if args.json:
+        payload = {
+            "certificate": {
+                **dataclasses.asdict(certificate),
+                "rate_bound": certificate.rate_bound,
+                "switch_duals": {
+                    repr(k): v
+                    for k, v in certificate.switch_duals.items()
+                },
+            },
+            "uncapacitated_rate_bound": uncap.certificate.rate_bound,
+            "gaps": [
+                {
+                    "method": m,
+                    "rate": r,
+                    "bound": b,
+                    "gap_percent": g,
+                }
+                for m, r, b, g in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(network)
+        print(
+            f"LP bound: rate ≤ {certificate.rate_bound:.6e} "
+            f"(log {certificate.log_bound:.6f}, backend "
+            f"{certificate.backend}, {certificate.rounds} round(s), "
+            f"{certificate.pivots} pivot(s), "
+            f"{certificate.n_columns} column(s), "
+            f"{'converged' if certificate.dual_feasible else 'early stop'})"
+        )
+        print(
+            f"uncapacitated bound: rate ≤ "
+            f"{uncap.certificate.rate_bound:.6e}"
+        )
+        for method, rate, bound_rate, gap in rows:
+            print(
+                f"  {method:<16} rate {rate:.6e}  gap {gap:6.2f}%"
+                + ("  [uncapacitated bound]"
+                   if method in CAPACITY_EXEMPT_METHODS else "")
+            )
+    if violations:
+        print(
+            f"soundness check: FAILED ({violations} method(s) beat "
+            "their certified bound)",
+            file=sys.stderr,
+        )
+        return EXIT_VERIFICATION_ERROR
+    return EXIT_OK
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _command_list()
@@ -1293,6 +1469,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_serve(args)
     if args.command == "incremental":
         return _command_incremental(args)
+    if args.command == "bounds":
+        return _command_bounds(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -58,8 +58,10 @@ DISPLAY_NAMES: Dict[str, str] = {}
 CAPACITY_EXEMPT_METHODS = frozenset({"optimal", "alg2"})
 
 #: Default fallback chain for :func:`solve_robust`: the paper's
-#: capacity-aware heuristics in decreasing solution-quality order.
-DEFAULT_CHAIN: Tuple[str, ...] = ("conflict_free", "prim")
+#: capacity-aware heuristics in decreasing solution-quality order, with
+#: the LP-rounding approximation (:mod:`repro.bounds.rounding`) as the
+#: final capacity-aware backstop.
+DEFAULT_CHAIN: Tuple[str, ...] = ("conflict_free", "prim", "lp_rounding")
 
 
 class UnknownSolverError(KeyError):
@@ -563,3 +565,14 @@ def _exact_adapter(network, users=None, rng=None):
 
 
 register_solver("exact", _exact_adapter, display="Exact-B&B")
+
+
+def _lp_rounding_adapter(network, users=None, rng=None):
+    # Imported lazily: repro.bounds builds on core (ledger, verifier,
+    # channel search), so a module-level import here would be a cycle.
+    from repro.bounds.rounding import solve_lp_rounding
+
+    return solve_lp_rounding(network, users, rng=rng)
+
+
+register_solver("lp_rounding", _lp_rounding_adapter, display="LP-Round")

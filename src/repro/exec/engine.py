@@ -619,7 +619,27 @@ class ExecutionEngine:
             )
             for method in config.methods
         )
-        return ExperimentResult(config=config, outcomes=outcomes)
+        bounds: tuple = ()
+        uncap_bounds: tuple = ()
+        if config.bound == "lp":
+            # The certified LP bounds ride through shard results and
+            # checkpoints under reserved keys, exactly like methods.
+            from repro.experiments.runner import BOUND_KEY, UNCAP_BOUND_KEY
+
+            bounds = tuple(
+                rates_by_trial[trial][BOUND_KEY]
+                for trial in range(config.n_networks)
+            )
+            uncap_bounds = tuple(
+                rates_by_trial[trial][UNCAP_BOUND_KEY]
+                for trial in range(config.n_networks)
+            )
+        return ExperimentResult(
+            config=config,
+            outcomes=outcomes,
+            bounds=bounds,
+            uncap_bounds=uncap_bounds,
+        )
 
     def run_sweep(
         self,

@@ -43,12 +43,27 @@ class ExperimentConfig:
     n_networks: int = 20
     seed: int = 7
     methods: Tuple[str, ...] = DEFAULT_METHODS
+    #: ``"lp"`` computes a certified LP upper bound per trial network
+    #: (:mod:`repro.bounds`) and threads optimality-gap columns through
+    #: the result tables; ``""`` (default) skips bound computation.
+    bound: str = ""
+    #: LP backend for the bound: ``"auto"``, ``"simplex"`` or ``"scipy"``.
+    bound_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_networks < 1:
             raise ValueError("n_networks must be >= 1")
         if not self.methods:
             raise ValueError("methods must not be empty")
+        if self.bound not in ("", "lp"):
+            raise ValueError(
+                f"unknown bound kind {self.bound!r}; expected '' or 'lp'"
+            )
+        if self.bound_backend not in ("auto", "simplex", "scipy"):
+            raise ValueError(
+                f"unknown bound backend {self.bound_backend!r}; "
+                "expected 'auto', 'simplex' or 'scipy'"
+            )
 
     def topology_config(self) -> TopologyConfig:
         """The matching topology-generation parameters."""

@@ -20,7 +20,14 @@ def run_fig5(
     base: Optional[ExperimentConfig] = None,
     topologies: Sequence[str] = TOPOLOGIES,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
-    """Reproduce Fig. 5's data series."""
+    """Reproduce Fig. 5's data series.
+
+    ``with_bound`` computes the certified LP bound per trial network
+    (:mod:`repro.bounds`) and adds optimality-gap columns to the tables.
+    """
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "topology", list(topologies), workers=workers)

@@ -23,9 +23,16 @@ def run_fig6a(
     base: Optional[ExperimentConfig] = None,
     user_counts: Sequence[int] = USER_COUNTS,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
-    """Reproduce Fig. 6(a): rate vs. number of users."""
+    """Reproduce Fig. 6(a): rate vs. number of users.
+
+    ``with_bound`` adds per-trial certified LP bounds and
+    optimality-gap columns (:mod:`repro.bounds`).
+    """
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "n_users", list(user_counts), workers=workers)
 
 
@@ -33,7 +40,14 @@ def run_fig6b(
     base: Optional[ExperimentConfig] = None,
     switch_counts: Sequence[int] = SWITCH_COUNTS,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
-    """Reproduce Fig. 6(b): rate vs. number of switches."""
+    """Reproduce Fig. 6(b): rate vs. number of switches.
+
+    ``with_bound`` adds per-trial certified LP bounds and
+    optimality-gap columns (:mod:`repro.bounds`).
+    """
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "n_switches", list(switch_counts), workers=workers)

@@ -38,9 +38,16 @@ def run_fig7a(
     base: Optional[ExperimentConfig] = None,
     degrees: Sequence[float] = DEGREES,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
-    """Reproduce Fig. 7(a): rate vs. average degree."""
+    """Reproduce Fig. 7(a): rate vs. average degree.
+
+    ``with_bound`` adds per-trial certified LP bounds and
+    optimality-gap columns (:mod:`repro.bounds`).
+    """
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "avg_degree", list(degrees), workers=workers)
 
 

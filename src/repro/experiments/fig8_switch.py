@@ -22,6 +22,7 @@ def run_fig8a(
     base: Optional[ExperimentConfig] = None,
     qubit_counts: Sequence[int] = QUBIT_COUNTS,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
     """Reproduce Fig. 8(a): rate vs. qubits per switch.
 
@@ -31,6 +32,8 @@ def run_fig8a(
     points — this is the repeated-topology sweep the cache is built for.
     """
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "qubits_per_switch", list(qubit_counts), workers=workers)
 
 
@@ -38,7 +41,10 @@ def run_fig8b(
     base: Optional[ExperimentConfig] = None,
     swap_probs: Sequence[float] = SWAP_PROBS,
     workers: Optional[int] = None,
+    with_bound: bool = False,
 ) -> SweepResult:
     """Reproduce Fig. 8(b): rate vs. BSM swapping success probability."""
     base = base or ExperimentConfig()
+    if with_bound:
+        base = base.replace(bound="lp")
     return sweep(base, "swap_prob", list(swap_probs), workers=workers)

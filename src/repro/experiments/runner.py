@@ -32,6 +32,16 @@ from repro.network.graph import QuantumNetwork
 from repro.topology.registry import generate
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
+#: Reserved keys in per-trial rate maps carrying the certified LP bound
+#: (capacitated) and its uncapacitated variant.  They ride through the
+#: checkpoint store and shard merges exactly like method rates, which
+#: is what keeps bounded runs resumable and worker-count invariant.
+BOUND_KEY = "__lp_bound__"
+UNCAP_BOUND_KEY = "__lp_bound_uncap__"
+
+#: Relative slack for the in-run soundness gate (rate vs. bound).
+_SOUNDNESS_RTOL = 1e-7
+
 
 @dataclass(frozen=True)
 class MethodOutcome:
@@ -55,10 +65,18 @@ class MethodOutcome:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """All method outcomes for one experiment configuration."""
+    """All method outcomes for one experiment configuration.
+
+    When the config enabled bound computation (``config.bound ==
+    "lp"``), ``bounds``/``uncap_bounds`` hold the per-trial certified
+    LP rate bounds (aligned with each outcome's ``rates``) and every
+    table gains an optimality-gap-vs-LP-bound column.
+    """
 
     config: ExperimentConfig
     outcomes: Tuple[MethodOutcome, ...]
+    bounds: Tuple[float, ...] = ()
+    uncap_bounds: Tuple[float, ...] = ()
 
     def outcome(self, method: str) -> MethodOutcome:
         for candidate in self.outcomes:
@@ -69,22 +87,64 @@ class ExperimentResult:
     def mean_rates(self) -> Dict[str, float]:
         return {o.method: o.mean_rate for o in self.outcomes}
 
+    @property
+    def has_bounds(self) -> bool:
+        return bool(self.bounds)
+
+    @property
+    def mean_bound(self) -> float:
+        """Mean certified (capacitated) LP rate bound across trials."""
+        if not self.bounds:
+            raise ValueError("experiment ran without bound computation")
+        return float(np.mean(self.bounds))
+
+    def bounds_for(self, method: str) -> Tuple[float, ...]:
+        """Per-trial bounds *method* must stay below.
+
+        Capacity-exempt methods (Algorithm 2 under its
+        sufficient-capacity assumption) are measured against the
+        uncapacitated relaxation; everything else against the
+        capacitated one.
+        """
+        if not self.bounds:
+            raise ValueError("experiment ran without bound computation")
+        if method in CAPACITY_EXEMPT_METHODS:
+            return self.uncap_bounds
+        return self.bounds
+
+    def gap_aggregates(self):
+        """Per-method :class:`~repro.bounds.gap.GapAggregate` map."""
+        from repro.bounds.gap import aggregate_gaps
+
+        aggregates = {}
+        for outcome in self.outcomes:
+            aggregates.update(
+                aggregate_gaps(
+                    {outcome.method: outcome.rates},
+                    self.bounds_for(outcome.method),
+                )
+            )
+        return aggregates
+
     def to_table(self, title: Optional[str] = None) -> Table:
-        table = Table(
-            ["method", "mean rate", "min", "max", "failures"],
-            title=title,
-        )
+        columns = ["method", "mean rate", "min", "max", "failures"]
+        gaps = None
+        if self.has_bounds:
+            columns.append("gap vs LP bound")
+            gaps = self.gap_aggregates()
+        table = Table(columns, title=title)
         for outcome in self.outcomes:
             stats = outcome.stats
-            table.add_row(
-                [
-                    outcome.display,
-                    stats.mean,
-                    stats.minimum,
-                    stats.maximum,
-                    f"{stats.n_zero}/{stats.n}",
-                ]
-            )
+            row = [
+                outcome.display,
+                stats.mean,
+                stats.minimum,
+                stats.maximum,
+                f"{stats.n_zero}/{stats.n}",
+            ]
+            if gaps is not None:
+                row.append(f"{gaps[outcome.method].mean_gap_percent:.2f}%")
+            table.add_row(row)
         return table
 
 
@@ -149,7 +209,49 @@ def run_trial(
         network = generate(
             config.topology, config.topology_config(), network_rng
         )
-        return run_on_network(network, config.methods, network_rng)
+        rates = run_on_network(network, config.methods, network_rng)
+        if config.bound == "lp":
+            _attach_bounds(network, config, rates)
+        return rates
+
+
+def _attach_bounds(
+    network: QuantumNetwork,
+    config: ExperimentConfig,
+    rates: Dict[str, float],
+) -> None:
+    """Compute the trial's LP bounds and gate every rate against them.
+
+    Stores the certified bounds under :data:`BOUND_KEY` /
+    :data:`UNCAP_BOUND_KEY` and asserts in-run soundness: a heuristic
+    rate above its certified bound is a library bug (in the solver, the
+    verifier or the bound itself), never a legitimate outcome.
+    """
+    from repro.bounds.gap import optimality_gap
+    from repro.bounds.lp import compute_bound
+
+    certificate = compute_bound(
+        network, backend=config.bound_backend, capacitated=True
+    )
+    uncap = compute_bound(
+        network, backend=config.bound_backend, capacitated=False
+    )
+    rates[BOUND_KEY] = certificate.rate_bound
+    rates[UNCAP_BOUND_KEY] = uncap.rate_bound
+    metrics = obs_metrics.active()
+    for method in config.methods:
+        bound = (
+            uncap if method in CAPACITY_EXEMPT_METHODS else certificate
+        )
+        gap = optimality_gap(rates[method], bound)
+        assert gap >= -_SOUNDNESS_RTOL, (
+            f"solver {method!r} rate {rates[method]:.6e} exceeds the "
+            f"certified LP bound {bound.rate_bound:.6e} "
+            f"(capacitated={bound.capacitated}) — unsound bound or "
+            f"invalid solution"
+        )
+        if metrics is not None:
+            metrics.observe(f"bounds.gap_percent.{method}", 100.0 * gap)
 
 
 def resumable_rates(
@@ -168,7 +270,12 @@ def resumable_rates(
     recorded = store.get(config, trial)
     if recorded is None or any(m not in recorded for m in config.methods):
         return None
-    return {m: recorded[m] for m in config.methods}
+    keys = list(config.methods)
+    if config.bound == "lp":
+        if BOUND_KEY not in recorded or UNCAP_BOUND_KEY not in recorded:
+            return None
+        keys += [BOUND_KEY, UNCAP_BOUND_KEY]
+    return {k: recorded[k] for k in keys}
 
 
 def run_experiment(
@@ -210,6 +317,8 @@ def run_experiment(
     store = checkpoint if checkpoint is not None else active_store()
     network_rngs = spawn_rngs(config.seed, config.n_networks)
     per_method: Dict[str, List[float]] = {m: [] for m in config.methods}
+    bounds: List[float] = []
+    uncap_bounds: List[float] = []
     metrics = obs_metrics.active()
     with obs_trace.span(
         "experiment.run",
@@ -234,8 +343,16 @@ def run_experiment(
                     store.record(config, trial, rates)
             for method in config.methods:
                 per_method[method].append(rates[method])
+            if config.bound == "lp":
+                bounds.append(rates[BOUND_KEY])
+                uncap_bounds.append(rates[UNCAP_BOUND_KEY])
     outcomes = tuple(
         MethodOutcome(method, tuple(per_method[method]))
         for method in config.methods
     )
-    return ExperimentResult(config=config, outcomes=outcomes)
+    return ExperimentResult(
+        config=config,
+        outcomes=outcomes,
+        bounds=tuple(bounds),
+        uncap_bounds=tuple(uncap_bounds),
+    )

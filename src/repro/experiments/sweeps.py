@@ -27,16 +27,63 @@ class SweepResult:
             for method in methods
         }
 
+    @property
+    def has_bounds(self) -> bool:
+        """Whether every sweep point carries certified LP bounds."""
+        return all(r.has_bounds for r in self.results)
+
+    def bound_series(self) -> List[float]:
+        """Mean certified LP bound per swept value."""
+        if not self.has_bounds:
+            raise ValueError("sweep ran without bound computation")
+        return [r.mean_bound for r in self.results]
+
+    def gap_series(self) -> Dict[str, List[float]]:
+        """Method → mean optimality-gap-vs-LP-bound (%) per swept value.
+
+        Gaps are averaged per trial against that trial's own certified
+        bound (capacity-exempt methods against the uncapacitated one),
+        not mean-rate against mean-bound — mixing the means would let a
+        lucky network mask an unsound trial.
+        """
+        if not self.has_bounds:
+            raise ValueError("sweep ran without bound computation")
+        methods = self.results[0].config.methods
+        return {
+            method: [
+                r.gap_aggregates()[method].mean_gap_percent
+                for r in self.results
+            ]
+            for method in methods
+        }
+
     def to_table(self, title: Optional[str] = None) -> Table:
-        """One row per swept value, one column per method."""
+        """One row per swept value, one column per method.
+
+        Bounded sweeps gain a mean certified ``LP bound`` column plus
+        one optimality-gap column per method.
+        """
         methods = list(self.results[0].config.methods)
         columns = [self.parameter] + [
             DISPLAY_NAMES.get(m, m) for m in methods
         ]
+        gaps = None
+        if self.has_bounds:
+            columns.append("LP bound")
+            columns += [
+                f"{DISPLAY_NAMES.get(m, m)} gap%" for m in methods
+            ]
+            gaps = self.gap_series()
         table = Table(columns, title=title)
-        for value, result in zip(self.values, self.results):
+        for index, (value, result) in enumerate(
+            zip(self.values, self.results)
+        ):
             rates = result.mean_rates()
-            table.add_row([value] + [rates[m] for m in methods])
+            row = [value] + [rates[m] for m in methods]
+            if gaps is not None:
+                row.append(result.mean_bound)
+                row += [f"{gaps[m][index]:.2f}" for m in methods]
+            table.add_row(row)
         return table
 
 

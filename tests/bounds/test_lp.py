@@ -1,0 +1,162 @@
+"""LP relaxation: exactness on known networks, determinism, backends."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.bounds.lp import (
+    compute_bound,
+    scipy_available,
+    solve_relaxation,
+)
+from repro.core.optimal import solve_optimal
+from repro.network import NetworkBuilder, NetworkParams
+from repro.topology import TopologyConfig, waxman_network
+
+
+def _line_network():
+    """alice - s0 - s1 - bob; the unique channel is the whole line."""
+    params = NetworkParams(alpha=1e-4, swap_prob=0.9)
+    return (
+        NetworkBuilder(params)
+        .user("alice", (0, 0))
+        .switch("s0", (1000, 0), qubits=4)
+        .switch("s1", (2000, 0), qubits=4)
+        .user("bob", (3000, 0))
+        .fiber("alice", "s0", 1000)
+        .fiber("s0", "s1", 1000)
+        .fiber("s1", "bob", 1000)
+        .build()
+    )
+
+
+def test_line_network_bound_is_exact():
+    network = _line_network()
+    certificate = compute_bound(network, backend="simplex")
+    optimal = solve_optimal(network)
+    assert certificate.feasible and certificate.dual_feasible
+    # One pair, one channel: the LP optimum IS the integral optimum.
+    assert certificate.log_bound == pytest.approx(
+        optimal.log_rate, abs=1e-9
+    )
+    assert certificate.n_users == 2
+    assert certificate.backend == "simplex"
+
+
+def test_bound_never_positive_log():
+    network = _line_network()
+    certificate = compute_bound(network, backend="simplex")
+    assert certificate.log_bound <= 0.0
+    assert certificate.rate_bound <= 1.0
+
+
+def test_disconnected_user_is_certified_infeasible():
+    params = NetworkParams(alpha=1e-4, swap_prob=0.9)
+    network = (
+        NetworkBuilder(params)
+        .user("alice", (0, 0))
+        .user("bob", (1000, 0))
+        .user("carol", (9000, 0))
+        .switch("s0", (500, 0), qubits=4)
+        .fiber("alice", "s0", 500)
+        .fiber("s0", "bob", 500)
+        # carol has no fiber at all: no spanning tree exists.
+        .build()
+    )
+    certificate = compute_bound(network, backend="simplex")
+    assert not certificate.feasible
+    assert certificate.rate_bound == 0.0
+    assert math.isinf(certificate.log_bound)
+
+
+def test_capacity_starved_network_is_certified_infeasible():
+    """Three users hub-starved for qubits: fractional trees need the hub.
+
+    Every user connects only through the single 2-qubit hub, but a
+    3-user tree needs two hub-transiting channels (4 qubits).  The
+    capacitated LP must prove this infeasible — via the big-M
+    artificials at convergence — while the uncapacitated one stays
+    feasible.
+    """
+    params = NetworkParams(alpha=1e-4, swap_prob=0.9)
+    network = (
+        NetworkBuilder(params)
+        .user("a", (0, 0))
+        .user("b", (2000, 0))
+        .user("c", (1000, 2000))
+        .switch("hub", (1000, 500), qubits=2)
+        .fiber("a", "hub", 1000)
+        .fiber("b", "hub", 1000)
+        .fiber("c", "hub", 1500)
+        .build()
+    )
+    capacitated = compute_bound(network, backend="simplex")
+    uncapacitated = compute_bound(
+        network, backend="simplex", capacitated=False
+    )
+    assert not capacitated.feasible
+    assert capacitated.rate_bound == 0.0
+    assert uncapacitated.feasible
+    assert uncapacitated.rate_bound > 0.0
+
+
+def test_uncapacitated_bound_dominates():
+    for seed in (0, 1, 2, 3):
+        network = waxman_network(
+            TopologyConfig(
+                n_switches=20, n_users=6, qubits_per_switch=2
+            ),
+            rng=seed,
+        )
+        cap = compute_bound(network, backend="simplex")
+        uncap = compute_bound(
+            network, backend="simplex", capacitated=False
+        )
+        assert uncap.rate_bound >= cap.rate_bound - 1e-12
+
+
+def test_relaxation_is_deterministic():
+    network = waxman_network(
+        TopologyConfig(n_switches=25, n_users=8), rng=11
+    )
+    first = solve_relaxation(network, backend="simplex")
+    second = solve_relaxation(network, backend="simplex")
+    strip = lambda c: dataclasses.replace(c, solve_seconds=0.0)
+    assert strip(first.certificate) == strip(second.certificate)
+    assert first.columns == second.columns
+    assert first.values == second.values
+
+
+def test_unknown_backend_rejected():
+    network = _line_network()
+    with pytest.raises(ValueError, match="unknown LP backend"):
+        compute_bound(network, backend="glpk")
+
+
+def test_scipy_backend_gated_when_missing():
+    if scipy_available():
+        pytest.skip("scipy installed; the gate cannot fire")
+    network = _line_network()
+    with pytest.raises(ImportError, match="repro\\[bounds\\]"):
+        compute_bound(network, backend="scipy")
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+def test_backends_agree():
+    for seed in (3, 17, 29):
+        network = waxman_network(
+            TopologyConfig(
+                n_switches=30, n_users=8, qubits_per_switch=2
+            ),
+            rng=seed,
+        )
+        ours = compute_bound(network, backend="simplex")
+        ref = compute_bound(network, backend="scipy")
+        assert ours.feasible == ref.feasible
+        if ours.feasible:
+            assert ours.log_bound == pytest.approx(
+                ref.log_bound, abs=1e-6
+            )

@@ -1,0 +1,91 @@
+"""LP-rounding solver: validity, capacity discipline, determinism."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bounds.rounding import solve_lp_rounding
+from repro.core.registry import DEFAULT_CHAIN, SOLVERS, solve, solve_robust
+from repro.topology import TopologyConfig, waxman_network
+from repro.utils.rng import ensure_rng
+from repro.verify.verifier import SolutionVerifier
+
+TIGHT = TopologyConfig(n_switches=25, n_users=8, qubits_per_switch=2)
+
+
+def _networks(seeds=(0, 1, 2, 3, 4)):
+    for seed in seeds:
+        yield waxman_network(TIGHT, rng=seed)
+
+
+def test_registered_and_in_default_chain():
+    assert "lp_rounding" in SOLVERS
+    assert DEFAULT_CHAIN[-1] == "lp_rounding"
+
+
+def test_solutions_verify_cleanly():
+    verifier = SolutionVerifier()
+    feasible = 0
+    for network in _networks():
+        solution = solve_lp_rounding(network, rng=ensure_rng(7))
+        if not solution.feasible:
+            continue
+        feasible += 1
+        violations = verifier.audit(
+            network, solution, enforce_capacity=True
+        )
+        assert not violations, violations
+    assert feasible > 0
+
+
+def test_zero_overbooking():
+    """Per-switch transit usage never exceeds the qubit budget."""
+    for network in _networks():
+        solution = solve_lp_rounding(network, rng=ensure_rng(13))
+        if not solution.feasible:
+            continue
+        usage = Counter()
+        for channel in solution.channels:
+            for switch in channel.switches:
+                usage[switch] += 2
+        budgets = network.residual_qubits()
+        for switch, used in usage.items():
+            assert used <= budgets[switch], (
+                f"switch {switch!r} overbooked: {used} > "
+                f"{budgets[switch]}"
+            )
+
+
+def test_same_seed_is_byte_identical():
+    for network in _networks((5, 6)):
+        a = solve_lp_rounding(network, rng=ensure_rng(99))
+        b = solve_lp_rounding(network, rng=ensure_rng(99))
+        assert a.log_rate == b.log_rate
+        assert a.channels == b.channels
+
+
+def test_registry_dispatch_and_robust_chain():
+    network = waxman_network(TIGHT, rng=8)
+    direct = solve("lp_rounding", network, rng=ensure_rng(3))
+    assert direct.method == "lp_rounding"
+    result = solve_robust(network, rng=ensure_rng(3))
+    assert result.solution.feasible
+    assert result.audit.succeeded
+
+
+def test_never_beats_certificate():
+    """Rounded trees stay below the bound their own relaxation set."""
+    from repro.bounds.lp import solve_relaxation
+
+    for network in _networks((10, 11, 12)):
+        relaxation = solve_relaxation(network, backend="simplex")
+        solution = solve_lp_rounding(
+            network, rng=ensure_rng(1), relaxation=relaxation
+        )
+        if solution.feasible:
+            assert (
+                solution.rate
+                <= relaxation.certificate.rate_bound * (1 + 1e-9)
+            )

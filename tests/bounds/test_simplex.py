@@ -1,0 +1,120 @@
+"""Unit tests for the dependency-free two-phase revised simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.lp import scipy_available
+from repro.bounds.simplex import simplex_solve
+
+
+def test_known_optimum():
+    # min -x - 2y  s.t.  x + y <= 4, y <= 3, x,y >= 0  -> (1, 3), obj -7
+    result = simplex_solve(
+        np.array([-1.0, -2.0]),
+        np.array([[1.0, 1.0], [0.0, 1.0]]),
+        np.array([4.0, 3.0]),
+        None,
+        None,
+    )
+    assert result.optimal
+    assert result.objective == pytest.approx(-7.0)
+    assert result.x == pytest.approx([1.0, 3.0])
+
+
+def test_equality_constraint():
+    # min x + y  s.t.  x + y = 2  -> obj 2
+    result = simplex_solve(
+        np.array([1.0, 1.0]),
+        None,
+        None,
+        np.array([[1.0, 1.0]]),
+        np.array([2.0]),
+    )
+    assert result.optimal
+    assert result.objective == pytest.approx(2.0)
+
+
+def test_negative_rhs_row():
+    # min x  s.t.  -x <= -3  (i.e. x >= 3)  -> obj 3
+    result = simplex_solve(
+        np.array([1.0]),
+        np.array([[-1.0]]),
+        np.array([-3.0]),
+        None,
+        None,
+    )
+    assert result.optimal
+    assert result.objective == pytest.approx(3.0)
+
+
+def test_infeasible():
+    # x <= 1 and x >= 3 cannot hold together.
+    result = simplex_solve(
+        np.array([1.0]),
+        np.array([[1.0], [-1.0]]),
+        np.array([1.0, -3.0]),
+        None,
+        None,
+    )
+    assert result.status == "infeasible"
+    assert not result.optimal
+
+
+def test_unbounded():
+    # min -x with no upper bound on x.
+    result = simplex_solve(
+        np.array([-1.0]),
+        np.array([[-1.0]]),
+        np.array([0.0]),
+        None,
+        None,
+    )
+    assert result.status == "unbounded"
+
+
+def test_duals_sign_and_weak_duality():
+    rng = np.random.default_rng(42)
+    for _ in range(50):
+        n, m = rng.integers(2, 8), rng.integers(1, 6)
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(0.5, 3.0, size=m)
+        result = simplex_solve(c, a_ub, b_ub, None, None)
+        if result.status == "unbounded":
+            continue
+        assert result.optimal
+        # ineq duals are <= 0 under the c - y·A >= 0 convention ...
+        assert np.all(result.duals_ub <= 1e-8)
+        # ... and y·b never exceeds the optimum (weak duality).
+        assert float(result.duals_ub @ b_ub) <= result.objective + 1e-7
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+def test_matches_scipy_on_random_lps():
+    from scipy.optimize import linprog
+
+    rng = np.random.default_rng(7)
+    compared = 0
+    for _ in range(60):
+        n, m = rng.integers(2, 10), rng.integers(1, 8)
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(0.2, 4.0, size=m)
+        a_eq = np.ones((1, n))
+        b_eq = np.array([float(rng.uniform(0.5, 2.0))])
+        ours = simplex_solve(c, a_ub, b_ub, a_eq, b_eq)
+        ref = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+            bounds=(0, None), method="highs",
+        )
+        if ours.status == "infeasible" or ref.status == 2:
+            assert ours.status == "infeasible" and ref.status == 2
+            continue
+        if ours.status == "unbounded" or ref.status == 3:
+            assert ours.status == "unbounded" and ref.status == 3
+            continue
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+        compared += 1
+    assert compared > 10  # the generator must produce solvable LPs

@@ -1,0 +1,96 @@
+"""Property tests: the certified bound dominates every solver.
+
+This is the load-bearing guarantee of ``repro.bounds`` — a single
+counterexample means an unsound certificate (or an invalid solution
+slipping past the verifier), so these properties run on every CI build
+under both LP backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.gap import optimality_gap
+from repro.bounds.lp import compute_bound, scipy_available
+from repro.core.registry import CAPACITY_EXEMPT_METHODS, solve
+from repro.topology import TopologyConfig, waxman_network
+from repro.topology.extras import grid_network
+from repro.utils.rng import ensure_rng
+
+#: Methods gated per generated network (a solver cross-section: greedy
+#: tree heuristics, the paper algorithms and the LP-rounding solver).
+METHODS = (
+    "optimal",
+    "alg2",
+    "conflict_free",
+    "prim",
+    "random_tree",
+    "lp_rounding",
+)
+
+BACKENDS = ["simplex"] + (["scipy"] if scipy_available() else [])
+
+
+def _assert_sound(network, backend):
+    capacitated = compute_bound(network, backend=backend)
+    uncapacitated = compute_bound(
+        network, backend=backend, capacitated=False
+    )
+    for method in METHODS:
+        solution = solve(method, network, rng=ensure_rng(0))
+        bound = (
+            uncapacitated
+            if method in CAPACITY_EXEMPT_METHODS
+            else capacitated
+        )
+        gap = optimality_gap(solution.rate, bound)
+        assert gap >= -1e-7, (
+            f"{method} beat the {backend} bound: rate "
+            f"{solution.rate:.6e} > {bound.rate_bound:.6e}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    qubits=st.sampled_from([2, 4]),
+)
+def test_bound_dominates_on_waxman(backend, seed, qubits):
+    network = waxman_network(
+        TopologyConfig(
+            n_switches=20, n_users=6, qubits_per_switch=qubits
+        ),
+        rng=seed,
+    )
+    _assert_sound(network, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=8, deadline=None)
+@given(
+    rows=st.integers(3, 5),
+    cols=st.integers(3, 5),
+    qubits=st.sampled_from([2, 4]),
+)
+def test_bound_dominates_on_grid(backend, rows, cols, qubits):
+    network = grid_network(rows, cols, qubits_per_switch=qubits)
+    _assert_sound(network, backend)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_bound_dominates_brute_force(seed):
+    """On toy networks the exhaustive optimum must respect the bound."""
+    network = waxman_network(
+        TopologyConfig(n_switches=6, n_users=3, qubits_per_switch=4),
+        rng=seed,
+    )
+    try:
+        exact = solve("exact", network, rng=ensure_rng(0))
+    except RuntimeError:
+        return  # path explosion guard tripped; nothing to compare
+    bound = compute_bound(network, backend="simplex")
+    assert optimality_gap(exact.rate, bound) >= -1e-7
